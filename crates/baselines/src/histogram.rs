@@ -1,0 +1,211 @@
+//! Classic histogram AQP — the non-learned synopsis family the paper's
+//! related-work section positions NeuroSketch against (Cormode et al.,
+//! "Synopses for Massive Data").
+//!
+//! Per-attribute equi-width histograms with the attribute-value-
+//! independence (AVI) assumption used by most engine optimizers: the
+//! selectivity of a conjunctive range is the product of per-attribute
+//! selectivities, and the measure's mean is estimated from the measure
+//! histogram of the *most selective* constrained attribute (a common
+//! single-column heuristic). Cheap, tiny, and exact in 1-D up to bin
+//! resolution — but its independence assumption breaks on correlated
+//! attributes, which is precisely the gap the learned engines close.
+
+use crate::{AqpEngine, Unsupported};
+use datagen::Dataset;
+use query::aggregate::Aggregate;
+use query::predicate::PredicateFn;
+
+/// Per-attribute histogram: bin counts plus per-bin measure sums.
+#[derive(Debug, Clone)]
+struct ColumnHist {
+    lo: f64,
+    hi: f64,
+    counts: Vec<f64>,
+    measure_sums: Vec<f64>,
+}
+
+impl ColumnHist {
+    /// `(fraction_of_rows, measure_sum)` within `[qlo, qhi)`, assuming
+    /// uniform mass within each bin.
+    fn range(&self, qlo: f64, qhi: f64, n: f64) -> (f64, f64) {
+        let bins = self.counts.len();
+        let width = if self.hi > self.lo { (self.hi - self.lo) / bins as f64 } else { 1.0 };
+        let (mut cnt, mut sum) = (0.0, 0.0);
+        for b in 0..bins {
+            let b0 = self.lo + b as f64 * width;
+            let b1 = b0 + width;
+            let overlap = (qhi.min(b1) - qlo.max(b0)).max(0.0) / width;
+            if overlap > 0.0 {
+                cnt += overlap * self.counts[b];
+                sum += overlap * self.measure_sums[b];
+            }
+        }
+        (cnt / n, sum)
+    }
+}
+
+/// AVI histogram engine.
+#[derive(Debug, Clone)]
+pub struct AviHistogram {
+    hists: Vec<ColumnHist>,
+    n: f64,
+    global_measure_mean: f64,
+}
+
+impl AviHistogram {
+    /// Build per-attribute histograms with `bins` buckets each.
+    ///
+    /// # Panics
+    /// Panics on empty data, zero bins, or a bad measure column.
+    pub fn build(data: &Dataset, measure: usize, bins: usize) -> AviHistogram {
+        assert!(data.rows() > 0, "empty dataset");
+        assert!(bins > 0, "need at least one bin");
+        assert!(measure < data.dims(), "measure column out of range");
+        let ranges = data.column_ranges();
+        let mut hists: Vec<ColumnHist> = ranges
+            .iter()
+            .map(|&(lo, hi)| ColumnHist {
+                lo,
+                hi,
+                counts: vec![0.0; bins],
+                measure_sums: vec![0.0; bins],
+            })
+            .collect();
+        for row in data.iter_rows() {
+            let m = row[measure];
+            for (c, h) in hists.iter_mut().enumerate() {
+                let width = if h.hi > h.lo { (h.hi - h.lo) / bins as f64 } else { 1.0 };
+                let b = (((row[c] - h.lo) / width) as usize).min(bins - 1);
+                h.counts[b] += 1.0;
+                h.measure_sums[b] += m;
+            }
+        }
+        let n = data.rows() as f64;
+        let global_measure_mean = data.column(measure).iter().sum::<f64>() / n;
+        AviHistogram { hists, n, global_measure_mean }
+    }
+}
+
+impl AqpEngine for AviHistogram {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn answer(
+        &self,
+        pred: &dyn PredicateFn,
+        agg: Aggregate,
+        q: &[f64],
+    ) -> Result<f64, Unsupported> {
+        if !matches!(agg, Aggregate::Count | Aggregate::Sum | Aggregate::Avg) {
+            return Err(Unsupported::Aggregate(agg));
+        }
+        let Some(bounds) = pred.axis_bounds(q) else {
+            return Err(Unsupported::Predicate("non-axis-aligned predicate".into()));
+        };
+        // AVI: selectivity = product over constrained attrs; AVG from the
+        // most selective attribute's measure histogram.
+        let mut selectivity = 1.0;
+        let mut best: Option<(f64, f64)> = None; // (sel, measure_sum)
+        for &(a, lo, hi) in &bounds {
+            let h = &self.hists[a];
+            let (sel, msum) = h.range(lo.max(h.lo), hi.min(h.hi + 1e-12), self.n);
+            selectivity *= sel;
+            if best.map_or(true, |(s, _)| sel < s) {
+                best = Some((sel, msum));
+            }
+        }
+        let count = self.n * selectivity;
+        let avg = match best {
+            Some((sel, msum)) if sel > 1e-12 => msum / (self.n * sel),
+            _ => self.global_measure_mean,
+        };
+        Ok(match agg {
+            Aggregate::Count => count,
+            Aggregate::Sum => count * avg,
+            Aggregate::Avg => {
+                if count > 1e-9 {
+                    avg
+                } else {
+                    0.0
+                }
+            }
+            _ => unreachable!("filtered above"),
+        })
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.hists.iter().map(|h| h.counts.len() * 16 + 16).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::simple::uniform;
+    use query::predicate::Range;
+    use query::QueryEngine;
+
+    #[test]
+    fn one_dim_count_is_bin_exact() {
+        let data = uniform(10_000, 2, 1);
+        let engine = QueryEngine::new(&data, 1);
+        let hist = AviHistogram::build(&data, 1, 64);
+        let pred = Range::new(vec![0], 2).unwrap();
+        for q in [[0.1, 0.3], [0.5, 0.4], [0.0, 1.0]] {
+            let exact = engine.answer(&pred, Aggregate::Count, &q);
+            let est = hist.answer(&pred, Aggregate::Count, &q).unwrap();
+            assert!((exact - est).abs() / exact < 0.05, "q {q:?} exact {exact} est {est}");
+        }
+    }
+
+    #[test]
+    fn avi_is_good_on_independent_attributes() {
+        let data = uniform(20_000, 3, 2);
+        let engine = QueryEngine::new(&data, 2);
+        let hist = AviHistogram::build(&data, 2, 64);
+        let pred = Range::new(vec![0, 1], 3).unwrap();
+        let q = [0.2, 0.3, 0.4, 0.5]; // independent uniforms: sel = 0.4*0.5
+        let exact = engine.answer(&pred, Aggregate::Count, &q);
+        let est = hist.answer(&pred, Aggregate::Count, &q).unwrap();
+        assert!((exact - est).abs() / exact < 0.08, "exact {exact} est {est}");
+    }
+
+    #[test]
+    fn avi_breaks_on_correlated_attributes() {
+        // x1 == x0: true selectivity of (x0 in [0,0.5)) AND (x1 in [0.5,1))
+        // is 0, but AVI predicts 0.25 — the documented failure mode.
+        let rows: Vec<Vec<f64>> = (0..5000)
+            .map(|i| {
+                let x = (i as f64 + 0.5) / 5000.0;
+                vec![x, x, 1.0]
+            })
+            .collect();
+        let data = Dataset::from_rows(vec!["a".into(), "b".into(), "m".into()], &rows).unwrap();
+        let hist = AviHistogram::build(&data, 2, 32);
+        let pred = Range::new(vec![0, 1], 3).unwrap();
+        let q = [0.0, 0.5, 0.5, 0.5];
+        let est = hist.answer(&pred, Aggregate::Count, &q).unwrap();
+        assert!(est > 1000.0, "AVI should (wrongly) predict ~1250, got {est}");
+    }
+
+    #[test]
+    fn declines_unsupported() {
+        let data = uniform(100, 2, 3);
+        let hist = AviHistogram::build(&data, 1, 8);
+        let pred = Range::new(vec![0], 2).unwrap();
+        assert!(hist.answer(&pred, Aggregate::Median, &[0.0, 1.0]).is_err());
+        let rect = query::predicate::RotatedRect::new(0, 1, 2).unwrap();
+        assert!(hist
+            .answer(&rect, Aggregate::Count, &[0.1, 0.1, 0.5, 0.5, 0.1])
+            .is_err());
+    }
+
+    #[test]
+    fn storage_is_tiny() {
+        let data = uniform(50_000, 4, 4);
+        let hist = AviHistogram::build(&data, 3, 32);
+        assert!(hist.storage_bytes() < 4096, "{}", hist.storage_bytes());
+    }
+}

@@ -1,0 +1,70 @@
+//! # baselines — the comparators of the paper's evaluation (Sec. 5.1)
+//!
+//! Four AQP engines, all built from scratch:
+//!
+//! * [`tree_agg::TreeAgg`] — the paper's own sampling baseline: a uniform
+//!   sample indexed by an R-tree; answers are exact aggregates over the
+//!   matching samples, scaled up for COUNT/SUM.
+//! * [`verdict::StratifiedSampler`] — a VerdictDB-style engine: stratified
+//!   ("scrambled") samples with per-stratum weights.
+//! * [`dbest::DbEst`] — a DBEst-style *model-of-data* engine: a density
+//!   model plus a regression model per (active attribute, measure) pair,
+//!   combined by numeric integration.
+//! * [`deepdb::Spn`] — a DeepDB-style sum-product network learned over the
+//!   data with correlation-based column splits and 2-means row clustering.
+//! * [`histogram::AviHistogram`] — the classic non-learned synopsis:
+//!   per-attribute histograms under attribute-value independence.
+//!
+//! All engines implement [`AqpEngine`]; capability differences mirror the
+//! paper (e.g. the model-based engines cannot answer the rotated-rectangle
+//! MEDIAN query of Table 2, and VerdictDB/DeepDB decline STDEV).
+
+pub mod dbest;
+pub mod deepdb;
+pub mod histogram;
+pub mod tree_agg;
+pub mod verdict;
+
+use query::aggregate::Aggregate;
+use query::predicate::PredicateFn;
+
+/// Why an engine declined a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Unsupported {
+    /// The aggregate is outside the engine's model class.
+    Aggregate(Aggregate),
+    /// The predicate cannot be expressed (e.g. not axis-aligned).
+    Predicate(String),
+    /// The query shape (e.g. number of active attributes) is unsupported.
+    QueryShape(String),
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsupported::Aggregate(a) => write!(f, "aggregate {} unsupported", a.name()),
+            Unsupported::Predicate(s) => write!(f, "predicate unsupported: {s}"),
+            Unsupported::QueryShape(s) => write!(f, "query shape unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A baseline approximate-query-processing engine.
+pub trait AqpEngine: Send + Sync {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Approximate `f_D(q)`, or explain why the engine cannot answer.
+    fn answer(
+        &self,
+        pred: &dyn PredicateFn,
+        agg: Aggregate,
+        q: &[f64],
+    ) -> Result<f64, Unsupported>;
+
+    /// Storage footprint in bytes (samples, histograms, or parameters),
+    /// comparable with `NeuroSketch::storage_bytes`.
+    fn storage_bytes(&self) -> usize;
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmark behind Fig. 13: preprocessing costs — training-set
+//! labeling, kd-tree partitioning + AQC merging, and per-leaf model
+//! training — plus the forward-pass cost of the theoretical construction
+//! (Sec. A.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::simple::uniform;
+use neurosketch::{NeuroSketch, NeuroSketchConfig};
+use nn::construction::{GridNet, SlopeMode};
+use query::aggregate::Aggregate;
+use query::exec::QueryEngine;
+use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let data = uniform(5_000, 2, 3);
+    let engine = QueryEngine::new(&data, 1);
+    let wl = Workload::generate(&WorkloadConfig {
+        dims: 2,
+        active: ActiveMode::Fixed(vec![0]),
+        range: RangeMode::Uniform,
+        count: 600,
+        seed: 2,
+    })
+    .expect("workload");
+    let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &wl.queries, 4);
+
+    let mut group = c.benchmark_group("fig13_preprocessing");
+    group.sample_size(10);
+
+    group.bench_function("label_600_queries_exact", |b| {
+        b.iter(|| {
+            black_box(engine.label_batch(&wl.predicate, Aggregate::Avg, &wl.queries, 4))
+        })
+    });
+
+    group.bench_function("build_sketch_h2_small", |b| {
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 2;
+        cfg.target_partitions = 4;
+        cfg.train.epochs = 15;
+        b.iter(|| {
+            black_box(NeuroSketch::build_from_labeled(&wl.queries, &labels, &cfg).unwrap())
+        })
+    });
+
+    group.bench_function("construction_t8_d2", |b| {
+        let f = |x: &[f64]| x[0] * 0.5 + x[1] * 0.25;
+        b.iter(|| black_box(GridNet::construct(&f, 2, 8, SlopeMode::LemmaA3).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_build
+}
+criterion_main!(benches);

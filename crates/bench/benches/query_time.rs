@@ -1,0 +1,102 @@
+//! Criterion benchmark behind Fig. 6(b): per-query latency of every
+//! engine on the same workload. The paper's headline — NeuroSketch
+//! answers in microseconds, orders of magnitude below the model-of-data
+//! baselines — shows up directly in these numbers.
+
+use baselines::dbest::{DbEst, DbEstConfig};
+use baselines::deepdb::{Spn, SpnConfig};
+use baselines::tree_agg::TreeAgg;
+use baselines::verdict::StratifiedSampler;
+use baselines::AqpEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::simple::uniform;
+use neurosketch::{NeuroSketch, NeuroSketchConfig};
+use query::aggregate::Aggregate;
+use query::exec::QueryEngine;
+use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_query_time(c: &mut Criterion) {
+    // Fixed scenario: 20k rows, 3 attrs, AVG over one active attribute.
+    let data = uniform(20_000, 3, 7);
+    let measure = 2;
+    let engine = QueryEngine::new(&data, measure);
+    let wl = Workload::generate(&WorkloadConfig {
+        dims: 3,
+        active: ActiveMode::Fixed(vec![0]),
+        range: RangeMode::Uniform,
+        count: 1_200,
+        seed: 1,
+    })
+    .expect("workload");
+    let (train, test) = wl.split(200);
+    let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &train, 4);
+
+    let mut ns_cfg = NeuroSketchConfig::default();
+    ns_cfg.train.epochs = 60;
+    let (sketch, _) = NeuroSketch::build_from_labeled(&train, &labels, &ns_cfg).expect("build");
+    let tree_agg = TreeAgg::build(&data, measure, 2_000, 0);
+    let verdict = StratifiedSampler::build(&data, measure, 2_000, 32, 0);
+    let spn = Spn::build(&data, measure, &SpnConfig::default());
+    let dbest = DbEst::build(
+        &data,
+        0,
+        measure,
+        &DbEstConfig { reg_samples: 1_000, ..DbEstConfig::default() },
+    );
+
+    let mut group = c.benchmark_group("fig6b_query_time");
+    let n_test = test.len();
+    let mut i = 0usize;
+    let mut next = move || {
+        i = (i + 1) % n_test;
+        i
+    };
+    let test_ref = &test;
+
+    let mut ws = nn::mlp::Workspace::default();
+    group.bench_function("neurosketch", |b| {
+        b.iter(|| {
+            let q = &test_ref[next()];
+            black_box(sketch.answer_with(&mut ws, q))
+        })
+    });
+    group.bench_function("tree_agg", |b| {
+        b.iter(|| {
+            let q = &test_ref[next()];
+            black_box(tree_agg.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+        })
+    });
+    group.bench_function("verdictdb", |b| {
+        b.iter(|| {
+            let q = &test_ref[next()];
+            black_box(verdict.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+        })
+    });
+    group.bench_function("deepdb_spn", |b| {
+        b.iter(|| {
+            let q = &test_ref[next()];
+            black_box(spn.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+        })
+    });
+    group.bench_function("dbest", |b| {
+        b.iter(|| {
+            let q = &test_ref[next()];
+            black_box(dbest.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+        })
+    });
+    group.bench_function("exact_scan", |b| {
+        b.iter(|| {
+            let q = &test_ref[next()];
+            black_box(engine.answer(&wl.predicate, Aggregate::Avg, q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_query_time
+}
+criterion_main!(benches);

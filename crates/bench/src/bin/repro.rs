@@ -1,0 +1,86 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # every experiment at reduced scale
+//! repro fig6 --scale 10     # one experiment near paper scale
+//! repro table3 --fast       # smoke run
+//! ```
+
+use bench::common::ExperimentContext;
+use bench::experiments::*;
+
+const USAGE: &str = "usage: repro <experiment> [--scale X] [--seed N] [--fast]
+experiments: fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11 fig12 table3 fig13 fig14 fig16 fig19 ablation all";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let mut ctx = ExperimentContext::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--fast" => {
+                ctx.fast = true;
+            }
+            other => die(&format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    let start = std::time::Instant::now();
+    run_one(&which, &ctx);
+    eprintln!("\n[{} finished in {:.1} s]", which, start.elapsed().as_secs_f64());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn run_one(which: &str, ctx: &ExperimentContext) {
+    match which {
+        "fig5" => fig5::print(&fig5::run(ctx)),
+        "fig6" => fig6::print(&fig6::run(ctx)),
+        "fig7" => fig7::print(&fig7::run(ctx)),
+        "fig8" => fig8::print(&fig8::run(ctx)),
+        "fig9" => fig9::print(&fig9::run(ctx)),
+        "table2" => table2::print(&table2::run(ctx)),
+        "fig10" => fig10::print(&fig10::run(ctx)),
+        "fig11" => fig11::print(&fig11::run(ctx)),
+        "fig12" => fig12::print(&fig12::run(ctx)),
+        "table3" => table3::print(&table3::run(ctx)),
+        "fig13" => fig13::print(&fig13::run(ctx)),
+        "fig14" => fig14::print(&fig14::run(ctx)),
+        "fig15" | "fig16" | "table4" => fig16::print(&fig16::run(ctx)),
+        "fig19" => fig19::print(&fig19::run(ctx)),
+        "ablation" => ablation::print(&ablation::run(ctx)),
+        "all" => {
+            for exp in [
+                "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10", "fig11",
+                "fig12", "table3", "fig13", "fig14", "fig16", "fig19", "ablation",
+            ] {
+                let t = std::time::Instant::now();
+                run_one(exp, ctx);
+                eprintln!("[{exp}: {:.1} s]", t.elapsed().as_secs_f64());
+            }
+        }
+        other => die(&format!("unknown experiment {other}\n{USAGE}")),
+    }
+}

@@ -1,0 +1,147 @@
+//! Fig. 11: visualizing the learned query function for the running
+//! example — average visit duration in a fixed-size window over VS —
+//! for two model depths. Shape to check: both depths reproduce the
+//! spatial pattern of the true function with sharp drops smoothed out,
+//! and the deeper model tracks the ground truth more closely.
+
+use crate::common::ExperimentContext;
+use datagen::PaperDataset;
+use neurosketch::NeuroSketch;
+use query::aggregate::Aggregate;
+use query::exec::QueryEngine;
+use query::predicate::FixedWidthRange;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The visualization payload: ground truth and the learned surfaces.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// Grid resolution per axis.
+    pub grid: usize,
+    /// True query-function values, row-major `grid x grid`.
+    pub truth: Vec<f64>,
+    /// Learned surface at depth 5.
+    pub depth5: Vec<f64>,
+    /// Learned surface at depth 10.
+    pub depth10: Vec<f64>,
+    /// Pearson correlation (truth vs depth 5, truth vs depth 10).
+    pub correlation: (f64, f64),
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Run the visualization experiment.
+pub fn run(ctx: &ExperimentContext) -> Fig11Result {
+    let (data, measure) = ctx.dataset(PaperDataset::Vs);
+    let engine = QueryEngine::new(&data, measure);
+    // Fixed window over (lat, lon): the query function takes only the
+    // window corner (Example 2.1's 50m x 50m query).
+    let width = 0.15;
+    let pred = FixedWidthRange::new(vec![0, 1], vec![width, width], data.dims())
+        .expect("lat/lon exist");
+
+    // Training queries: uniform corners.
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let n_train = ctx.train_queries();
+    let train: Vec<Vec<f64>> = (0..n_train)
+        .map(|_| vec![rng.random_range(0.0..1.0 - width), rng.random_range(0.0..1.0 - width)])
+        .collect();
+    let labels = engine.label_batch(&pred, Aggregate::Avg, &train, 4);
+
+    let build = |depth: usize| -> NeuroSketch {
+        let mut cfg = ctx.ns_config();
+        cfg.tree_height = 0;
+        cfg.target_partitions = 1;
+        cfg.depth = depth;
+        NeuroSketch::build_from_labeled(&train, &labels, &cfg)
+            .expect("sketch build")
+            .0
+    };
+    let s5 = build(5);
+    let s10 = build(10);
+
+    let grid = if ctx.fast { 12 } else { 24 };
+    let mut truth = Vec::with_capacity(grid * grid);
+    let mut d5 = Vec::with_capacity(grid * grid);
+    let mut d10 = Vec::with_capacity(grid * grid);
+    for i in 0..grid {
+        for j in 0..grid {
+            let q = vec![
+                i as f64 / grid as f64 * (1.0 - width),
+                j as f64 / grid as f64 * (1.0 - width),
+            ];
+            truth.push(engine.answer(&pred, Aggregate::Avg, &q));
+            d5.push(s5.answer(&q));
+            d10.push(s10.answer(&q));
+        }
+    }
+    let correlation = (pearson(&truth, &d5), pearson(&truth, &d10));
+    Fig11Result { grid, truth, depth5: d5, depth10: d10, correlation }
+}
+
+/// Print coarse ASCII heat maps.
+pub fn print(res: &Fig11Result) {
+    println!("\n==== Fig. 11: learned query function visualization (VS) ====");
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let render = |name: &str, vals: &[f64]| {
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!("\n[{name}]  (range {lo:.2} .. {hi:.2})");
+        for i in 0..res.grid {
+            let row: String = (0..res.grid)
+                .map(|j| {
+                    let v = vals[i * res.grid + j];
+                    let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+                    shades[((t * 9.0).round() as usize).min(9)]
+                })
+                .collect();
+            println!("  {row}");
+        }
+    };
+    render("ground truth", &res.truth);
+    render("NeuroSketch depth 5", &res.depth5);
+    render("NeuroSketch depth 10", &res.depth10);
+    println!(
+        "\ncorrelation with truth: depth5 = {:.3}, depth10 = {:.3}",
+        res.correlation.0, res.correlation.1
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learned_surfaces_correlate_with_truth() {
+        let ctx = ExperimentContext::fast();
+        let res = run(&ctx);
+        assert_eq!(res.truth.len(), res.grid * res.grid);
+        // At smoke scale (400 queries, 40 epochs) the surface is rough;
+        // a full run reaches > 0.9. Require a clearly positive signal.
+        assert!(
+            res.correlation.0 > 0.25,
+            "depth-5 correlation {} too low",
+            res.correlation.0
+        );
+        assert!(
+            res.correlation.1 > 0.25,
+            "depth-10 correlation {} too low",
+            res.correlation.1
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 12: generalization vs training-set size, plus the distance from
+//! test queries to their nearest training query (dist-NTQ). Shapes to
+//! check: error drops with more training queries then plateaus; dist-NTQ
+//! keeps shrinking past the plateau (for small models the residual error
+//! is capacity, not data, per Sec. 5.4); small nets generalize better at
+//! tiny sample sizes.
+
+use crate::common::{default_workload, ExperimentContext};
+use datagen::PaperDataset;
+use neurosketch::NeuroSketch;
+use query::aggregate::Aggregate;
+use query::error::{dist_ntq, normalized_mae};
+use query::exec::QueryEngine;
+
+/// One (dataset, width, n_train) measurement.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Hidden width (30 or 120 in the paper).
+    pub width: usize,
+    /// Training queries used.
+    pub n_train: usize,
+    /// Test normalized MAE.
+    pub nmae: f64,
+    /// Mean distance from test queries to the nearest training query.
+    pub dist_ntq: f64,
+}
+
+/// Run the generalization study.
+pub fn run(ctx: &ExperimentContext) -> Vec<Fig12Row> {
+    let datasets: Vec<PaperDataset> = if ctx.fast {
+        vec![PaperDataset::Vs]
+    } else {
+        vec![PaperDataset::Vs, PaperDataset::Pm, PaperDataset::Tpc1]
+    };
+    let sizes: Vec<usize> = if ctx.fast {
+        vec![50, 200, 400]
+    } else {
+        let base = ctx.train_queries();
+        vec![base / 40, base / 10, base / 4, base]
+    };
+    let widths = [30usize, 120];
+
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let (data, measure) = ctx.dataset(ds);
+        let engine = QueryEngine::new(&data, measure);
+        let max_n = *sizes.iter().max().expect("nonempty");
+        let wl = default_workload(ds, data.dims(), max_n + ctx.test_queries(), ctx.seed);
+        let (pool, test) = wl.split(ctx.test_queries());
+        let pool_labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &pool, 4);
+        let truth = engine.label_batch(&wl.predicate, Aggregate::Avg, &test, 4);
+
+        for &width in &widths {
+            for &n in &sizes {
+                let n = n.min(pool.len());
+                let train = &pool[..n];
+                let labels = &pool_labels[..n];
+                let mut cfg = ctx.ns_config();
+                cfg.tree_height = 0;
+                cfg.target_partitions = 1;
+                cfg.l_first = width;
+                cfg.l_rest = width;
+                let Ok((sketch, _)) = NeuroSketch::build_from_labeled(train, labels, &cfg)
+                else {
+                    continue;
+                };
+                let preds: Vec<f64> = test.iter().map(|q| sketch.answer(q)).collect();
+                rows.push(Fig12Row {
+                    dataset: ds.name(),
+                    width,
+                    n_train: n,
+                    nmae: normalized_mae(&truth, &preds),
+                    dist_ntq: dist_ntq(&test, train),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Print the table.
+pub fn print(rows: &[Fig12Row]) {
+    println!("\n==== Fig. 12: generalization vs training size ====");
+    println!(
+        "{:<8} {:>6} {:>10} {:>10} {:>12}",
+        "dataset", "width", "n_train", "nMAE", "dist. NTQ"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>6} {:>10} {:>10.4} {:>12.5}",
+            r.dataset, r.width, r.n_train, r.nmae, r.dist_ntq
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_ntq_shrinks_with_more_training_queries() {
+        let ctx = ExperimentContext::fast();
+        let rows = run(&ctx);
+        let w30: Vec<&Fig12Row> =
+            rows.iter().filter(|r| r.width == 30 && r.dataset == "VS").collect();
+        assert!(w30.len() >= 2);
+        let first = w30.first().unwrap();
+        let last = w30.last().unwrap();
+        assert!(last.n_train > first.n_train);
+        assert!(
+            last.dist_ntq < first.dist_ntq,
+            "dist NTQ should shrink: {} -> {}",
+            first.dist_ntq,
+            last.dist_ntq
+        );
+    }
+
+    #[test]
+    fn more_data_does_not_hurt_much() {
+        let ctx = ExperimentContext::fast();
+        let rows = run(&ctx);
+        for width in [30, 120] {
+            let mut series: Vec<&Fig12Row> =
+                rows.iter().filter(|r| r.width == width && r.dataset == "VS").collect();
+            series.sort_by_key(|r| r.n_train);
+            let first = series.first().unwrap().nmae;
+            let last = series.last().unwrap().nmae;
+            assert!(
+                last <= first * 1.5,
+                "width {width}: error grew from {first} to {last}"
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Fig. 13: preprocessing-time study.
+//!
+//! (a) training-set generation time per dataset (exact labeling of the
+//!     workload), (b) architecture-search convergence — best-found error
+//!     relative to the default architecture as search time grows, and
+//!     (c) training-loss curves for two widths. Shapes to check: labeling
+//!     is seconds-scale; the search finds a near-default-quality
+//!     architecture quickly; larger widths converge in fewer epochs.
+
+use crate::common::{default_workload, ExperimentContext};
+use datagen::PaperDataset;
+use neurosketch::arch_search::grid_search;
+use neurosketch::NeuroSketch;
+use query::aggregate::Aggregate;
+use query::error::normalized_mae;
+use query::exec::QueryEngine;
+use std::time::Duration;
+
+/// Part (a): one dataset's labeling time.
+#[derive(Debug, Clone)]
+pub struct LabelTime {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Queries labeled.
+    pub queries: usize,
+    /// Wall-clock for exact labeling.
+    pub elapsed: Duration,
+}
+
+/// Part (b): search convergence as (elapsed, best-error / default-error).
+#[derive(Debug, Clone)]
+pub struct SearchCurve {
+    /// Error of the paper-default architecture on the same validation set.
+    pub default_error: f64,
+    /// (elapsed, running-best error ratio) points.
+    pub points: Vec<(Duration, f64)>,
+}
+
+/// Part (c): per-epoch loss for one width.
+#[derive(Debug, Clone)]
+pub struct LossCurve {
+    /// Hidden width.
+    pub width: usize,
+    /// Mean training MSE per epoch.
+    pub losses: Vec<f64>,
+}
+
+/// All three panels.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// Panel (a).
+    pub label_times: Vec<LabelTime>,
+    /// Panel (b).
+    pub search: SearchCurve,
+    /// Panel (c).
+    pub training: Vec<LossCurve>,
+}
+
+/// Run the preprocessing study.
+pub fn run(ctx: &ExperimentContext) -> Fig13Result {
+    // (a) labeling time per dataset.
+    let datasets: Vec<PaperDataset> = if ctx.fast {
+        vec![PaperDataset::Pm, PaperDataset::Vs, PaperDataset::G5]
+    } else {
+        PaperDataset::ALL.to_vec()
+    };
+    let mut label_times = Vec::new();
+    for ds in datasets {
+        let (data, measure) = ctx.dataset(ds);
+        let engine = QueryEngine::new(&data, measure);
+        let wl = default_workload(ds, data.dims(), ctx.train_queries(), ctx.seed);
+        let t0 = std::time::Instant::now();
+        let _ = engine.label_batch(&wl.predicate, Aggregate::Avg, &wl.queries, 4);
+        label_times.push(LabelTime {
+            dataset: ds.name(),
+            queries: wl.queries.len(),
+            elapsed: t0.elapsed(),
+        });
+    }
+
+    // (b) architecture search on VS.
+    let (data, measure) = ctx.dataset(PaperDataset::Vs);
+    let engine = QueryEngine::new(&data, measure);
+    let wl = default_workload(
+        PaperDataset::Vs,
+        data.dims(),
+        ctx.train_queries() + ctx.test_queries(),
+        ctx.seed,
+    );
+    let (train, val) = wl.split(ctx.test_queries());
+    let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &train, 4);
+    let val_labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &val, 4);
+
+    let mut base = ctx.ns_config();
+    base.tree_height = 0;
+    base.target_partitions = 1;
+    if ctx.fast {
+        base.train.epochs = 20;
+    }
+    // Default-architecture reference error.
+    let (default_sketch, _) =
+        NeuroSketch::build_from_labeled(&train, &labels, &base).expect("build");
+    let preds: Vec<f64> = val.iter().map(|q| default_sketch.answer(q)).collect();
+    let default_error = normalized_mae(&val_labels, &preds);
+
+    let widths: Vec<usize> = if ctx.fast { vec![15, 30] } else { vec![15, 30, 60, 120] };
+    let depths: Vec<usize> = if ctx.fast { vec![3, 5] } else { vec![3, 4, 5, 7] };
+    let default_params = default_sketch.param_count();
+    let result = grid_search(
+        &train,
+        &labels,
+        &val,
+        &val_labels,
+        &widths,
+        &depths,
+        default_params, // space constraint: at most the default size
+        &base,
+    );
+    let points = result
+        .convergence_curve()
+        .into_iter()
+        .map(|(t, e)| (t, e / default_error.max(1e-12)))
+        .collect();
+
+    // (c) training curves for widths 30 and 120.
+    let mut training = Vec::new();
+    for width in [30usize, 120] {
+        let mut cfg = base.clone();
+        cfg.l_first = width;
+        cfg.l_rest = width;
+        cfg.train.patience = 0; // full curve, no early stop
+        let (_, report) = NeuroSketch::build_from_labeled(&train, &labels, &cfg).expect("build");
+        let losses = report.train_reports.first().map(|r| r.loss_curve.clone()).unwrap_or_default();
+        training.push(LossCurve { width, losses });
+    }
+
+    Fig13Result { label_times, search: SearchCurve { default_error, points }, training }
+}
+
+/// Print all three panels.
+pub fn print(res: &Fig13Result) {
+    println!("\n==== Fig. 13: preprocessing time study ====");
+    println!("\n(a) training set generation");
+    for lt in &res.label_times {
+        println!(
+            "  {:<8} {:>8} queries in {:>8.2} s",
+            lt.dataset,
+            lt.queries,
+            lt.elapsed.as_secs_f64()
+        );
+    }
+    println!("\n(b) architecture search (error ratio vs default = {:.4})", res.search.default_error);
+    for (t, ratio) in &res.search.points {
+        println!("  {:>8.2} s  ratio {:.3}", t.as_secs_f64(), ratio);
+    }
+    println!("\n(c) training loss curves");
+    for c in &res.training {
+        let show: Vec<String> = c
+            .losses
+            .iter()
+            .step_by((c.losses.len() / 8).max(1))
+            .map(|l| format!("{l:.4}"))
+            .collect();
+        println!("  width {:>4}: {}", c.width, show.join(" -> "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_converges_to_reasonable_ratio() {
+        let ctx = ExperimentContext::fast();
+        let res = run(&ctx);
+        assert!(!res.label_times.is_empty());
+        let final_ratio = res.search.points.last().expect("nonempty").1;
+        // Within the same parameter budget, the search should land within
+        // 2.5x of the default error even at smoke scale.
+        assert!(final_ratio < 2.5, "ratio {final_ratio}");
+        assert_eq!(res.training.len(), 2);
+        // Loss decreases over training for both widths.
+        for c in &res.training {
+            let first = c.losses.first().expect("nonempty");
+            let last = c.losses.last().expect("nonempty");
+            assert!(last < first, "width {} loss {first} -> {last}", c.width);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Figs. 15/16 + Table 4: 2-D data subsets, learned vs. true query
+//! functions, and the AQC ↔ error relationship on real-shaped data.
+//!
+//! For each dataset we project to two columns (predicate attribute,
+//! measure), ask AVG over a sliding window of 10% of the predicate
+//! domain, and compare the learned 1-D query function against ground
+//! truth. Shapes to check: VS has sharp spatial changes ⇒ largest AQC
+//! and largest error; TPC is near-linear ⇒ smallest of both (Table 4).
+
+use crate::common::ExperimentContext;
+use datagen::PaperDataset;
+use neurosketch::aqc::aqc_sampled;
+use neurosketch::NeuroSketch;
+use query::aggregate::Aggregate;
+use query::error::normalized_mae;
+use query::exec::QueryEngine;
+use query::predicate::FixedWidthRange;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One dataset's 2-D study.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Dataset name (2-D projection).
+    pub dataset: &'static str,
+    /// Grid of query positions `c`.
+    pub grid: Vec<f64>,
+    /// True query-function values on the grid.
+    pub truth: Vec<f64>,
+    /// Learned values on the grid.
+    pub learned: Vec<f64>,
+    /// Normalized MAE over the grid.
+    pub nmae: f64,
+    /// AQC of the query function after scaling both axes to `[0,1]`
+    /// (Table 4's "Norm. AQC").
+    pub norm_aqc: f64,
+}
+
+/// Which 2-D projection each dataset uses (predicate attr, measure attr),
+/// mirroring Fig. 15: VS lat→duration, PM temp→PM2.5, TPC
+/// ext_sales_price→net_profit.
+fn projection(ds: PaperDataset) -> (usize, usize) {
+    match ds {
+        PaperDataset::Vs => (0, 2),
+        PaperDataset::Pm => (1, 0),
+        PaperDataset::Tpc1 => (5, 12),
+        _ => (0, 1),
+    }
+}
+
+/// Run the 2-D query-function study.
+pub fn run(ctx: &ExperimentContext) -> Vec<Fig16Row> {
+    let width = 0.10; // r fixed to 10% of the column range
+    [PaperDataset::Vs, PaperDataset::Pm, PaperDataset::Tpc1]
+        .into_iter()
+        .map(|ds| {
+            let (data, _) = ctx.dataset(ds);
+            let (attr, meas) = projection(ds);
+            let proj = data.project(&[attr, meas]).expect("projection");
+            let engine = QueryEngine::new(&proj, 1);
+            let pred = FixedWidthRange::new(vec![0], vec![width], 2).expect("valid");
+
+            // Train on uniform corners.
+            let mut rng = StdRng::seed_from_u64(ctx.seed);
+            let train: Vec<Vec<f64>> = (0..ctx.train_queries())
+                .map(|_| vec![rng.random_range(0.0..1.0 - width)])
+                .collect();
+            let labels = engine.label_batch(&pred, Aggregate::Avg, &train, 4);
+            let mut cfg = ctx.ns_config();
+            cfg.tree_height = 0;
+            cfg.target_partitions = 1;
+            let (sketch, _) =
+                NeuroSketch::build_from_labeled(&train, &labels, &cfg).expect("build");
+
+            // Evaluate on a grid of corners.
+            let steps = if ctx.fast { 25 } else { 50 };
+            let grid: Vec<f64> =
+                (0..steps).map(|i| i as f64 / steps as f64 * (1.0 - width)).collect();
+            let truth: Vec<f64> =
+                grid.iter().map(|&c| engine.answer(&pred, Aggregate::Avg, &[c])).collect();
+            let learned: Vec<f64> = grid.iter().map(|&c| sketch.answer(&[c])).collect();
+            let nmae = normalized_mae(&truth, &learned);
+
+            // Table 4's normalized AQC: scale f to [0,1] first (the query
+            // axis already spans ~[0,1]).
+            let lo = truth.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = truth.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let scaled: Vec<f64> = truth
+                .iter()
+                .map(|v| if hi > lo { (v - lo) / (hi - lo) } else { 0.0 })
+                .collect();
+            let grid_q: Vec<Vec<f64>> = grid.iter().map(|&c| vec![c]).collect();
+            let norm_aqc = aqc_sampled(&grid_q, &scaled, 20_000);
+
+            Fig16Row { dataset: ds.name(), grid, truth, learned, nmae, norm_aqc }
+        })
+        .collect()
+}
+
+/// Print Table 4 plus sparkline-style function comparisons.
+pub fn print(rows: &[Fig16Row]) {
+    println!("\n==== Fig. 16 / Table 4: 2-D query functions ====");
+    println!("{:<10} {:>10} {:>12}", "dataset", "norm MAE", "norm AQC");
+    for r in rows {
+        println!("{:<10} {:>10.4} {:>12.3}", r.dataset, r.nmae, r.norm_aqc);
+    }
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for r in rows {
+        let render = |vals: &[f64]| -> String {
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            vals.iter()
+                .map(|v| {
+                    let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+                    shades[((t * 9.0).round() as usize).min(9)]
+                })
+                .collect()
+        };
+        println!("\n[{} (2D)]", r.dataset);
+        println!("  truth:   {}", render(&r.truth));
+        println!("  learned: {}", render(&r.learned));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_ordering_holds() {
+        // Paper Table 4: VS has the largest AQC and MAE; TPC the smallest
+        // AQC. At smoke scale we check the AQC ordering (the robust part).
+        let ctx = ExperimentContext::fast();
+        let rows = run(&ctx);
+        let by = |n: &str| rows.iter().find(|r| r.dataset == n).unwrap();
+        let (vs, tpc) = (by("VS"), by("TPC1"));
+        assert!(
+            vs.norm_aqc > tpc.norm_aqc,
+            "VS AQC {} should exceed TPC {}",
+            vs.norm_aqc,
+            tpc.norm_aqc
+        );
+        for r in &rows {
+            assert!(r.nmae.is_finite());
+            assert_eq!(r.truth.len(), r.learned.len());
+        }
+    }
+}

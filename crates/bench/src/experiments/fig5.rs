@@ -1,0 +1,72 @@
+//! Fig. 5: histograms of the measure-column values for PM, TPC, VS and a
+//! GMM dataset, printed as text bars. The shapes to check against the
+//! paper: PM right-skewed from ~0; TPC net-profit centered on 0 with both
+//! tails; VS visit durations right-skewed with a sub-hour mode; GMM
+//! multi-modal.
+
+use crate::common::ExperimentContext;
+use datagen::PaperDataset;
+
+/// One dataset's histogram.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Bucket left edges (raw units).
+    pub edges: Vec<f64>,
+    /// Normalized frequencies (sum to 1).
+    pub freqs: Vec<f64>,
+}
+
+/// Compute the four histograms of Fig. 5.
+pub fn run(ctx: &ExperimentContext) -> Vec<Fig5Row> {
+    let targets =
+        [PaperDataset::Pm, PaperDataset::Tpc1, PaperDataset::Vs, PaperDataset::G5];
+    targets
+        .iter()
+        .map(|&ds| {
+            // Raw (unnormalized) data: the paper plots physical units.
+            let scale = if ctx.fast { 0.05 } else { ctx.scale };
+            let raw = ds.generate(scale, ctx.seed);
+            let (edges, freqs) = raw.histogram(ds.measure_column(), 20);
+            Fig5Row { dataset: ds.name(), edges, freqs }
+        })
+        .collect()
+}
+
+/// Print text-bar histograms.
+pub fn print(rows: &[Fig5Row]) {
+    println!("\n== Fig. 5: measure column distributions ==");
+    for row in rows {
+        println!("\n[{}]", row.dataset);
+        let max = row.freqs.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        for (e, f) in row.edges.iter().zip(&row.freqs) {
+            let bar = "#".repeat(((f / max) * 40.0).round() as usize);
+            println!("{e:>12.2} | {bar} {:.3}", f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let rows = run(&ExperimentContext::fast());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            let total: f64 = r.freqs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", r.dataset);
+        }
+        // PM: mode in the lower third (right-skew).
+        let pm = &rows[0];
+        let argmax = pm.freqs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(argmax < 7, "PM mode at bucket {argmax}");
+        // TPC: both negative and positive profit buckets populated.
+        let tpc = &rows[1];
+        let has_neg = tpc.edges.iter().zip(&tpc.freqs).any(|(e, f)| *e < 0.0 && *f > 0.0);
+        let has_pos = tpc.edges.iter().zip(&tpc.freqs).any(|(e, f)| *e > 0.0 && *f > 0.0);
+        assert!(has_neg && has_pos);
+    }
+}

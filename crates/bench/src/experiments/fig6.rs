@@ -1,0 +1,99 @@
+//! Fig. 6: error (a), query time (b) and storage (c) of every engine on
+//! the seven evaluation datasets. AVG aggregation; one random active
+//! attribute (lat/lon for VS). The shapes to check: NeuroSketch lowest
+//! error on most datasets, query time orders of magnitude below the
+//! model-of-data baselines and roughly constant across datasets; DeepDB
+//! storage grows with data size while NeuroSketch stays under a fixed
+//! small budget.
+
+use crate::common::{default_workload, print_rows, run_comparison, EngineRow, ExperimentContext};
+use datagen::PaperDataset;
+use query::aggregate::Aggregate;
+
+/// Results for one dataset.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Engine rows (NeuroSketch, TREE-AGG, VerdictDB, DeepDB, DBEst).
+    pub engines: Vec<EngineRow>,
+}
+
+/// Datasets included at the given context (TPC10/G20 are skipped in fast
+/// mode: their cost dwarfs the information gained in a smoke run).
+fn datasets(ctx: &ExperimentContext) -> Vec<PaperDataset> {
+    if ctx.fast {
+        vec![PaperDataset::Pm, PaperDataset::Vs, PaperDataset::G5, PaperDataset::Tpc1]
+    } else {
+        PaperDataset::ALL.to_vec()
+    }
+}
+
+/// Run the cross-dataset comparison.
+pub fn run(ctx: &ExperimentContext) -> Vec<Fig6Row> {
+    datasets(ctx)
+        .into_iter()
+        .map(|ds| {
+            let (data, measure) = ctx.dataset(ds);
+            let wl = default_workload(
+                ds,
+                data.dims(),
+                ctx.train_queries() + ctx.test_queries(),
+                ctx.seed,
+            );
+            // DBEst only answers single-active-attribute range queries;
+            // for VS (two fixed active attributes) the paper reports no
+            // DBEst numbers — the lineup mirrors that by omission.
+            let build_dbest = !matches!(ds, PaperDataset::Vs);
+            let engines = run_comparison(
+                &data,
+                measure,
+                &wl,
+                Aggregate::Avg,
+                ctx,
+                &ctx.ns_config(),
+                build_dbest,
+            );
+            Fig6Row { dataset: ds.name(), engines }
+        })
+        .collect()
+}
+
+/// Print in the paper's dataset order.
+pub fn print(rows: &[Fig6Row]) {
+    println!("\n==== Fig. 6: RAQs on different datasets (AVG) ====");
+    for row in rows {
+        print_rows(&format!("Fig. 6 / {}", row.dataset), &row.engines);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neurosketch_is_fast_and_supported_everywhere() {
+        let ctx = ExperimentContext::fast();
+        let rows = run(&ctx);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            let ns = &row.engines[0];
+            assert_eq!(ns.engine, "NeuroSketch");
+            assert_eq!(ns.support, 1.0, "{}", row.dataset);
+            assert!(ns.nmae.is_finite(), "{}", row.dataset);
+            // Headline property (verified strictly at full scale by the
+            // repro binary): forward passes should not be slower than the
+            // model-of-data baseline by more than smoke-scale noise.
+            let deepdb = row.engines.iter().find(|r| r.engine == "DeepDB").unwrap();
+            if deepdb.support > 0.0 {
+                assert!(
+                    ns.query_us < deepdb.query_us * 10.0 + 100.0,
+                    "{}: NS {} us vs DeepDB {} us",
+                    row.dataset,
+                    ns.query_us,
+                    deepdb.query_us
+                );
+            }
+        }
+    }
+}

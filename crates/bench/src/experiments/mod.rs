@@ -1,0 +1,35 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | Module | Paper artifact | What it shows |
+//! |---|---|---|
+//! | [`fig5`]  | Fig. 5   | measure-column marginal distributions |
+//! | [`fig6`]  | Fig. 6   | error / query time / storage across datasets |
+//! | [`fig7`]  | Fig. 7   | query-range sweep |
+//! | [`fig8`]  | Fig. 8   | active-attribute sweep |
+//! | [`fig9`]  | Fig. 9   | aggregation-function sweep |
+//! | [`table2`]| Table 2  | rotated-rectangle MEDIAN query |
+//! | [`fig10`] | Fig. 10  | time/space/accuracy trade-off curves |
+//! | [`fig11`] | Fig. 11  | learned-function visualization |
+//! | [`fig12`] | Fig. 12  | generalization vs training size + dist-NTQ |
+//! | [`table3`]| Table 3  | partitioning/merging ablation |
+//! | [`fig13`] | Fig. 13  | preprocessing-time study |
+//! | [`fig14`] | Fig. 14  | DQD bound on synthetic distributions |
+//! | [`fig16`] | Fig. 15/16 + Table 4 | 2-D query functions, AQC vs error |
+//! | [`fig19`] | Fig. 19  | construction (CS/CS+SGD) vs plain SGD |
+//! | [`ablation`] | (extension) | merge-score and pruning ablations |
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig16;
+pub mod fig19;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,155 @@
+//! Table 3: ablation of partitioning and merging.
+//!
+//! Three settings per dataset: no partitioning (height 0), 8 partitions
+//! without merging (height 3), and 16 partitions merged down to 8 with
+//! AQC (height 4, s = 8). Reports percentage error improvement over no
+//! partitioning plus the normalized AQC STD across leaves; the paper
+//! finds improvement strongly correlated with that STD.
+
+use crate::common::{default_workload, ExperimentContext};
+use datagen::PaperDataset;
+use neurosketch::aqc::normalized_aqc_std;
+use neurosketch::NeuroSketch;
+use query::aggregate::Aggregate;
+use query::error::normalized_mae;
+use query::exec::QueryEngine;
+
+/// One dataset's ablation results.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Normalized AQC STD across the height-4 tree's leaves.
+    pub norm_aqc_std: f64,
+    /// Error with no partitioning.
+    pub err_none: f64,
+    /// Error with merging (16 → 8).
+    pub err_merging: f64,
+    /// Error with 8 leaves, no merging.
+    pub err_no_merging: f64,
+    /// % improvement of merging over no partitioning.
+    pub improved_merging: f64,
+    /// % improvement of plain 8-leaf partitioning over none.
+    pub improved_no_merging: f64,
+}
+
+/// Run the ablation.
+pub fn run(ctx: &ExperimentContext) -> Vec<Table3Row> {
+    let datasets: Vec<PaperDataset> = if ctx.fast {
+        vec![PaperDataset::Vs, PaperDataset::Pm, PaperDataset::G5]
+    } else {
+        vec![
+            PaperDataset::Vs,
+            PaperDataset::Pm,
+            PaperDataset::Tpc1,
+            PaperDataset::G5,
+            PaperDataset::G10,
+            PaperDataset::G20,
+        ]
+    };
+    datasets
+        .into_iter()
+        .map(|ds| {
+            let (data, measure) = ctx.dataset(ds);
+            let engine = QueryEngine::new(&data, measure);
+            let wl = default_workload(
+                ds,
+                data.dims(),
+                ctx.train_queries() + ctx.test_queries(),
+                ctx.seed,
+            );
+            let (train, test) = wl.split(ctx.test_queries());
+            let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &train, 4);
+            let truth = engine.label_batch(&wl.predicate, Aggregate::Avg, &test, 4);
+
+            let eval = |height: usize, partitions: usize| -> (f64, Vec<f64>) {
+                let mut cfg = ctx.ns_config();
+                cfg.tree_height = height;
+                cfg.target_partitions = partitions;
+                let (sketch, report) =
+                    NeuroSketch::build_from_labeled(&train, &labels, &cfg).expect("build");
+                let preds: Vec<f64> = test.iter().map(|q| sketch.answer(q)).collect();
+                (normalized_mae(&truth, &preds), report.leaf_aqcs)
+            };
+
+            let (err_none, _) = eval(0, 1);
+            let (err_no_merging, _) = eval(3, 8);
+            let (err_merging, merged_aqcs) = eval(4, 8);
+            // Normalized AQC STD uses the (final, merged) leaves, the
+            // quantity Alg. 3 actually acted on.
+            let norm_aqc_std = normalized_aqc_std(&merged_aqcs);
+            let imp = |e: f64| (err_none - e) / err_none * 100.0;
+            Table3Row {
+                dataset: ds.name(),
+                norm_aqc_std,
+                err_none,
+                err_merging,
+                err_no_merging,
+                improved_merging: imp(err_merging),
+                improved_no_merging: imp(err_no_merging),
+            }
+        })
+        .collect()
+}
+
+/// Pearson correlation between two equal-length slices.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Print the table plus the STD↔improvement correlations.
+pub fn print(rows: &[Table3Row]) {
+    println!("\n==== Table 3: partitioning ablation ====");
+    println!(
+        "{:<8} {:>14} {:>16} {:>19}",
+        "dataset", "norm AQC STD", "% impr (merge)", "% impr (no merge)"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>14.3} {:>16.1} {:>19.1}",
+            r.dataset, r.norm_aqc_std, r.improved_merging, r.improved_no_merging
+        );
+    }
+    let stds: Vec<f64> = rows.iter().map(|r| r.norm_aqc_std).collect();
+    let im: Vec<f64> = rows.iter().map(|r| r.improved_merging).collect();
+    let inm: Vec<f64> = rows.iter().map(|r| r.improved_no_merging).collect();
+    println!(
+        "correlation with STD: merging {:.2}, no-merging {:.2}",
+        pearson(&stds, &im),
+        pearson(&stds, &inm)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_rows_with_finite_errors() {
+        let ctx = ExperimentContext::fast();
+        let rows = run(&ctx);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.err_none.is_finite() && r.err_merging.is_finite());
+            assert!(r.norm_aqc_std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pearson_of_identical_is_one() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! # bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (Sec. 5). Each
+//! experiment returns structured rows and can print them in a layout
+//! mirroring the paper's, so shapes (who wins, by what factor, where the
+//! crossovers are) can be compared directly against the publication.
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- fig6 --scale 1.0
+//! ```
+//!
+//! `--scale` multiplies dataset/workload sizes (default 1.0 ≈ laptop-
+//! friendly reduced scale; 10 approaches paper sizes); `--fast` shrinks
+//! everything for smoke testing.
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{EngineRow, ExperimentContext};

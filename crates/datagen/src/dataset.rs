@@ -1,0 +1,348 @@
+//! A minimal columnar-metadata, row-major-storage table and min–max
+//! normalization.
+//!
+//! NeuroSketch's problem setting (Sec. 2 of the paper) assumes every
+//! attribute lies in `[0,1]`; real data is min–max normalized first. The
+//! [`Normalizer`] retains the original ranges so answers and queries can be
+//! mapped back and forth.
+
+use crate::DataError;
+use serde::{Deserialize, Serialize};
+
+/// An in-memory table: `rows x dims` of `f64`, row-major, with column names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    columns: Vec<String>,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build from column names and a flat row-major buffer.
+    ///
+    /// Rejects non-finite values: NaN would poison every ordering-based
+    /// operation downstream (median splits, quantile strata, sorting),
+    /// so the boundary enforces finiteness once instead of every
+    /// consumer re-checking.
+    pub fn new(columns: Vec<String>, data: Vec<f64>) -> Result<Self, DataError> {
+        if columns.is_empty() {
+            return Err(DataError::BadConfig("no columns".into()));
+        }
+        if !data.len().is_multiple_of(columns.len()) {
+            return Err(DataError::ShapeMismatch {
+                expected: columns.len(),
+                got: data.len() % columns.len(),
+            });
+        }
+        if let Some(pos) = data.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::BadConfig(format!(
+                "non-finite value at flat index {pos}"
+            )));
+        }
+        Ok(Dataset { columns, data })
+    }
+
+    /// Build from rows of equal width.
+    pub fn from_rows(columns: Vec<String>, rows: &[Vec<f64>]) -> Result<Self, DataError> {
+        let dims = columns.len();
+        let mut data = Vec::with_capacity(rows.len() * dims);
+        for r in rows {
+            if r.len() != dims {
+                return Err(DataError::ShapeMismatch { expected: dims, got: r.len() });
+            }
+            data.extend_from_slice(r);
+        }
+        Dataset::new(columns, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.columns.len()
+    }
+
+    /// Number of attributes.
+    pub fn dims(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize, DataError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| DataError::NoSuchColumn(name.to_string()))
+    }
+
+    /// One attribute value.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(col < self.dims());
+        self.data[row * self.columns.len() + col]
+    }
+
+    /// A full row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        let d = self.columns.len();
+        &self.data[row * d..(row + 1) * d]
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.columns.len())
+    }
+
+    /// The flat row-major buffer.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// All values of one column, materialized.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.dims(), "column {col} out of range");
+        self.iter_rows().map(|r| r[col]).collect()
+    }
+
+    /// Per-column `(min, max)`.
+    pub fn column_ranges(&self) -> Vec<(f64, f64)> {
+        let d = self.dims();
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); d];
+        for row in self.iter_rows() {
+            for (range, v) in ranges.iter_mut().zip(row) {
+                range.0 = range.0.min(*v);
+                range.1 = range.1.max(*v);
+            }
+        }
+        ranges
+    }
+
+    /// Min–max normalize every column into `[0,1]`. Constant columns map
+    /// to 0. Returns the normalized dataset and the [`Normalizer`] that
+    /// inverts the mapping.
+    pub fn normalized(&self) -> (Dataset, Normalizer) {
+        let ranges = self.column_ranges();
+        let norm = Normalizer { ranges: ranges.clone() };
+        let d = self.dims();
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in self.iter_rows() {
+            for (c, v) in row.iter().enumerate().take(d) {
+                data.push(norm.forward(c, *v));
+            }
+        }
+        (Dataset { columns: self.columns.clone(), data }, norm)
+    }
+
+    /// Project onto a subset of columns (Fig. 15's 2-D subsets).
+    pub fn project(&self, cols: &[usize]) -> Result<Dataset, DataError> {
+        for &c in cols {
+            if c >= self.dims() {
+                return Err(DataError::NoSuchColumn(format!("index {c}")));
+            }
+        }
+        if cols.is_empty() {
+            return Err(DataError::BadConfig("empty projection".into()));
+        }
+        let columns = cols.iter().map(|&c| self.columns[c].clone()).collect();
+        let mut data = Vec::with_capacity(self.rows() * cols.len());
+        for row in self.iter_rows() {
+            for &c in cols {
+                data.push(row[c]);
+            }
+        }
+        Ok(Dataset { columns, data })
+    }
+
+    /// Keep only the first `n` rows (prefix sample — rows are i.i.d. for
+    /// every generator in this crate, so a prefix is an unbiased sample).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.rows());
+        Dataset {
+            columns: self.columns.clone(),
+            data: self.data[..n * self.dims()].to_vec(),
+        }
+    }
+
+    /// Append another dataset's rows (schemas must match) — used to
+    /// simulate data arriving over time for the dynamic-data experiments.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
+        if self.columns != other.columns {
+            return Err(DataError::BadConfig("column schemas differ".into()));
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Dataset { columns: self.columns.clone(), data })
+    }
+
+    /// Mean and (population) standard deviation of one column.
+    pub fn column_stats(&self, col: usize) -> (f64, f64) {
+        let n = self.rows();
+        assert!(n > 0, "empty dataset");
+        let vals = self.column(col);
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Histogram of one column over `bins` equal-width buckets (Fig. 5).
+    /// Returns `(bucket_left_edges, normalized_frequencies)`.
+    pub fn histogram(&self, col: usize, bins: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(bins > 0, "need at least one bin");
+        let vals = self.column(col);
+        let (lo, hi) = vals
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let mut counts = vec![0usize; bins];
+        for v in &vals {
+            let b = (((v - lo) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        let edges = (0..bins).map(|b| lo + b as f64 * width).collect();
+        let freqs = counts.iter().map(|&c| c as f64 / vals.len() as f64).collect();
+        (edges, freqs)
+    }
+}
+
+/// Per-column min–max ranges for mapping between raw and `[0,1]` space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    ranges: Vec<(f64, f64)>,
+}
+
+impl Normalizer {
+    /// Map a raw value of column `col` into `[0,1]`, clamping outside
+    /// values to the boundary.
+    pub fn forward(&self, col: usize, v: f64) -> f64 {
+        let (lo, hi) = self.ranges[col];
+        if hi > lo {
+            ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Map a normalized value back to raw units.
+    pub fn inverse(&self, col: usize, v: f64) -> f64 {
+        let (lo, hi) = self.ranges[col];
+        lo + v * (hi - lo)
+    }
+
+    /// The per-column `(min, max)` ranges.
+    pub fn ranges(&self) -> &[(f64, f64)] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            &[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = sample();
+        assert_eq!(d.rows(), 4);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.value(2, 1), 30.0);
+        assert_eq!(d.row(1), &[2.0, 20.0]);
+        assert_eq!(d.column(0), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.column_index("b").unwrap(), 1);
+        assert!(d.column_index("zzz").is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = Dataset::from_rows(vec!["a".into()], &[vec![1.0], vec![bad]]);
+            assert!(matches!(r, Err(DataError::BadConfig(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let r = Dataset::from_rows(vec!["a".into()], &[vec![1.0], vec![1.0, 2.0]]);
+        assert!(matches!(r, Err(DataError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let d = sample();
+        let (norm_d, norm) = d.normalized();
+        assert_eq!(norm_d.value(0, 0), 0.0);
+        assert_eq!(norm_d.value(3, 0), 1.0);
+        for r in 0..d.rows() {
+            for c in 0..d.dims() {
+                let back = norm.inverse(c, norm_d.value(r, c));
+                assert!((back - d.value(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_clamps_out_of_range() {
+        let (_, norm) = sample().normalized();
+        assert_eq!(norm.forward(0, -100.0), 0.0);
+        assert_eq!(norm.forward(0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn constant_column_normalizes_to_zero() {
+        let d = Dataset::from_rows(vec!["c".into()], &[vec![5.0], vec![5.0]]).unwrap();
+        let (nd, _) = d.normalized();
+        assert_eq!(nd.column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_selects_columns() {
+        let d = sample();
+        let p = d.project(&[1]).unwrap();
+        assert_eq!(p.dims(), 1);
+        assert_eq!(p.column(0), vec![10.0, 20.0, 30.0, 40.0]);
+        assert!(d.project(&[5]).is_err());
+        assert!(d.project(&[]).is_err());
+    }
+
+    #[test]
+    fn take_prefixes() {
+        let d = sample();
+        assert_eq!(d.take(2).rows(), 2);
+        assert_eq!(d.take(100).rows(), 4);
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let d = sample();
+        let (edges, freqs) = d.histogram(0, 3);
+        assert_eq!(edges.len(), 3);
+        assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let d = sample();
+        let both = d.concat(&d).unwrap();
+        assert_eq!(both.rows(), 8);
+        assert_eq!(both.row(4), d.row(0));
+        let other = Dataset::from_rows(vec!["z".into()], &[vec![1.0]]).unwrap();
+        assert!(d.concat(&other).is_err());
+    }
+
+    #[test]
+    fn column_stats_match_manual() {
+        let d = sample();
+        let (mean, std) = d.column_stats(0);
+        assert!((mean - 2.5).abs() < 1e-12);
+        assert!((std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Gaussian mixture model generator for the paper's G5 / G10 / G20
+//! synthetics: 100 components with random means and covariances (Sec. 5.1).
+//!
+//! We sample each component's covariance implicitly through a random mixing
+//! matrix `A`: drawing `z ~ N(0, I)` and emitting `mu + A z` yields
+//! covariance `A Aᵀ`, which is a random symmetric PSD matrix — no explicit
+//! Cholesky factorization needed.
+
+use crate::dataset::Dataset;
+use crate::simple::standard_normal;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of a synthetic GMM dataset.
+#[derive(Debug, Clone)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub components: usize,
+    /// Data dimensionality.
+    pub dims: usize,
+    /// Number of rows to sample.
+    pub rows: usize,
+    /// Scale of the random mixing matrices (controls component spread).
+    pub spread: f64,
+}
+
+impl GmmConfig {
+    /// The paper's setup: 100 components, random mean and covariance.
+    pub fn paper_gmm(dims: usize, rows: usize) -> Self {
+        GmmConfig { components: 100, dims, rows, spread: 0.05 }
+    }
+}
+
+struct Component {
+    weight_cum: f64,
+    mean: Vec<f64>,
+    /// Row-major `dims x dims` mixing matrix.
+    mix: Vec<f64>,
+}
+
+/// Sample a GMM dataset. Values are clamped to `[0,1]` per the paper's
+/// attribute-domain assumption.
+pub fn generate(cfg: &GmmConfig, seed: u64) -> Dataset {
+    assert!(cfg.components > 0 && cfg.dims > 0, "degenerate GMM config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = cfg.dims;
+
+    // Random weights, normalized into a cumulative distribution.
+    let raw_w: Vec<f64> = (0..cfg.components).map(|_| rng.random_range(0.2..1.0)).collect();
+    let total: f64 = raw_w.iter().sum();
+    let mut cum = 0.0;
+    let comps: Vec<Component> = raw_w
+        .iter()
+        .map(|w| {
+            cum += w / total;
+            let mean = (0..d).map(|_| rng.random_range(0.15..0.85)).collect();
+            let mix = (0..d * d)
+                .map(|_| standard_normal(&mut rng) * cfg.spread / (d as f64).sqrt())
+                .collect();
+            Component { weight_cum: cum, mean, mix }
+        })
+        .collect();
+
+    let columns = (0..d).map(|i| format!("x{i}")).collect();
+    let mut data = Vec::with_capacity(cfg.rows * d);
+    let mut z = vec![0.0; d];
+    for _ in 0..cfg.rows {
+        let u: f64 = rng.random();
+        let comp = comps
+            .iter()
+            .find(|c| u <= c.weight_cum)
+            .unwrap_or(comps.last().expect("nonempty"));
+        for zi in &mut z {
+            *zi = standard_normal(&mut rng);
+        }
+        for r in 0..d {
+            let mut v = comp.mean[r];
+            let row = &comp.mix[r * d..(r + 1) * d];
+            for (m, zi) in row.iter().zip(&z) {
+                v += m * zi;
+            }
+            data.push(v.clamp(0.0, 1.0));
+        }
+    }
+    Dataset::new(columns, data).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_bounds() {
+        let d = generate(&GmmConfig::paper_gmm(5, 1000), 1);
+        assert_eq!(d.rows(), 1000);
+        assert_eq!(d.dims(), 5);
+        assert!(d.raw().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn is_multimodal_not_uniform() {
+        // With 100 tight components the histogram of a single coordinate is
+        // far from flat: its max/min bucket ratio must exceed uniform's.
+        let d = generate(&GmmConfig::paper_gmm(2, 20_000), 2);
+        let (_, freqs) = d.histogram(0, 20);
+        let max = freqs.iter().cloned().fold(0.0, f64::max);
+        let min = freqs.iter().cloned().fold(1.0, f64::min);
+        assert!(max / (min + 1e-9) > 2.0, "ratio {}", max / (min + 1e-9));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GmmConfig::paper_gmm(3, 200);
+        assert_eq!(generate(&cfg, 5).raw(), generate(&cfg, 5).raw());
+        assert_ne!(generate(&cfg, 5).raw(), generate(&cfg, 6).raw());
+    }
+
+    #[test]
+    fn components_have_different_locations() {
+        // Two different seeds produce different mixtures.
+        let cfg = GmmConfig { components: 3, dims: 2, rows: 500, spread: 0.02 };
+        let a = generate(&cfg, 10);
+        let b = generate(&cfg, 11);
+        let (ma, _) = a.column_stats(0);
+        let (mb, _) = b.column_stats(0);
+        assert!((ma - mb).abs() > 1e-4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Elementary distributions used by the theory experiments (Fig. 14,
+//! Examples 3.2/3.3): uniform, single Gaussian, and two-component GMM in
+//! low dimension, each with a closed-form LDQ in `neurosketch::ldq`.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Standard normal via Box–Muller (kept local so `datagen` has no
+/// dependency on `nn`).
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` i.i.d. uniform points over `[0,1]^dims`.
+pub fn uniform(n: usize, dims: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns = (0..dims).map(|i| format!("x{i}")).collect();
+    let data = (0..n * dims).map(|_| rng.random::<f64>()).collect();
+    Dataset::new(columns, data).expect("valid by construction")
+}
+
+/// `n` i.i.d. points from an isotropic Gaussian `N(mu, sigma^2 I)` in
+/// `dims` dimensions, truncated (by resampling) to `[0,1]^dims` so the
+/// paper's `A_i ∈ [0,1]` assumption holds.
+pub fn gaussian(n: usize, dims: usize, mu: f64, sigma: f64, seed: u64) -> Dataset {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns = (0..dims).map(|i| format!("x{i}")).collect();
+    let mut data = Vec::with_capacity(n * dims);
+    for _ in 0..n {
+        for _ in 0..dims {
+            // Rejection-sample into [0,1]; for the paper's parameters the
+            // acceptance rate is high, but guard with a clamp fallback.
+            let mut v = mu + sigma * standard_normal(&mut rng);
+            let mut tries = 0;
+            while !(0.0..=1.0).contains(&v) && tries < 64 {
+                v = mu + sigma * standard_normal(&mut rng);
+                tries += 1;
+            }
+            data.push(v.clamp(0.0, 1.0));
+        }
+    }
+    Dataset::new(columns, data).expect("valid by construction")
+}
+
+/// `n` i.i.d. points from a two-component 1-D GMM with the given means,
+/// common sigma, and equal weights, truncated to `[0,1]` (Fig. 14's "GMM").
+pub fn gmm2(n: usize, mu1: f64, mu2: f64, sigma: f64, seed: u64) -> Dataset {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mu = if rng.random::<bool>() { mu1 } else { mu2 };
+        let mut v = mu + sigma * standard_normal(&mut rng);
+        let mut tries = 0;
+        while !(0.0..=1.0).contains(&v) && tries < 64 {
+            v = mu + sigma * standard_normal(&mut rng);
+            tries += 1;
+        }
+        data.push(v.clamp(0.0, 1.0));
+    }
+    Dataset::new(vec!["x0".into()], data).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bounds_and_shape() {
+        let d = uniform(500, 3, 1);
+        assert_eq!(d.rows(), 500);
+        assert_eq!(d.dims(), 3);
+        assert!(d.raw().iter().all(|v| (0.0..1.0).contains(v)));
+        // Mean of each column should be near 0.5.
+        for c in 0..3 {
+            let (mean, _) = d.column_stats(c);
+            assert!((mean - 0.5).abs() < 0.05, "col {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn gaussian_concentrates_around_mu() {
+        let d = gaussian(2000, 1, 0.5, 0.1, 2);
+        let (mean, std) = d.column_stats(0);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!((std - 0.1).abs() < 0.02, "std {std}");
+        assert!(d.raw().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn gmm2_is_bimodal() {
+        let d = gmm2(4000, 0.25, 0.75, 0.05, 3);
+        let vals = d.column(0);
+        let near = |c: f64| vals.iter().filter(|v| (*v - c).abs() < 0.15).count();
+        let n1 = near(0.25);
+        let n2 = near(0.75);
+        assert!(n1 > 1000 && n2 > 1000, "modes {n1} {n2}");
+        // Very few points in the trough between modes.
+        let trough = vals.iter().filter(|v| (0.45..0.55).contains(*v)).count();
+        assert!(trough < 200, "trough {trough}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(uniform(50, 2, 9).raw(), uniform(50, 2, 9).raw());
+        assert_ne!(uniform(50, 2, 9).raw(), uniform(50, 2, 10).raw());
+    }
+}

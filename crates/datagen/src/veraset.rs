@@ -1,0 +1,216 @@
+//! Veraset-like spatial visit generator.
+//!
+//! The paper's VS dataset is proprietary: 100k stay-points extracted from
+//! cell-phone location signals in downtown Houston, with columns
+//! (latitude, longitude, visit duration in hours). What the experiments
+//! exercise is its *structure*:
+//!
+//! * strong spatial skew — visits cluster around points of interest,
+//! * **sharp spatial changes in mean visit duration** (Fig. 1 / Fig. 16a):
+//!   adjacent POIs can have very different duration regimes (a coffee shop
+//!   next to an office tower), giving the query function a large LDQ/AQC,
+//! * right-skewed durations between 15 minutes and ~20 hours (Fig. 5).
+//!
+//! This generator reproduces all three: POI centers from a cluster process
+//! over the Houston downtown bounding box, Zipf-like POI popularity, tight
+//! per-POI spatial spread, and per-POI duration regimes drawn from discrete
+//! categories (retail/food/office/residential) so neighbouring regions have
+//! abruptly different means.
+
+use crate::dataset::Dataset;
+use crate::simple::standard_normal;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the spatial-visit generator.
+#[derive(Debug, Clone)]
+pub struct VerasetConfig {
+    /// Number of visit records.
+    pub rows: usize,
+    /// Number of points of interest.
+    pub pois: usize,
+    /// Bounding box (lat_min, lat_max).
+    pub lat_range: (f64, f64),
+    /// Bounding box (lon_min, lon_max).
+    pub lon_range: (f64, f64),
+    /// Per-POI spatial standard deviation, as a fraction of the box size.
+    pub poi_spread: f64,
+    /// Zipf exponent for POI popularity.
+    pub zipf_s: f64,
+}
+
+impl VerasetConfig {
+    /// Downtown-Houston-like defaults with the given row count.
+    pub fn default_with_rows(rows: usize) -> Self {
+        VerasetConfig {
+            rows,
+            pois: 120,
+            lat_range: (29.73, 29.80),
+            lon_range: (-95.39, -95.33),
+            poi_spread: 0.035,
+            zipf_s: 1.05,
+        }
+    }
+}
+
+/// Duration regimes (mean hours, lognormal sigma) for POI categories —
+/// the sharp regime differences are what give VS its high AQC.
+const REGIMES: [(f64, f64); 4] = [
+    (0.4, 0.5),  // quick retail / coffee
+    (1.5, 0.6),  // dining, errands
+    (8.0, 0.3),  // office
+    (11.0, 0.4), // residential / overnight
+];
+
+/// Maximum recorded visit duration (hours), matching Fig. 5's VS x-axis.
+const MAX_DURATION_H: f64 = 20.0;
+
+struct Poi {
+    lat: f64,
+    lon: f64,
+    regime: usize,
+    popularity_cum: f64,
+}
+
+/// Generate a visit dataset with columns `lat`, `lon`, `duration_h`.
+pub fn generate(cfg: &VerasetConfig, seed: u64) -> Dataset {
+    assert!(cfg.pois > 0 && cfg.rows > 0, "degenerate veraset config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lat0, lat1) = cfg.lat_range;
+    let (lon0, lon1) = cfg.lon_range;
+
+    // Zipf popularity over POIs.
+    let weights: Vec<f64> = (1..=cfg.pois).map(|r| 1.0 / (r as f64).powf(cfg.zipf_s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cum = 0.0;
+    let pois: Vec<Poi> = weights
+        .iter()
+        .map(|w| {
+            cum += w / total;
+            Poi {
+                lat: rng.random_range(lat0..lat1),
+                lon: rng.random_range(lon0..lon1),
+                regime: rng.random_range(0..REGIMES.len()),
+                popularity_cum: cum,
+            }
+        })
+        .collect();
+
+    let spread_lat = (lat1 - lat0) * cfg.poi_spread;
+    let spread_lon = (lon1 - lon0) * cfg.poi_spread;
+    let mut data = Vec::with_capacity(cfg.rows * 3);
+    for _ in 0..cfg.rows {
+        let u: f64 = rng.random();
+        let poi = pois
+            .iter()
+            .find(|p| u <= p.popularity_cum)
+            .unwrap_or(pois.last().expect("nonempty"));
+        let lat = (poi.lat + spread_lat * standard_normal(&mut rng)).clamp(lat0, lat1);
+        let lon = (poi.lon + spread_lon * standard_normal(&mut rng)).clamp(lon0, lon1);
+        // Mostly the POI's own regime, with a 25% mix-in of arbitrary
+        // regimes (real visits mix: an office tower has couriers, a cafe
+        // has laptop campers) — keeps the spatial AQC high without
+        // making the query function a step function.
+        let regime = if rng.random::<f64>() < 0.75 {
+            poi.regime
+        } else {
+            rng.random_range(0..REGIMES.len())
+        };
+        let (mean_h, sigma) = REGIMES[regime];
+        // Lognormal around the regime mean; stay-point extraction floors
+        // visits at 15 minutes.
+        let dur = (mean_h * (sigma * standard_normal(&mut rng)).exp())
+            .clamp(0.25, MAX_DURATION_H);
+        data.extend_from_slice(&[lat, lon, dur]);
+    }
+    Dataset::new(vec!["lat".into(), "lon".into(), "duration_h".into()], data)
+        .expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate(&VerasetConfig::default_with_rows(5000), 7)
+    }
+
+    #[test]
+    fn columns_and_bounds() {
+        let d = small();
+        assert_eq!(d.dims(), 3);
+        let cfg = VerasetConfig::default_with_rows(1);
+        for row in d.iter_rows() {
+            assert!(row[0] >= cfg.lat_range.0 && row[0] <= cfg.lat_range.1);
+            assert!(row[1] >= cfg.lon_range.0 && row[1] <= cfg.lon_range.1);
+            assert!(row[2] >= 0.25 && row[2] <= 20.0);
+        }
+    }
+
+    #[test]
+    fn durations_are_right_skewed() {
+        // Fig. 5: the VS duration histogram has a mode well below the mean.
+        let d = small();
+        let durs = d.column(2);
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        let mut sorted = durs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = sorted[sorted.len() / 2];
+        assert!(median < mean, "median {median} >= mean {mean}");
+    }
+
+    #[test]
+    fn spatially_clustered() {
+        // The top 10% densest cells of a 20x20 grid should hold far more
+        // than 10% of points (Zipf popularity + tight POI spread).
+        let d = small();
+        let cfg = VerasetConfig::default_with_rows(1);
+        let mut counts = vec![0usize; 400];
+        for row in d.iter_rows() {
+            let gx = (((row[0] - cfg.lat_range.0) / (cfg.lat_range.1 - cfg.lat_range.0))
+                * 20.0)
+                .min(19.0) as usize;
+            let gy = (((row[1] - cfg.lon_range.0) / (cfg.lon_range.1 - cfg.lon_range.0))
+                * 20.0)
+                .min(19.0) as usize;
+            counts[gx * 20 + gy] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top40: usize = sorted.iter().take(40).sum();
+        assert!(top40 as f64 > 0.5 * d.rows() as f64, "top40 {top40}");
+    }
+
+    #[test]
+    fn regimes_make_duration_spatially_discontinuous() {
+        // Mean duration conditioned on location varies strongly by cell.
+        let d = generate(&VerasetConfig::default_with_rows(20_000), 11);
+        let cfg = VerasetConfig::default_with_rows(1);
+        let mut sums = vec![(0.0f64, 0usize); 100];
+        for row in d.iter_rows() {
+            let gx = (((row[0] - cfg.lat_range.0) / (cfg.lat_range.1 - cfg.lat_range.0))
+                * 10.0)
+                .min(9.0) as usize;
+            let gy = (((row[1] - cfg.lon_range.0) / (cfg.lon_range.1 - cfg.lon_range.0))
+                * 10.0)
+                .min(9.0) as usize;
+            let cell = &mut sums[gx * 10 + gy];
+            cell.0 += row[2];
+            cell.1 += 1;
+        }
+        let means: Vec<f64> = sums
+            .iter()
+            .filter(|(_, c)| *c >= 30)
+            .map(|(s, c)| s / *c as f64)
+            .collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0, f64::max);
+        assert!(hi / lo > 2.0, "cell means too uniform: {lo}..{hi}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = VerasetConfig::default_with_rows(100);
+        assert_eq!(generate(&cfg, 1).raw(), generate(&cfg, 1).raw());
+    }
+}

@@ -1,0 +1,209 @@
+//! AQC — Average Query function Change (Sec. 3.1.4).
+//!
+//! LDQ, the Lipschitz constant of the normalized distribution query
+//! function, is the paper's complexity measure but is a supremum over all
+//! query pairs and depends on the unobservable data distribution. AQC is
+//! the practical proxy the paper uses instead:
+//!
+//! ```text
+//!   AQC = (1 / C(|Q|,2)) · Σ_{q,q'∈Q} |f(q) − f(q')| / ‖q − q'‖
+//! ```
+//!
+//! averaged over sampled query pairs. We use the 1-norm in the
+//! denominator, consistent with the paper's Lipschitz definition
+//! (Sec. 3.1.1). For large query sets the exact pairwise sum is quadratic,
+//! so [`aqc_sampled`] caps the number of pairs with a deterministic
+//! stride-based pair sample.
+
+/// Exact AQC over all `C(n,2)` pairs. Pairs at identical query points are
+/// skipped (their difference quotient is undefined).
+///
+/// # Panics
+/// Panics if `queries` and `values` differ in length.
+pub fn aqc(queries: &[Vec<f64>], values: &[f64]) -> f64 {
+    assert_eq!(queries.len(), values.len(), "queries/values must pair up");
+    let n = queries.len();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if let Some(r) = ratio(&queries[i], &queries[j], values[i], values[j]) {
+                total += r;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+/// AQC over at most `max_pairs` deterministically sampled pairs. With
+/// `max_pairs >= C(n,2)` this equals [`aqc`].
+pub fn aqc_sampled(queries: &[Vec<f64>], values: &[f64], max_pairs: usize) -> f64 {
+    assert_eq!(queries.len(), values.len(), "queries/values must pair up");
+    let n = queries.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let all_pairs = n * (n - 1) / 2;
+    if all_pairs <= max_pairs {
+        return aqc(queries, values);
+    }
+    // Deterministic pair sampling: walk pair space with a large odd stride
+    // (coprime with the pair count), visiting max_pairs distinct pairs.
+    let stride = largest_coprime_stride(all_pairs);
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    let mut idx = 0usize;
+    for _ in 0..max_pairs {
+        let (i, j) = unrank_pair(idx, n);
+        if let Some(r) = ratio(&queries[i], &queries[j], values[i], values[j]) {
+            total += r;
+            pairs += 1;
+        }
+        idx = (idx + stride) % all_pairs;
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+/// Normalized AQC standard deviation across partitions: `STD(R)/AVG(R)`
+/// for `R = {AQC_N}` over kd-tree leaves (Table 3's second column). The
+/// paper correlates this with the benefit of partitioning.
+pub fn normalized_aqc_std(leaf_aqcs: &[f64]) -> f64 {
+    if leaf_aqcs.is_empty() {
+        return 0.0;
+    }
+    let n = leaf_aqcs.len() as f64;
+    let mean = leaf_aqcs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = leaf_aqcs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[inline]
+fn ratio(q1: &[f64], q2: &[f64], v1: f64, v2: f64) -> Option<f64> {
+    let dist: f64 = q1.iter().zip(q2).map(|(a, b)| (a - b).abs()).sum();
+    if dist > 0.0 {
+        Some((v1 - v2).abs() / dist)
+    } else {
+        None
+    }
+}
+
+/// Map a linear pair index to `(i, j)`, `i < j`, over `n` items.
+fn unrank_pair(mut k: usize, n: usize) -> (usize, usize) {
+    // Row i has (n - 1 - i) pairs.
+    let mut i = 0usize;
+    loop {
+        let row = n - 1 - i;
+        if k < row {
+            return (i, i + 1 + k);
+        }
+        k -= row;
+        i += 1;
+    }
+}
+
+/// A stride roughly 41% of `m` (golden-ratio-ish) made coprime with `m`.
+fn largest_coprime_stride(m: usize) -> usize {
+    let mut s = ((m as f64 * 0.381_966) as usize).max(1);
+    while gcd(s, m) != 1 {
+        s += 1;
+    }
+    s
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_function_has_zero_aqc() {
+        let qs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0]).collect();
+        let vs = vec![3.0; 10];
+        assert_eq!(aqc(&qs, &vs), 0.0);
+    }
+
+    #[test]
+    fn linear_function_aqc_equals_slope() {
+        // f(q) = 2q: every difference quotient is exactly 2.
+        let qs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let vs: Vec<f64> = qs.iter().map(|q| 2.0 * q[0]).collect();
+        assert!((aqc(&qs, &vs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steeper_functions_have_larger_aqc() {
+        let qs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
+        let smooth: Vec<f64> = qs.iter().map(|q| q[0]).collect();
+        let sharp: Vec<f64> = qs.iter().map(|q| if q[0] > 0.5 { 10.0 } else { 0.0 }).collect();
+        assert!(aqc(&qs, &sharp) > aqc(&qs, &smooth));
+    }
+
+    #[test]
+    fn duplicate_queries_are_skipped() {
+        let qs = vec![vec![0.5], vec![0.5], vec![1.0]];
+        let vs = vec![1.0, 2.0, 3.0];
+        // Only pairs (0,2) and (1,2) count: |1-3|/0.5 = 4, |2-3|/0.5 = 2.
+        assert!((aqc(&qs, &vs) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_matches_exact_when_budget_suffices() {
+        let qs: Vec<Vec<f64>> = (0..15).map(|i| vec![(i as f64 * 0.618) % 1.0]).collect();
+        let vs: Vec<f64> = qs.iter().map(|q| q[0] * q[0]).collect();
+        assert_eq!(aqc(&qs, &vs), aqc_sampled(&qs, &vs, 1000));
+    }
+
+    #[test]
+    fn sampled_approximates_exact_on_larger_sets() {
+        let qs: Vec<Vec<f64>> =
+            (0..300).map(|i| vec![(i as f64 * 0.754877) % 1.0, (i as f64 * 0.569840) % 1.0]).collect();
+        let vs: Vec<f64> = qs.iter().map(|q| (6.0 * q[0]).sin() + q[1]).collect();
+        let exact = aqc(&qs, &vs);
+        let approx = aqc_sampled(&qs, &vs, 5000);
+        assert!((exact - approx).abs() / exact < 0.2, "exact {exact} approx {approx}");
+    }
+
+    #[test]
+    fn unrank_pair_is_a_bijection() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..n * (n - 1) / 2 {
+            let (i, j) = unrank_pair(k, n);
+            assert!(i < j && j < n);
+            assert!(seen.insert((i, j)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn normalized_std_zero_for_uniform_leaves() {
+        assert_eq!(normalized_aqc_std(&[2.0, 2.0, 2.0]), 0.0);
+        assert!(normalized_aqc_std(&[1.0, 3.0]) > 0.0);
+        assert_eq!(normalized_aqc_std(&[]), 0.0);
+    }
+
+    #[test]
+    fn small_sets_degenerate_to_zero() {
+        assert_eq!(aqc(&[vec![0.1]], &[5.0]), 0.0);
+        assert_eq!(aqc_sampled(&[], &[], 10), 0.0);
+    }
+}

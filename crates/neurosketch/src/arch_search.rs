@@ -1,0 +1,223 @@
+//! Architecture search under time/space constraints (Problem 1,
+//! Sec. 5.6 / Fig. 13b, Fig. 14b).
+//!
+//! The paper uses Optuna's Bayesian search with a parameter-count cap; we
+//! use a seeded random-order grid search, which exhibits the same
+//! error-ratio-vs-time convergence behaviour while staying deterministic.
+
+use crate::sketch::{NeuroSketch, NeuroSketchConfig};
+use query::error::normalized_mae;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One evaluated architecture.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Hidden-layer width (`l_first = l_rest = width`).
+    pub width: usize,
+    /// Total layer count `n_l`.
+    pub depth: usize,
+    /// Parameter count of the built sketch.
+    pub params: usize,
+    /// Validation normalized MAE.
+    pub error: f64,
+    /// Time since search start when this candidate finished.
+    pub elapsed: Duration,
+}
+
+/// Search result: all evaluated candidates (in evaluation order) and the
+/// index of the best.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Every evaluated candidate, in order.
+    pub history: Vec<Candidate>,
+    /// Index of the best (lowest-error) candidate in `history`.
+    pub best: usize,
+}
+
+impl SearchResult {
+    /// The winning candidate.
+    pub fn best_candidate(&self) -> &Candidate {
+        &self.history[self.best]
+    }
+
+    /// Running best error as a function of elapsed time — the curve of
+    /// Fig. 13b.
+    pub fn convergence_curve(&self) -> Vec<(Duration, f64)> {
+        let mut best = f64::INFINITY;
+        self.history
+            .iter()
+            .map(|c| {
+                best = best.min(c.error);
+                (c.elapsed, best)
+            })
+            .collect()
+    }
+}
+
+/// Random-order grid search over `(width, depth)` pairs with a parameter
+/// budget, evaluating on a validation split. Candidates whose parameter
+/// count would exceed `param_budget` are skipped (the paper uses the
+/// time/space constraint to cap parameters).
+#[allow(clippy::too_many_arguments)]
+pub fn grid_search(
+    train_queries: &[Vec<f64>],
+    train_labels: &[f64],
+    val_queries: &[Vec<f64>],
+    val_labels: &[f64],
+    widths: &[usize],
+    depths: &[usize],
+    param_budget: usize,
+    base: &NeuroSketchConfig,
+) -> SearchResult {
+    let mut grid: Vec<(usize, usize)> = widths
+        .iter()
+        .flat_map(|&w| depths.iter().map(move |&d| (w, d)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(base.seed ^ 0xA5C3);
+    grid.shuffle(&mut rng);
+
+    let start = Instant::now();
+    let mut history = Vec::new();
+    let mut best = usize::MAX;
+    let mut best_err = f64::INFINITY;
+    for (width, depth) in grid {
+        let mut cfg = base.clone();
+        cfg.l_first = width;
+        cfg.l_rest = width;
+        cfg.depth = depth;
+        let Ok((sketch, _)) = NeuroSketch::build_from_labeled(train_queries, train_labels, &cfg)
+        else {
+            continue;
+        };
+        if sketch.param_count() > param_budget {
+            continue;
+        }
+        let preds: Vec<f64> = val_queries.iter().map(|q| sketch.answer(q)).collect();
+        let error = normalized_mae(val_labels, &preds);
+        let cand = Candidate {
+            width,
+            depth,
+            params: sketch.param_count(),
+            error,
+            elapsed: start.elapsed(),
+        };
+        if error < best_err {
+            best_err = error;
+            best = history.len();
+        }
+        history.push(cand);
+    }
+    assert!(!history.is_empty(), "no candidate fit the parameter budget");
+    SearchResult { history, best }
+}
+
+/// Fig. 14b's inner loop: the smallest width (from an ascending list)
+/// whose single-partition, single-hidden-layer sketch reaches validation
+/// error at most `target_err`. Returns the width and the built sketch, or
+/// `None` if no width reaches the target.
+pub fn smallest_width_for_error(
+    train_queries: &[Vec<f64>],
+    train_labels: &[f64],
+    val_queries: &[Vec<f64>],
+    val_labels: &[f64],
+    widths: &[usize],
+    target_err: f64,
+    base: &NeuroSketchConfig,
+) -> Option<(usize, NeuroSketch)> {
+    for &w in widths {
+        let mut cfg = base.clone();
+        cfg.tree_height = 0;
+        cfg.target_partitions = 1;
+        cfg.depth = 3; // one hidden layer, as in Fig. 14's setup
+        cfg.l_first = w;
+        cfg.l_rest = w;
+        let Ok((sketch, _)) = NeuroSketch::build_from_labeled(train_queries, train_labels, &cfg)
+        else {
+            continue;
+        };
+        let preds: Vec<f64> = val_queries.iter().map(|q| sketch.answer(q)).collect();
+        if normalized_mae(val_labels, &preds) <= target_err {
+            return Some((w, sketch));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic query function: labels = smooth function of the query.
+    fn labeled_set(n: usize, offset: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let qs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i as f64 + offset) * 0.754877) % 1.0, ((i as f64 + offset) * 0.569840) % 1.0])
+            .collect();
+        let ys = qs.iter().map(|q| q[0] + 0.5 * q[1]).collect();
+        (qs, ys)
+    }
+
+    fn fast_base() -> NeuroSketchConfig {
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 0;
+        cfg.target_partitions = 1;
+        cfg.train.epochs = 60;
+        cfg
+    }
+
+    #[test]
+    fn search_finds_a_candidate_and_tracks_best() {
+        let (tq, tl) = labeled_set(300, 0.0);
+        let (vq, vl) = labeled_set(60, 0.33);
+        let res =
+            grid_search(&tq, &tl, &vq, &vl, &[8, 16], &[3, 4], usize::MAX, &fast_base());
+        assert!(!res.history.is_empty());
+        let best = res.best_candidate();
+        assert!(res.history.iter().all(|c| c.error >= best.error));
+        let curve = res.convergence_curve();
+        // Running best is monotone nonincreasing.
+        assert!(curve.windows(2).all(|w| w[1].1 <= w[0].1));
+    }
+
+    #[test]
+    fn budget_excludes_large_architectures() {
+        let (tq, tl) = labeled_set(200, 0.0);
+        let (vq, vl) = labeled_set(40, 0.5);
+        // Budget that only the width-8 nets can satisfy (width-8 depth-3
+        // on 2-dim input is 33 params; width-64 is 257).
+        let res = grid_search(&tq, &tl, &vq, &vl, &[8, 64], &[3], 100, &fast_base());
+        assert!(res.history.iter().all(|c| c.params <= 100));
+        assert!(res.history.iter().all(|c| c.width == 8));
+    }
+
+    #[test]
+    fn smallest_width_prefers_small() {
+        let (tq, tl) = labeled_set(400, 0.0);
+        let (vq, vl) = labeled_set(80, 0.25);
+        let found = smallest_width_for_error(
+            &tq,
+            &tl,
+            &vq,
+            &vl,
+            &[4, 16, 64],
+            0.2,
+            &fast_base(),
+        );
+        let (w, sketch) = found.expect("a width should reach 0.2 on a linear target");
+        assert!(w <= 64);
+        assert_eq!(sketch.partitions(), 1);
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        let (tq, tl) = labeled_set(100, 0.0);
+        let (vq, vl) = labeled_set(30, 0.4);
+        let mut base = fast_base();
+        base.train.epochs = 1; // severely undertrained
+        let found =
+            smallest_width_for_error(&tq, &tl, &vq, &vl, &[2], 1e-9, &base);
+        assert!(found.is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! DQD bound evaluators (Theorems 3.1 / 3.4 / 3.5, Lemma 3.6).
+//!
+//! These functions turn the paper's bounds into numbers a query optimizer
+//! could act on (Sec. 4.3 "NeuroSketch and DQD in Practice"): given data
+//! size, dimensionality and an LDQ estimate, how large must a network be
+//! for a target approximation error, and how confident can we be that the
+//! sampling error is small?
+//!
+//! Constants follow the proofs: the approximation bound uses `𝜘 = 3`
+//! (1-norm, Eq. 7) or `𝜘 = 37` (∞-norm, Lemma A.3b); the sampling bound
+//! uses the explicit VC constants of Theorem A.11
+//! (`8e^d (32e/ε)^d e^{−ε²n/32}` with `vc = 2d`).
+
+/// Norm under which the approximation guarantee holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorNorm {
+    /// 1-norm bound, any dimension (Theorem 3.4a, `𝜘 = 3`).
+    L1,
+    /// ∞-norm bound, requires `d ≤ 3` (Theorem 3.4b, `𝜘 = 37`).
+    LInf,
+}
+
+/// Grid resolution `t` needed for approximation error `eps1` on a
+/// `rho`-Lipschitz function in `d` dimensions: `t = ⌈𝜘 ρ d / ε₁⌉`.
+///
+/// # Panics
+/// Panics on nonpositive `eps1`/`rho` or `d == 0`, or `LInf` with `d > 3`.
+pub fn grid_resolution(rho: f64, d: usize, eps1: f64, norm: ErrorNorm) -> usize {
+    assert!(rho > 0.0 && eps1 > 0.0 && d > 0, "rho, eps1, d must be positive");
+    if norm == ErrorNorm::LInf {
+        assert!(d <= 3, "the ∞-norm bound of Theorem 3.4 requires d <= 3");
+    }
+    let kappa = match norm {
+        ErrorNorm::L1 => 3.0,
+        ErrorNorm::LInf => 37.0,
+    };
+    (kappa * rho * d as f64 / eps1).ceil().max(1.0) as usize
+}
+
+/// Space/time complexity of the constructed network for approximation
+/// error `eps1` (Theorem 3.4): `Õ(d·k)` with `k = (t+1)^d` units — we
+/// report the exact unit count times `d`, the paper's `d(𝜘ρdε₁⁻¹+1)^d`
+/// inside the Õ. Saturates at `usize::MAX` for astronomical sizes.
+pub fn approx_complexity(rho: f64, d: usize, eps1: f64, norm: ErrorNorm) -> usize {
+    let t = grid_resolution(rho, d, eps1, norm) as f64;
+    let k = (t + 1.0).powi(d as i32);
+    let total = d as f64 * k;
+    if total >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        total as usize
+    }
+}
+
+/// Theorem 3.5 / A.11 tail probability: an upper bound on
+/// `P[ sup_q |f_χ(q) − f_D(q)| / n > eps2 ]` for COUNT/SUM query functions
+/// over `n` i.i.d. points in `d` dimensions, using the explicit VC-theorem
+/// constants with `vc(ℋ) = 2d`. Clamped to `[0, 1]`.
+pub fn sampling_confidence(d: usize, n: usize, eps2: f64) -> f64 {
+    assert!(eps2 > 0.0 && d > 0, "eps2 and d must be positive");
+    let vc = 2.0 * d as f64;
+    let e = std::f64::consts::E;
+    // 8 e^{vc} (32 e / ε)^{vc} exp(−ε² n / 32), in log space for stability.
+    let log_p = (8.0f64).ln() + vc * (1.0 + (32.0 * e / eps2).ln())
+        - eps2 * eps2 * n as f64 / 32.0;
+    log_p.exp().min(1.0)
+}
+
+/// Smallest `eps2` with sampling confidence failure probability at most
+/// `delta`, found by bisection. Returns `None` if even `eps2 = 1` cannot
+/// reach `delta` (data too small).
+pub fn eps2_for_confidence(d: usize, n: usize, delta: f64) -> Option<f64> {
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    if sampling_confidence(d, n, 1.0) > delta {
+        return None;
+    }
+    let (mut lo, mut hi) = (1e-9, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sampling_confidence(d, n, mid) > delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Full DQD error bound (Theorem 3.1): for a network sized for
+/// approximation error `eps1`, total normalized 1-norm error `ε₁ + ε₂`
+/// holds except with the returned probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DqdBound {
+    /// Approximation error component (network capacity).
+    pub eps1: f64,
+    /// Sampling error component (data size).
+    pub eps2: f64,
+    /// Network complexity `d·k` sufficient for `eps1`.
+    pub complexity: usize,
+    /// Failure probability of the `eps1 + eps2` guarantee.
+    pub failure_probability: f64,
+}
+
+/// Evaluate the DQD bound for given LDQ `rho`, query-function dim `d`,
+/// data size `n`, and the two error parameters.
+pub fn dqd_bound(rho: f64, d: usize, n: usize, eps1: f64, eps2: f64) -> DqdBound {
+    DqdBound {
+        eps1,
+        eps2,
+        complexity: approx_complexity(rho, d, eps1, ErrorNorm::L1),
+        failure_probability: sampling_confidence(d, n, eps2),
+    }
+}
+
+/// Lemma 3.6 tail bound for AVG query functions restricted to queries with
+/// `f_χ^C(q) ≥ xi·n` (i.e. match probability at least `xi`): upper bound on
+/// `P[ sup err(q) ≥ eps ]` with `err` the relative AVG error of the lemma.
+pub fn avg_sampling_confidence(d: usize, n: usize, xi: f64, eps: f64) -> f64 {
+    assert!(xi > 0.0 && eps > 0.0, "xi and eps must be positive");
+    let e = std::f64::consts::E;
+    let vc = 2.0 * d as f64;
+    let scaled = xi * eps / (1.0 + eps);
+    // 16 e^{vc} (32e/scaled)^{vc} exp(−scaled² n / 32)
+    let log_p = (16.0f64).ln() + vc * (1.0 + (32.0 * e / scaled).ln())
+        - scaled * scaled * n as f64 / 32.0;
+    log_p.exp().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_resolution_scales_with_rho_and_inverse_eps() {
+        let t1 = grid_resolution(1.0, 2, 0.1, ErrorNorm::L1);
+        let t2 = grid_resolution(2.0, 2, 0.1, ErrorNorm::L1);
+        let t3 = grid_resolution(1.0, 2, 0.05, ErrorNorm::L1);
+        assert_eq!(t1, 60); // 3*1*2/0.1
+        assert_eq!(t2, 120);
+        assert_eq!(t3, 120);
+    }
+
+    #[test]
+    fn linf_needs_low_dim() {
+        let t = grid_resolution(1.0, 3, 0.5, ErrorNorm::LInf);
+        assert_eq!(t, (37.0f64 * 3.0 / 0.5).ceil() as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires d <= 3")]
+    fn linf_rejects_high_dim() {
+        let _ = grid_resolution(1.0, 4, 0.5, ErrorNorm::LInf);
+    }
+
+    #[test]
+    fn complexity_grows_exponentially_in_d() {
+        let c2 = approx_complexity(1.0, 2, 0.5, ErrorNorm::L1);
+        let c3 = approx_complexity(1.0, 3, 0.5, ErrorNorm::L1);
+        assert!(c3 > 10 * c2, "c2 {c2} c3 {c3}");
+    }
+
+    #[test]
+    fn sampling_confidence_improves_with_n() {
+        let p_small = sampling_confidence(2, 1_000, 0.05);
+        let p_big = sampling_confidence(2, 1_000_000, 0.05);
+        assert!(p_big < p_small);
+        assert!(p_big < 1e-6, "p_big {p_big}");
+    }
+
+    #[test]
+    fn sampling_confidence_clamped_to_one() {
+        assert_eq!(sampling_confidence(5, 10, 0.01), 1.0);
+    }
+
+    #[test]
+    fn eps2_decreases_with_n() {
+        // "Faster on larger databases": fixed confidence, more data ⇒
+        // smaller eps2.
+        let e1 = eps2_for_confidence(1, 100_000, 0.05).unwrap();
+        let e2 = eps2_for_confidence(1, 10_000_000, 0.05).unwrap();
+        assert!(e2 < e1, "{e2} !< {e1}");
+        assert!(eps2_for_confidence(1, 10, 0.05).is_none());
+    }
+
+    #[test]
+    fn dqd_bound_combines_both_terms() {
+        let b = dqd_bound(1.0, 2, 1_000_000, 0.05, 0.05);
+        assert_eq!(b.eps1 + b.eps2, 0.1);
+        assert!(b.failure_probability < 1.0);
+        assert!(b.complexity > 0);
+    }
+
+    #[test]
+    fn avg_bound_improves_with_larger_ranges() {
+        // Lemma 3.6: larger xi (larger ranges) ⇒ tighter bound. The VC
+        // constants are loose, so n must be large before the bound is
+        // informative (< 1).
+        let n = 1_000_000_000;
+        let p_small_range = avg_sampling_confidence(2, n, 0.05, 0.1);
+        let p_large_range = avg_sampling_confidence(2, n, 0.2, 0.1);
+        assert!(p_small_range < 1.0, "p_small {p_small_range}");
+        assert!(p_large_range < p_small_range);
+    }
+
+    #[test]
+    fn avg_bound_improves_with_n() {
+        // n chosen so neither probability underflows f64.
+        let p1 = avg_sampling_confidence(2, 10_000_000, 0.2, 0.1);
+        let p2 = avg_sampling_confidence(2, 50_000_000, 0.2, 0.1);
+        assert!(p1 < 1.0, "p1 {p1}");
+        assert!(p2 < p1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Closed-form LDQ constants (Sec. 3.1.3).
+//!
+//! LDQ is the Lipschitz constant (1-norm) of the *normalized distribution
+//! query function* `f_χ(q)/n`. For the COUNT query function over simple
+//! 1-D distributions the paper derives:
+//!
+//! * uniform on `[0,1]`: `ρ = 1` (Example 3.2),
+//! * Gaussian with std `σ`: `ρ = 3 / (σ √(2π))` (Example 3.3),
+//! * a mixture inherits a weighted sum of component constants (a Lipschitz
+//!   constant for the mixture CDF derivative bound).
+//!
+//! These feed the DQD bound evaluators in [`crate::dqd`] and the Fig. 14
+//! reproduction, where smaller LDQ ⇒ smaller/faster networks at equal
+//! error.
+
+/// LDQ of the COUNT query function over a 1-D uniform distribution
+/// (Example 3.2): exactly 1.
+pub fn ldq_uniform_count() -> f64 {
+    1.0
+}
+
+/// LDQ of the COUNT query function over a 1-D Gaussian with standard
+/// deviation `sigma` (Example 3.3): `3 / (σ √(2π))`.
+///
+/// # Panics
+/// Panics if `sigma <= 0`.
+pub fn ldq_gaussian_count(sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    3.0 / (sigma * (std::f64::consts::TAU).sqrt())
+}
+
+/// LDQ upper bound for a 1-D Gaussian mixture: the weighted sum of the
+/// component constants. (The mixture density's derivative bound is at
+/// most the weighted sum of the components' bounds.)
+///
+/// # Panics
+/// Panics if weights/sigmas differ in length, any sigma is nonpositive,
+/// or weights don't sum to ~1.
+pub fn ldq_gmm_count(weights: &[f64], sigmas: &[f64]) -> f64 {
+    assert_eq!(weights.len(), sigmas.len(), "weights/sigmas must pair up");
+    let wsum: f64 = weights.iter().sum();
+    assert!((wsum - 1.0).abs() < 1e-6, "weights must sum to 1, got {wsum}");
+    weights
+        .iter()
+        .zip(sigmas)
+        .map(|(w, s)| w * ldq_gaussian_count(*s))
+        .sum()
+}
+
+/// Empirical LDQ estimate: the *maximum* observed difference quotient over
+/// sampled query pairs (AQC uses the mean; the Lipschitz constant is the
+/// sup, so the max over samples lower-bounds it).
+pub fn ldq_empirical(queries: &[Vec<f64>], values: &[f64]) -> f64 {
+    assert_eq!(queries.len(), values.len(), "queries/values must pair up");
+    let mut best = 0.0f64;
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            let dist: f64 =
+                queries[i].iter().zip(&queries[j]).map(|(a, b)| (a - b).abs()).sum();
+            if dist > 0.0 {
+                best = best.max((values[i] - values[j]).abs() / dist);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_one() {
+        assert_eq!(ldq_uniform_count(), 1.0);
+    }
+
+    #[test]
+    fn gaussian_matches_paper_formula() {
+        let sigma = 0.1;
+        let expected = 3.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((ldq_gaussian_count(sigma) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_sigma_is_harder() {
+        assert!(ldq_gaussian_count(0.05) > ldq_gaussian_count(0.2));
+    }
+
+    #[test]
+    fn gmm_between_components_when_equal_sigma() {
+        let l = ldq_gmm_count(&[0.5, 0.5], &[0.1, 0.1]);
+        assert!((l - ldq_gaussian_count(0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmm_ordering_matches_fig14() {
+        // Fig. 14's setup: uniform < gaussian < gmm (two sharp components).
+        let uni = ldq_uniform_count();
+        let gau = ldq_gaussian_count(0.2);
+        let gmm = ldq_gmm_count(&[0.5, 0.5], &[0.08, 0.08]);
+        assert!(uni < gau && gau < gmm, "{uni} {gau} {gmm}");
+    }
+
+    #[test]
+    fn empirical_ldq_at_least_mean_quotient() {
+        let qs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
+        let vs: Vec<f64> = qs.iter().map(|q| (4.0 * q[0]).sin()).collect();
+        let sup = ldq_empirical(&qs, &vs);
+        let mean = crate::aqc::aqc(&qs, &vs);
+        assert!(sup >= mean);
+        // sin(4x) has derivative at most 4.
+        assert!(sup <= 4.0 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_panics() {
+        let _ = ldq_gaussian_count(0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dynamic-data support (Sec. 7 future work).
+//!
+//! The paper's proposed approach: "frequently test NeuroSketch, and
+//! re-train the neural networks whose accuracy falls below a certain
+//! threshold." [`DriftMonitor`] implements the testing half — it holds a
+//! probe workload and compares the sketch against a fresh exact oracle —
+//! and [`refresh`] the retraining half, rebuilding from newly labeled
+//! queries with the same configuration.
+
+use crate::sketch::{BuildReport, NeuroSketch, NeuroSketchConfig};
+use crate::SketchError;
+use query::aggregate::Aggregate;
+use query::error::normalized_mae;
+use query::exec::QueryEngine;
+use query::predicate::PredicateFn;
+
+/// Outcome of one drift check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// Normalized MAE of the sketch against the current data.
+    pub nmae: f64,
+    /// Whether the error breached the threshold (retrain advised).
+    pub stale: bool,
+}
+
+/// Periodic accuracy monitor for a deployed sketch.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    probe: Vec<Vec<f64>>,
+    threshold: f64,
+}
+
+impl DriftMonitor {
+    /// Monitor with a fixed probe workload and an NMAE threshold above
+    /// which the sketch is declared stale.
+    ///
+    /// # Panics
+    /// Panics on an empty probe set or nonpositive threshold.
+    pub fn new(probe: Vec<Vec<f64>>, threshold: f64) -> DriftMonitor {
+        assert!(!probe.is_empty(), "probe workload must be nonempty");
+        assert!(threshold > 0.0, "threshold must be positive");
+        DriftMonitor { probe, threshold }
+    }
+
+    /// The probe queries.
+    pub fn probe(&self) -> &[Vec<f64>] {
+        &self.probe
+    }
+
+    /// Compare the sketch against the *current* data (via an exact
+    /// engine over it) on the probe workload.
+    pub fn check(
+        &self,
+        sketch: &NeuroSketch,
+        engine: &QueryEngine<'_>,
+        pred: &dyn PredicateFn,
+        agg: Aggregate,
+    ) -> DriftReport {
+        let truth = engine.label_batch(pred, agg, &self.probe, 2);
+        let preds: Vec<f64> = self.probe.iter().map(|q| sketch.answer(q)).collect();
+        let nmae = normalized_mae(&truth, &preds);
+        DriftReport { nmae, stale: nmae > self.threshold }
+    }
+}
+
+/// Retrain a sketch against the current data: relabel the training
+/// workload and rebuild with the same configuration.
+pub fn refresh(
+    engine: &QueryEngine<'_>,
+    pred: &dyn PredicateFn,
+    agg: Aggregate,
+    train_queries: &[Vec<f64>],
+    cfg: &NeuroSketchConfig,
+) -> Result<(NeuroSketch, BuildReport), SketchError> {
+    NeuroSketch::build(engine, pred, agg, train_queries, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::simple::{gaussian, uniform};
+    use query::predicate::Range;
+    use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+    fn workload(seed: u64) -> Workload {
+        Workload::generate(&WorkloadConfig {
+            dims: 1,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::WidthBetween(0.2, 0.6),
+            count: 400,
+            seed,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_sketch_is_not_stale() {
+        let data = uniform(3_000, 1, 1);
+        let engine = QueryEngine::new(&data, 0);
+        let wl = workload(2);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 120;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &wl.queries, &cfg)
+                .unwrap();
+        let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2);
+        let report = monitor.check(&sketch, &engine, &wl.predicate, Aggregate::Avg);
+        assert!(!report.stale, "fresh sketch flagged stale (nmae {})", report.nmae);
+    }
+
+    #[test]
+    fn distribution_shift_is_detected_and_refresh_fixes_it() {
+        // Train on uniform data, then the data "drifts" to a sharp
+        // Gaussian: COUNT answers change drastically.
+        let old = uniform(3_000, 1, 1);
+        let old_engine = QueryEngine::new(&old, 0);
+        let wl = workload(3);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 120;
+        let (sketch, _) =
+            NeuroSketch::build(&old_engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+
+        let new = gaussian(3_000, 1, 0.2, 0.05, 9);
+        let new_engine = QueryEngine::new(&new, 0);
+        let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2);
+
+        let drifted = monitor.check(&sketch, &new_engine, &wl.predicate, Aggregate::Count);
+        assert!(drifted.stale, "drift not detected (nmae {})", drifted.nmae);
+
+        let (fresh, _) =
+            refresh(&new_engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg).unwrap();
+        let fixed = monitor.check(&fresh, &new_engine, &wl.predicate, Aggregate::Count);
+        assert!(
+            fixed.nmae < drifted.nmae * 0.5,
+            "refresh should halve error: {} -> {}",
+            drifted.nmae,
+            fixed.nmae
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probe workload")]
+    fn empty_probe_panics() {
+        let _ = DriftMonitor::new(vec![], 0.1);
+    }
+}

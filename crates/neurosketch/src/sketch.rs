@@ -1,0 +1,513 @@
+//! The NeuroSketch model: build pipeline (Fig. 4) and query answering
+//! (Alg. 5).
+
+use crate::aqc::aqc_sampled;
+use crate::SketchError;
+use nn::mlp::Workspace;
+use nn::train::{train, TrainConfig, TrainReport};
+use nn::Mlp;
+use query::aggregate::Aggregate;
+use query::exec::QueryEngine;
+use query::predicate::PredicateFn;
+use serde::{Deserialize, Serialize};
+use spatial::KdTree;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Hyperparameters of a NeuroSketch (Sec. 4.2 / Sec. 5.1 defaults).
+#[derive(Debug, Clone)]
+pub struct NeuroSketchConfig {
+    /// kd-tree height `h`; the partitioning step creates `2^h` leaves.
+    pub tree_height: usize,
+    /// Target number of partitions `s` after AQC-guided merging. Use
+    /// `2^tree_height` to disable merging.
+    pub target_partitions: usize,
+    /// Total layer count `n_l` (input + hidden + output). The paper's
+    /// default 5 gives three hidden layers.
+    pub depth: usize,
+    /// Units in the first hidden layer (`l_first`, default 60).
+    pub l_first: usize,
+    /// Units in the remaining hidden layers (`l_rest`, default 30).
+    pub l_rest: usize,
+    /// Per-leaf training configuration (Alg. 4).
+    pub train: TrainConfig,
+    /// Worker threads for labeling and per-leaf training.
+    pub threads: usize,
+    /// Master seed; per-leaf model seeds derive from it.
+    pub seed: u64,
+    /// Pair budget for AQC estimation during merging.
+    pub aqc_max_pairs: usize,
+}
+
+impl Default for NeuroSketchConfig {
+    /// The paper's default setting: depth 5, first layer 60 units, rest
+    /// 30, kd-tree height 4 merged down to 8 partitions.
+    fn default() -> Self {
+        NeuroSketchConfig {
+            tree_height: 4,
+            target_partitions: 8,
+            depth: 5,
+            l_first: 60,
+            l_rest: 30,
+            train: TrainConfig::default(),
+            threads: 4,
+            seed: 0,
+            aqc_max_pairs: 20_000,
+        }
+    }
+}
+
+impl NeuroSketchConfig {
+    /// A small, fast configuration for tests and doc examples.
+    pub fn small() -> Self {
+        NeuroSketchConfig {
+            tree_height: 1,
+            target_partitions: 2,
+            depth: 3,
+            l_first: 24,
+            l_rest: 24,
+            train: TrainConfig { epochs: 150, patience: 15, ..TrainConfig::default() },
+            threads: 2,
+            seed: 0,
+            aqc_max_pairs: 2_000,
+        }
+    }
+
+    /// Layer sizes for a given input dimensionality.
+    pub fn layer_sizes(&self, input_dim: usize) -> Vec<usize> {
+        let hidden = self.depth.saturating_sub(2);
+        let mut sizes = Vec::with_capacity(self.depth.max(2));
+        sizes.push(input_dim);
+        for i in 0..hidden {
+            sizes.push(if i == 0 { self.l_first } else { self.l_rest });
+        }
+        sizes.push(1);
+        sizes
+    }
+
+    fn validate(&self, n_queries: usize) -> Result<(), SketchError> {
+        if self.depth < 2 {
+            return Err(SketchError::BadConfig("depth must be at least 2".into()));
+        }
+        if self.l_first == 0 || self.l_rest == 0 {
+            return Err(SketchError::BadConfig("layer widths must be positive".into()));
+        }
+        if self.target_partitions == 0 {
+            return Err(SketchError::BadConfig("target_partitions must be positive".into()));
+        }
+        if n_queries == 0 {
+            return Err(SketchError::BadWorkload("no training queries".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One partition's trained model plus the output scaler.
+///
+/// Training on raw aggregate values (which for SUM/COUNT can be in the
+/// millions) destabilizes SGD, so each leaf standardizes its targets and
+/// the sketch de-standardizes at answer time. This mirrors the output
+/// scaling any practical TF implementation applies and does not change
+/// the learned function class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LeafModel {
+    mlp: Mlp,
+    y_mean: f64,
+    y_std: f64,
+}
+
+/// A trained NeuroSketch: kd-tree over the query space + one MLP per leaf.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeuroSketch {
+    tree: KdTree,
+    models: BTreeMap<usize, LeafModel>,
+    query_dim: usize,
+}
+
+/// Timings and diagnostics from a build (feeds Figs. 10/13 and Table 3).
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Wall-clock to label the training queries (zero when labels were
+    /// supplied by the caller).
+    pub labeling: Duration,
+    /// Wall-clock for partitioning + merging.
+    pub partitioning: Duration,
+    /// Wall-clock for training all leaf models.
+    pub training: Duration,
+    /// AQC of every final leaf, in leaf order.
+    pub leaf_aqcs: Vec<f64>,
+    /// Number of training queries per final leaf.
+    pub leaf_sizes: Vec<usize>,
+    /// Per-leaf training reports.
+    pub train_reports: Vec<TrainReport>,
+}
+
+impl NeuroSketch {
+    /// Full build: label `train_queries` with the exact engine, then
+    /// partition/merge/train (Fig. 4's preprocessing).
+    pub fn build(
+        engine: &QueryEngine<'_>,
+        predicate: &dyn PredicateFn,
+        agg: Aggregate,
+        train_queries: &[Vec<f64>],
+        cfg: &NeuroSketchConfig,
+    ) -> Result<(NeuroSketch, BuildReport), SketchError> {
+        cfg.validate(train_queries.len())?;
+        let t0 = Instant::now();
+        let labels = engine.label_batch(predicate, agg, train_queries, cfg.threads);
+        let labeling = t0.elapsed();
+        let (sketch, mut report) = Self::build_from_labeled(train_queries, &labels, cfg)?;
+        report.labeling = labeling;
+        Ok((sketch, report))
+    }
+
+    /// Build from an already-labeled workload (lets experiments reuse
+    /// ground-truth labels across configurations).
+    pub fn build_from_labeled(
+        queries: &[Vec<f64>],
+        labels: &[f64],
+        cfg: &NeuroSketchConfig,
+    ) -> Result<(NeuroSketch, BuildReport), SketchError> {
+        cfg.validate(queries.len())?;
+        if queries.len() != labels.len() {
+            return Err(SketchError::BadWorkload(format!(
+                "{} queries but {} labels",
+                queries.len(),
+                labels.len()
+            )));
+        }
+        let query_dim = queries[0].len();
+        if queries.iter().any(|q| q.len() != query_dim) {
+            return Err(SketchError::BadWorkload("ragged query vectors".into()));
+        }
+
+        // Partition (Alg. 2) and merge (Alg. 3) with AQC as the score.
+        let t0 = Instant::now();
+        let mut tree = KdTree::build(queries, cfg.tree_height);
+        if cfg.target_partitions < tree.leaf_count() {
+            let max_pairs = cfg.aqc_max_pairs;
+            tree.merge_leaves(
+                |qids| {
+                    let qs: Vec<Vec<f64>> = qids.iter().map(|&i| queries[i].clone()).collect();
+                    let vs: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
+                    aqc_sampled(&qs, &vs, max_pairs)
+                },
+                cfg.target_partitions,
+            );
+        }
+        let partitioning = t0.elapsed();
+
+        // Final leaf diagnostics.
+        let leaf_ids = tree.leaf_ids();
+        let mut leaf_aqcs = Vec::with_capacity(leaf_ids.len());
+        let mut leaf_sizes = Vec::with_capacity(leaf_ids.len());
+        for &l in &leaf_ids {
+            let qids = tree.leaf_queries(l);
+            let qs: Vec<Vec<f64>> = qids.iter().map(|&i| queries[i].clone()).collect();
+            let vs: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
+            leaf_aqcs.push(aqc_sampled(&qs, &vs, cfg.aqc_max_pairs));
+            leaf_sizes.push(qids.len());
+        }
+
+        // Train one model per leaf (Alg. 4), in parallel.
+        let t1 = Instant::now();
+        let sizes = cfg.layer_sizes(query_dim);
+        let jobs: Vec<(usize, Vec<usize>)> = leaf_ids
+            .iter()
+            .map(|&l| (l, tree.leaf_queries(l).to_vec()))
+            .collect();
+        let mut results: Vec<Option<(usize, LeafModel, TrainReport)>> = vec![None; jobs.len()];
+        let threads = cfg.threads.max(1);
+        crossbeam::scope(|s| {
+            let chunk = jobs.len().div_ceil(threads);
+            for (jchunk, rchunk) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                let sizes = sizes.clone();
+                let train_cfg = cfg.train.clone();
+                let seed = cfg.seed;
+                s.spawn(move |_| {
+                    for ((leaf, qids), slot) in jchunk.iter().zip(rchunk.iter_mut()) {
+                        let xs: Vec<Vec<f64>> =
+                            qids.iter().map(|&i| queries[i].clone()).collect();
+                        let ys_raw: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
+                        let n = ys_raw.len() as f64;
+                        let y_mean = ys_raw.iter().sum::<f64>() / n;
+                        let var =
+                            ys_raw.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
+                        let y_std = var.sqrt().max(1e-12);
+                        let ys: Vec<f64> =
+                            ys_raw.iter().map(|y| (y - y_mean) / y_std).collect();
+                        let mut mlp = Mlp::new(&sizes, seed ^ (*leaf as u64).wrapping_mul(0x9E37_79B9));
+                        let mut leaf_train = train_cfg.clone();
+                        leaf_train.seed = seed.wrapping_add(*leaf as u64);
+                        let report = train(&mut mlp, &xs, &ys, &leaf_train);
+                        *slot = Some((*leaf, LeafModel { mlp, y_mean, y_std }, report));
+                    }
+                });
+            }
+        })
+        .expect("training worker panicked");
+        let training = t1.elapsed();
+
+        let mut models = BTreeMap::new();
+        let mut train_reports = Vec::with_capacity(results.len());
+        for r in results.into_iter().flatten() {
+            let (leaf, model, report) = r;
+            models.insert(leaf, model);
+            train_reports.push(report);
+        }
+
+        Ok((
+            NeuroSketch { tree, models, query_dim },
+            BuildReport {
+                labeling: Duration::ZERO,
+                partitioning,
+                training,
+                leaf_aqcs,
+                leaf_sizes,
+                train_reports,
+            },
+        ))
+    }
+
+    /// Answer a query (Alg. 5): kd-tree descent then a forward pass.
+    pub fn answer(&self, q: &[f64]) -> f64 {
+        let mut ws = Workspace::default();
+        self.answer_with(&mut ws, q)
+    }
+
+    /// Answer with caller-provided scratch space — the allocation-free
+    /// hot path used for query-time measurements.
+    pub fn answer_with(&self, ws: &mut Workspace, q: &[f64]) -> f64 {
+        assert_eq!(
+            q.len(),
+            self.query_dim,
+            "query dim {} does not match sketch {}",
+            q.len(),
+            self.query_dim
+        );
+        let leaf = self.tree.locate(q);
+        let model = self.models.get(&leaf).expect("every leaf has a model");
+        model.mlp.predict_with(ws, q) * model.y_std + model.y_mean
+    }
+
+    /// Checked variant of [`NeuroSketch::answer`].
+    pub fn try_answer(&self, q: &[f64]) -> Result<f64, SketchError> {
+        if q.len() != self.query_dim {
+            return Err(SketchError::BadQueryDim { expected: self.query_dim, got: q.len() });
+        }
+        Ok(self.answer(q))
+    }
+
+    /// Query-vector dimensionality the sketch expects.
+    pub fn query_dim(&self) -> usize {
+        self.query_dim
+    }
+
+    /// Index (in leaf order, matching `BuildReport::leaf_aqcs`) of the
+    /// partition a query routes to.
+    pub fn leaf_index_of(&self, q: &[f64]) -> usize {
+        let leaf = self.tree.locate(q);
+        self.tree
+            .leaf_ids()
+            .iter()
+            .position(|&l| l == leaf)
+            .expect("locate returns a live leaf")
+    }
+
+    /// Number of partitions (trained models).
+    pub fn partitions(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Total trainable parameters across all leaf models.
+    pub fn param_count(&self) -> usize {
+        self.models.values().map(|m| m.mlp.param_count()).sum()
+    }
+
+    /// Storage footprint in bytes: 4 bytes per model parameter (f32 on
+    /// disk) plus 12 bytes per kd-tree node (split dim + value), matching
+    /// the paper's model-size accounting.
+    pub fn storage_bytes(&self) -> usize {
+        let models: usize = self.models.values().map(|m| m.mlp.storage_bytes() + 16).sum();
+        models + 12 * (2 * self.partitions()).saturating_sub(1)
+    }
+
+    /// Serialize to JSON ("models are saved after training", Sec. 5.1).
+    pub fn to_json(&self) -> Result<String, SketchError> {
+        serde_json::to_string(self).map_err(|e| SketchError::Serde(e.to_string()))
+    }
+
+    /// Load a sketch saved with [`NeuroSketch::to_json`].
+    pub fn from_json(s: &str) -> Result<NeuroSketch, SketchError> {
+        serde_json::from_str(s).map_err(|e| SketchError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::simple::uniform;
+    use query::predicate::Range;
+    use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+    fn count_setup(
+        n_data: usize,
+        n_queries: usize,
+    ) -> (datagen::Dataset, Workload) {
+        let data = uniform(n_data, 2, 0);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: n_queries,
+            seed: 1,
+        })
+        .unwrap();
+        (data, wl)
+    }
+
+    #[test]
+    fn learns_count_on_uniform_data() {
+        let (data, wl) = count_setup(3000, 600);
+        let engine = QueryEngine::new(&data, 1);
+        let cfg = NeuroSketchConfig::small();
+        let (sketch, report) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        assert_eq!(sketch.partitions(), 2);
+        assert_eq!(report.leaf_aqcs.len(), 2);
+        // Normalized MAE on the training queries should be small: COUNT on
+        // uniform 1-active-attr data is nearly linear in the range width.
+        let truths: Vec<f64> = wl
+            .queries
+            .iter()
+            .map(|q| engine.answer(&wl.predicate, Aggregate::Count, q))
+            .collect();
+        let preds: Vec<f64> = wl.queries.iter().map(|q| sketch.answer(q)).collect();
+        let err = query::error::normalized_mae(&truths, &preds);
+        assert!(err < 0.15, "normalized MAE {err}");
+    }
+
+    #[test]
+    fn answer_with_workspace_matches_answer() {
+        let (data, wl) = count_setup(500, 200);
+        let engine = QueryEngine::new(&data, 1);
+        let (sketch, _) = NeuroSketch::build(
+            &engine,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &NeuroSketchConfig::small(),
+        )
+        .unwrap();
+        let mut ws = Workspace::default();
+        for q in wl.queries.iter().take(20) {
+            assert_eq!(sketch.answer(q), sketch.answer_with(&mut ws, q));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (data, wl) = count_setup(500, 200);
+        let engine = QueryEngine::new(&data, 1);
+        let build = || {
+            let (s, _) = NeuroSketch::build(
+                &engine,
+                &wl.predicate,
+                Aggregate::Count,
+                &wl.queries,
+                &NeuroSketchConfig::small(),
+            )
+            .unwrap();
+            s.answer(&wl.queries[3])
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn merging_reduces_partitions() {
+        let (data, wl) = count_setup(500, 400);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 3; // 8 leaves
+        cfg.target_partitions = 3;
+        cfg.train.epochs = 10;
+        let (sketch, report) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        assert_eq!(sketch.partitions(), 3);
+        assert_eq!(report.leaf_sizes.iter().sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn storage_accounting_counts_all_models() {
+        let (data, wl) = count_setup(300, 150);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 5;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        assert!(sketch.storage_bytes() >= sketch.param_count() * 4);
+        assert!(sketch.param_count() > 0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_answers() {
+        let (data, wl) = count_setup(300, 150);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 5;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        let loaded = NeuroSketch::from_json(&sketch.to_json().unwrap()).unwrap();
+        for q in wl.queries.iter().take(10) {
+            assert_eq!(sketch.answer(q), loaded.answer(q));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cfg = NeuroSketchConfig::small();
+        assert!(NeuroSketch::build_from_labeled(&[], &[], &cfg).is_err());
+        let qs = vec![vec![0.1, 0.2]];
+        assert!(NeuroSketch::build_from_labeled(&qs, &[1.0, 2.0], &cfg).is_err());
+        let mut bad = NeuroSketchConfig::small();
+        bad.depth = 1;
+        assert!(NeuroSketch::build_from_labeled(&qs, &[1.0], &bad).is_err());
+        let ragged = vec![vec![0.1, 0.2], vec![0.3]];
+        assert!(NeuroSketch::build_from_labeled(&ragged, &[1.0, 2.0], &cfg).is_err());
+    }
+
+    #[test]
+    fn try_answer_checks_dims() {
+        let qs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0, 0.5]).collect();
+        let labels: Vec<f64> = qs.iter().map(|q| q[0]).collect();
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 5;
+        let (sketch, _) = NeuroSketch::build_from_labeled(&qs, &labels, &cfg).unwrap();
+        assert!(sketch.try_answer(&[0.5]).is_err());
+        assert!(sketch.try_answer(&[0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn layer_sizes_follow_paper_architecture() {
+        let cfg = NeuroSketchConfig::default();
+        assert_eq!(cfg.layer_sizes(4), vec![4, 60, 30, 30, 1]);
+        let mut d2 = cfg.clone();
+        d2.depth = 2;
+        assert_eq!(d2.layer_sizes(4), vec![4, 1]);
+    }
+
+    #[test]
+    fn predicate_range_used_in_engine_labels() {
+        // Smoke check that engine + sketch agree on the predicate contract.
+        let data = uniform(200, 2, 3);
+        let engine = QueryEngine::new(&data, 1);
+        let pred = Range::new(vec![0], 2).unwrap();
+        let q = vec![0.25, 0.5];
+        let label = engine.answer(&pred, Aggregate::Count, &q);
+        assert!(label > 0.0);
+    }
+}

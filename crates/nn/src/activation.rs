@@ -1,0 +1,75 @@
+//! Activation functions. NeuroSketch uses ReLU on every layer except the
+//! (linear) output, exactly as in Sec. 4.2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — used on all hidden layers.
+    Relu,
+    /// The identity — used on the output layer.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation in place.
+    #[inline]
+    pub fn apply(self, xs: &mut [f64]) {
+        match self {
+            Activation::Relu => {
+                for x in xs {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// Derivative evaluated at the *pre-activation* value `z`.
+    ///
+    /// For ReLU we use the convention `relu'(0) = 0` (subgradient choice),
+    /// which is what every mainstream framework does.
+    #[inline]
+    pub fn derivative(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut v = vec![-1.0, 0.0, 2.5];
+        Activation::Relu.apply(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut v = vec![-1.0, 3.0];
+        Activation::Identity.apply(&mut v);
+        assert_eq!(v, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn derivatives() {
+        assert_eq!(Activation::Relu.derivative(-0.5), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.5), 1.0);
+        assert_eq!(Activation::Identity.derivative(-7.0), 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Compact binary model format.
+//!
+//! JSON serialization ([`Mlp::to_json`]) is convenient but ~5x larger
+//! than the paper's model-size accounting (4 bytes per parameter). This
+//! module provides that compact form: a small header, per-layer
+//! dimensions, and `f32` parameters — the format a production release of
+//! NeuroSketch would actually ship to consumers.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  u32 = 0x4E53_4B31 ("NSK1")
+//! layers u32
+//! per layer: out u32, in u32, activation u8 (0 = ReLU, 1 = identity)
+//! per layer: weights (out*in f32, row-major), biases (out f32)
+//! ```
+
+use crate::activation::Activation;
+use crate::linalg::Matrix;
+use crate::mlp::{Dense, Mlp};
+use crate::NnError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x4E53_4B31;
+
+/// Encode an [`Mlp`] into the compact `f32` binary format.
+pub fn encode(mlp: &Mlp) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + mlp.param_count() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(mlp.layers().len() as u32);
+    for layer in mlp.layers() {
+        buf.put_u32_le(layer.out_dim() as u32);
+        buf.put_u32_le(layer.in_dim() as u32);
+        buf.put_u8(match layer.activation {
+            Activation::Relu => 0,
+            Activation::Identity => 1,
+        });
+    }
+    for layer in mlp.layers() {
+        for w in layer.weights.as_slice() {
+            buf.put_f32_le(*w as f32);
+        }
+        for b in &layer.biases {
+            buf.put_f32_le(*b as f32);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a model produced by [`encode`]. Parameters come back as the
+/// `f32`-rounded values (the paper's storage model).
+pub fn decode(mut data: Bytes) -> Result<Mlp, NnError> {
+    let fail = |m: &str| NnError::Serde(m.to_string());
+    if data.remaining() < 8 {
+        return Err(fail("truncated header"));
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let n_layers = data.get_u32_le() as usize;
+    if n_layers == 0 || n_layers > 1024 {
+        return Err(fail("implausible layer count"));
+    }
+    let mut shapes = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        if data.remaining() < 9 {
+            return Err(fail("truncated layer table"));
+        }
+        let out = data.get_u32_le() as usize;
+        let inp = data.get_u32_le() as usize;
+        let act = match data.get_u8() {
+            0 => Activation::Relu,
+            1 => Activation::Identity,
+            _ => return Err(fail("unknown activation tag")),
+        };
+        if out == 0 || inp == 0 {
+            return Err(fail("zero-sized layer"));
+        }
+        shapes.push((out, inp, act));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for (out, inp, act) in shapes {
+        let need = (out * inp + out) * 4;
+        if data.remaining() < need {
+            return Err(fail("truncated parameters"));
+        }
+        let mut w = Vec::with_capacity(out * inp);
+        for _ in 0..out * inp {
+            w.push(data.get_f32_le() as f64);
+        }
+        let mut b = Vec::with_capacity(out);
+        for _ in 0..out {
+            b.push(data.get_f32_le() as f64);
+        }
+        layers.push(Dense {
+            weights: Matrix::from_vec(out, inp, w),
+            biases: b,
+            activation: act,
+        });
+    }
+    Mlp::from_layers(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_structure_and_f32_values() {
+        let mlp = Mlp::new(&[3, 8, 8, 1], 5);
+        let blob = encode(&mlp);
+        // Header + layer table + params.
+        assert_eq!(blob.len(), 8 + 3 * 9 + mlp.param_count() * 4);
+        let back = decode(blob).unwrap();
+        assert_eq!(back.input_dim(), 3);
+        assert_eq!(back.param_count(), mlp.param_count());
+        // Outputs agree to f32 precision.
+        for i in 0..20 {
+            let x = [i as f64 * 0.05, 0.3, 0.7];
+            let a = mlp.predict(&x);
+            let b = back.predict(&x);
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let mlp = Mlp::new(&[4, 60, 30, 30, 1], 0);
+        let json = mlp.to_json().unwrap().len();
+        let bin = encode(&mlp).len();
+        assert!(bin * 3 < json, "bin {bin} json {json}");
+        // Within 1% of the paper's 4-bytes-per-parameter accounting.
+        assert!(bin < mlp.storage_bytes() + 64);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        let mlp = Mlp::new(&[2, 4, 1], 1);
+        let blob = encode(&mlp);
+        assert!(decode(Bytes::from_static(b"nope")).is_err());
+        let mut bad_magic = blob.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert!(decode(Bytes::from(bad_magic)).is_err());
+        let truncated = blob.slice(0..blob.len() - 10);
+        assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn decoded_roundtrips_again_identically() {
+        // After one f32 round trip, further round trips are lossless.
+        let mlp = Mlp::new(&[2, 6, 1], 9);
+        let once = decode(encode(&mlp)).unwrap();
+        let twice = decode(encode(&once)).unwrap();
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,330 @@
+//! The explicit memorization construction of Theorem 3.4 / Algorithm 1.
+//!
+//! The paper proves its approximation bound by *constructing* a two-hidden-
+//! layer ReLU network out of `k = (t+1)^d` "g-units", each of which pins the
+//! network's value at one vertex of a uniform grid over `[0,1]^d`:
+//!
+//! ```text
+//!   ĝ_i(x) = a_i · σ( Σ_r −M·σ(−x_r + π_r^i / t) + 1/t )
+//!   f̂(x)   = b + Σ_i ĝ_i(x)
+//! ```
+//!
+//! Iterating the grid vertices in base-(t+1) order and setting
+//! `a_i = t · (f(π^i/t) − ŷ)` makes the network *exact* at every vertex
+//! (Lemma A.1) while keeping it Lipschitz-bounded inside each cell
+//! (Lemma A.2), yielding the `3ρd/t` 1-norm error bound.
+//!
+//! This module implements the construction both as a compact [`GridNet`]
+//! evaluator (the "CS" method of Sec. A.5) and as a conversion to a standard
+//! [`Mlp`] so it can seed SGD training ("CS+SGD").
+
+use crate::activation::Activation;
+use crate::linalg::Matrix;
+use crate::mlp::{Dense, Mlp};
+use crate::NnError;
+
+/// How to pick the slope constant `M` of the g-units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlopeMode {
+    /// `M = 1`, the choice used for the tight low-dimensional bound
+    /// (Lemma A.2 part (c), d ≤ 3).
+    Unit,
+    /// The value from the proof of Lemma A.3 that balances the constant and
+    /// sloped regions of each cell: `M = 1 / (1 − (1 − 1/(k·d²·2^(d−1)))^(1/d))`.
+    LemmaA3,
+    /// An explicit caller-chosen value (must be ≥ 1).
+    Fixed(f64),
+}
+
+/// The constructed memorization network in its natural compact form.
+#[derive(Debug, Clone)]
+pub struct GridNet {
+    /// Input dimensionality `d`.
+    d: usize,
+    /// Grid resolution: `t+1` vertices per axis.
+    t: usize,
+    /// Slope constant `M ≥ 1`.
+    m: f64,
+    /// Output bias `b = f(0)`.
+    bias: f64,
+    /// Per-unit output coefficients `a_i` for `i = 1..k` (unit 0 is the bias).
+    coeffs: Vec<f64>,
+    /// Per-unit grid vertex `π^i / t`, flattened `k × d` row-major.
+    anchors: Vec<f64>,
+}
+
+/// Decode integer `i` into its base-(t+1) digit vector `π^i` of length `d`,
+/// most significant digit first (matching the paper's ordering).
+pub fn vertex_digits(i: usize, t: usize, d: usize) -> Vec<usize> {
+    let base = t + 1;
+    let mut digits = vec![0usize; d];
+    let mut rem = i;
+    for r in (0..d).rev() {
+        digits[r] = rem % base;
+        rem /= base;
+    }
+    debug_assert_eq!(rem, 0, "vertex index out of range");
+    digits
+}
+
+impl GridNet {
+    /// Run Algorithm 1: construct the network memorizing `f` on the uniform
+    /// grid with parameter `t` over `[0,1]^d`.
+    ///
+    /// Complexity is `O(k² d)` with `k = (t+1)^d`; the construction is a
+    /// preprocessing step, mirroring the paper.
+    pub fn construct(
+        f: &dyn Fn(&[f64]) -> f64,
+        d: usize,
+        t: usize,
+        slope: SlopeMode,
+    ) -> Result<Self, NnError> {
+        if d == 0 || t == 0 {
+            return Err(NnError::BadArchitecture(format!("d={d}, t={t} must be positive")));
+        }
+        let k = (t + 1).pow(d as u32);
+        let m = match slope {
+            SlopeMode::Unit => 1.0,
+            SlopeMode::Fixed(v) => {
+                if v < 1.0 {
+                    return Err(NnError::BadArchitecture(format!("M={v} must be >= 1")));
+                }
+                v
+            }
+            SlopeMode::LemmaA3 => {
+                let kd = k as f64 * (d * d) as f64 * 2f64.powi(d as i32 - 1);
+                let inner: f64 = 1.0 - 1.0 / kd;
+                1.0 / (1.0 - inner.powf(1.0 / d as f64))
+            }
+        };
+        let tf = t as f64;
+        let zero = vec![0.0; d];
+        let bias = f(&zero);
+        let mut net = GridNet { d, t, m, bias, coeffs: Vec::with_capacity(k - 1), anchors: Vec::with_capacity((k - 1) * d) };
+        let mut point = vec![0.0; d];
+        for i in 1..k {
+            let digits = vertex_digits(i, t, d);
+            for (p, dig) in point.iter_mut().zip(&digits) {
+                *p = *dig as f64 / tf;
+            }
+            let y_hat = net.forward(&point);
+            let a_i = tf * (f(&point) - y_hat);
+            net.coeffs.push(a_i);
+            net.anchors.extend_from_slice(&point);
+        }
+        Ok(net)
+    }
+
+    /// Evaluate the compact form: `b + Σ_i a_i σ(Σ_r −M σ(−x_r + anchor) + 1/t)`.
+    pub fn forward(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.d, "input dim mismatch");
+        let inv_t = 1.0 / self.t as f64;
+        let mut out = self.bias;
+        for (ai, anchor) in self.coeffs.iter().zip(self.anchors.chunks_exact(self.d)) {
+            let mut inner = inv_t;
+            for (xr, br) in x.iter().zip(anchor) {
+                let h = (br - xr).max(0.0); // σ(−x_r + b_r)
+                inner -= self.m * h;
+                if inner <= 0.0 {
+                    // Remaining terms only decrease `inner`; the unit is off.
+                    break;
+                }
+            }
+            if inner > 0.0 {
+                out += ai * inner;
+            }
+        }
+        out
+    }
+
+    /// Number of g-units (`k − 1`; the 0-vertex is absorbed into the bias).
+    pub fn units(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Grid resolution parameter `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Slope constant `M`.
+    pub fn slope(&self) -> f64 {
+        self.m
+    }
+
+    /// Tunable-parameter count as in Lemma A.4: the `a_i`, the anchors
+    /// `b_{j,i}`, and the output bias.
+    pub fn param_count(&self) -> usize {
+        self.coeffs.len() + self.anchors.len() + 1
+    }
+
+    /// Convert to a standard 2-hidden-layer [`Mlp`]:
+    ///
+    /// * layer 1 (`units·d` neurons): neuron `(i,r)` computes `σ(−x_r + b_{r,i})`,
+    /// * layer 2 (`units` neurons): neuron `i` computes `σ(−M Σ_r h_{i,r} + 1/t)`,
+    /// * output: `Σ_i a_i z_i + b`.
+    ///
+    /// The dense form materializes the construction's sparse connectivity
+    /// with explicit zeros, so it can be trained further with SGD
+    /// ("CS+SGD", Sec. A.5 / Fig. 19).
+    pub fn to_mlp(&self) -> Mlp {
+        let units = self.units();
+        let d = self.d;
+        let inv_t = 1.0 / self.t as f64;
+
+        let mut w1 = Matrix::zeros(units * d, d);
+        let mut b1 = vec![0.0; units * d];
+        for (i, anchor) in self.anchors.chunks_exact(d).enumerate() {
+            for (r, br) in anchor.iter().enumerate() {
+                w1.set(i * d + r, r, -1.0);
+                b1[i * d + r] = *br;
+            }
+        }
+
+        let mut w2 = Matrix::zeros(units, units * d);
+        let b2 = vec![inv_t; units];
+        for i in 0..units {
+            for r in 0..d {
+                w2.set(i, i * d + r, -self.m);
+            }
+        }
+
+        let mut w3 = Matrix::zeros(1, units);
+        for (i, a) in self.coeffs.iter().enumerate() {
+            w3.set(0, i, *a);
+        }
+
+        Mlp::from_layers(vec![
+            Dense { weights: w1, biases: b1, activation: Activation::Relu },
+            Dense { weights: w2, biases: b2, activation: Activation::Relu },
+            Dense { weights: w3, biases: vec![self.bias], activation: Activation::Identity },
+        ])
+        .expect("construction dimensions are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lipschitz_2d(x: &[f64]) -> f64 {
+        // ρ-Lipschitz in 1-norm with ρ = 1.
+        0.5 * x[0] + 0.5 * (1.0 - x[1])
+    }
+
+    #[test]
+    fn vertex_digits_base_representation() {
+        // Paper example: t = 3, π^6 = (1, 2) since 6 = 1·4 + 2.
+        assert_eq!(vertex_digits(6, 3, 2), vec![1, 2]);
+        assert_eq!(vertex_digits(0, 3, 2), vec![0, 0]);
+        assert_eq!(vertex_digits(15, 3, 2), vec![3, 3]);
+    }
+
+    #[test]
+    fn memorizes_all_grid_vertices_exactly() {
+        // Lemma A.1: f̂(p) = f(p) for every grid vertex p.
+        let t = 3;
+        let net = GridNet::construct(&lipschitz_2d, 2, t, SlopeMode::LemmaA3).unwrap();
+        for i in 0..(t + 1) * (t + 1) {
+            let dig = vertex_digits(i, t, 2);
+            let p: Vec<f64> = dig.iter().map(|&v| v as f64 / t as f64).collect();
+            let err = (net.forward(&p) - lipschitz_2d(&p)).abs();
+            assert!(err < 1e-9, "vertex {p:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn memorizes_in_three_dimensions() {
+        let f = |x: &[f64]| x[0] * 0.3 + x[1] * 0.2 - x[2] * 0.4 + 0.5;
+        let t = 2;
+        let net = GridNet::construct(&f, 3, t, SlopeMode::Unit).unwrap();
+        for i in 0..(t + 1usize).pow(3) {
+            let dig = vertex_digits(i, t, 3);
+            let p: Vec<f64> = dig.iter().map(|&v| v as f64 / t as f64).collect();
+            assert!((net.forward(&p) - f(&p)).abs() < 1e-9, "vertex {p:?}");
+        }
+    }
+
+    #[test]
+    fn one_norm_error_within_theorem_bound() {
+        // Theorem 3.4 (a): ‖f − f̂‖₁ ≤ 3ρd/t for the LemmaA3 slope.
+        let (d, t, rho) = (2usize, 8usize, 1.0f64);
+        let net = GridNet::construct(&lipschitz_2d, d, t, SlopeMode::LemmaA3).unwrap();
+        // Estimate the 1-norm integral on a fine grid.
+        let steps = 60;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            for j in 0..steps {
+                let p = [(i as f64 + 0.5) / steps as f64, (j as f64 + 0.5) / steps as f64];
+                acc += (net.forward(&p) - lipschitz_2d(&p)).abs();
+            }
+        }
+        let integral = acc / (steps * steps) as f64;
+        let bound = 3.0 * rho * d as f64 / t as f64;
+        assert!(integral <= bound, "integral {integral} > bound {bound}");
+    }
+
+    #[test]
+    fn sup_norm_error_within_theorem_bound_low_dim() {
+        // Theorem 3.4 (b): for d <= 3 with M = 1, ‖f − f̂‖∞ ≤ 37ρd/t.
+        let (d, t, rho) = (2usize, 6usize, 1.0f64);
+        let net = GridNet::construct(&lipschitz_2d, d, t, SlopeMode::Unit).unwrap();
+        let steps = 80;
+        let mut sup: f64 = 0.0;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let p = [i as f64 / steps as f64, j as f64 / steps as f64];
+                sup = sup.max((net.forward(&p) - lipschitz_2d(&p)).abs());
+            }
+        }
+        let bound = 37.0 * rho * d as f64 / t as f64;
+        assert!(sup <= bound, "sup {sup} > bound {bound}");
+    }
+
+    #[test]
+    fn mlp_conversion_agrees_with_compact_form() {
+        let net = GridNet::construct(&lipschitz_2d, 2, 4, SlopeMode::LemmaA3).unwrap();
+        let mlp = net.to_mlp();
+        assert_eq!(mlp.input_dim(), 2);
+        for i in 0..50 {
+            let x = [(i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0];
+            let a = net.forward(&x);
+            let b = mlp.predict(&x);
+            assert!((a - b).abs() < 1e-9, "x {x:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unit_count_and_params() {
+        let t = 3;
+        let net = GridNet::construct(&lipschitz_2d, 2, t, SlopeMode::Unit).unwrap();
+        let k = (t + 1) * (t + 1);
+        assert_eq!(net.units(), k - 1);
+        assert_eq!(net.param_count(), (k - 1) + (k - 1) * 2 + 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(GridNet::construct(&lipschitz_2d, 0, 3, SlopeMode::Unit).is_err());
+        assert!(GridNet::construct(&lipschitz_2d, 2, 0, SlopeMode::Unit).is_err());
+        assert!(GridNet::construct(&lipschitz_2d, 2, 3, SlopeMode::Fixed(0.5)).is_err());
+    }
+
+    #[test]
+    fn lemma_a3_slope_is_at_least_one() {
+        for d in 1..=4usize {
+            let f = |x: &[f64]| x.iter().sum::<f64>();
+            let net = GridNet::construct(&f, d, 2, SlopeMode::LemmaA3).unwrap();
+            assert!(net.slope() >= 1.0, "d={d}: M={}", net.slope());
+        }
+    }
+
+    #[test]
+    fn constant_function_needs_only_bias() {
+        let f = |_: &[f64]| 0.75;
+        let net = GridNet::construct(&f, 2, 3, SlopeMode::Unit).unwrap();
+        // All coefficients should be ~0: nothing beyond the bias is needed.
+        assert!(net.coeffs.iter().all(|a| a.abs() < 1e-9));
+        assert!((net.forward(&[0.123, 0.456]) - 0.75).abs() < 1e-9);
+    }
+}

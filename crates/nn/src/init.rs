@@ -1,0 +1,91 @@
+//! Weight initialization schemes.
+//!
+//! He (Kaiming) initialization is the right default for ReLU networks; the
+//! paper's TensorFlow implementation would have used Glorot by default, so
+//! both are provided. Sampling uses a hand-rolled Box–Muller transform so we
+//! only depend on `rand`'s uniform source.
+
+use rand::{Rng, RngExt};
+
+/// Initialization scheme for dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He normal: `N(0, 2 / fan_in)`. Default for ReLU nets.
+    HeNormal,
+    /// Glorot (Xavier) uniform: `U(-l, l)` with `l = sqrt(6/(fan_in+fan_out))`.
+    GlorotUniform,
+    /// All zeros (used for biases and for testing).
+    Zeros,
+}
+
+/// Draw a standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Init {
+    /// Sample a single weight for a layer with the given fan-in/fan-out.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, fan_in: usize, fan_out: usize) -> f64 {
+        match self {
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                standard_normal(rng) * std
+            }
+            Init::GlorotUniform => {
+                let l = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+                rng.random_range(-l..l)
+            }
+            Init::Zeros => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fan_in = 64;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| Init::HeNormal.sample(&mut rng, fan_in, 32)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected_var = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expected_var).abs() / expected_var < 0.1, "var {var} vs {expected_var}");
+    }
+
+    #[test]
+    fn glorot_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = (6.0_f64 / 20.0).sqrt();
+        for _ in 0..1000 {
+            let w = Init::GlorotUniform.sample(&mut rng, 10, 10);
+            assert!(w >= -l && w < l);
+        }
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Init::Zeros.sample(&mut rng, 5, 5), 0.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,70 @@
+//! # nn — feed-forward neural network substrate
+//!
+//! A small, dependency-light neural network library built from scratch for
+//! the NeuroSketch reproduction. It provides exactly what the paper needs:
+//!
+//! * dense [`Mlp`] models with ReLU hidden layers and a linear output,
+//! * mini-batch training with MSE loss and the [`optimizer::Adam`] optimizer
+//!   (Alg. 4 of the paper),
+//! * the explicit **memorization construction** of Theorem 3.4 / Algorithm 1
+//!   ([`construction`]), usable directly ("CS") or as an initialization for
+//!   SGD ("CS+SGD", Sec. A.5),
+//! * parameter/storage accounting used by the paper's space-complexity
+//!   arguments.
+//!
+//! Everything is `f64`; storage is *reported* as if parameters were stored
+//! as `f32` (4 bytes each), matching how the paper counts model size.
+//!
+//! ```
+//! use nn::{Mlp, train::{train, TrainConfig}};
+//!
+//! // Learn y = x0 + x1 on a tiny synthetic set.
+//! let xs: Vec<Vec<f64>> = (0..64)
+//!     .map(|i| vec![(i % 8) as f64 / 8.0, (i / 8) as f64 / 8.0])
+//!     .collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| x[0] + x[1]).collect();
+//! let mut mlp = Mlp::new(&[2, 16, 16, 1], 7);
+//! let cfg = TrainConfig { epochs: 300, ..TrainConfig::default() };
+//! let report = train(&mut mlp, &xs, &ys, &cfg);
+//! assert!(report.final_loss < 1e-2);
+//! ```
+
+pub mod activation;
+pub mod binary;
+pub mod construction;
+pub mod init;
+pub mod linalg;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+pub mod prune;
+pub mod train;
+
+pub use activation::Activation;
+pub use linalg::Matrix;
+pub use mlp::Mlp;
+
+/// Errors produced by the nn crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Layer sizes are inconsistent with the provided input.
+    ShapeMismatch { expected: usize, got: usize },
+    /// An architecture description was empty or degenerate.
+    BadArchitecture(String),
+    /// Model (de)serialization failed.
+    Serde(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            NnError::BadArchitecture(s) => write!(f, "bad architecture: {s}"),
+            NnError::Serde(s) => write!(f, "serialization error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

@@ -1,0 +1,228 @@
+//! Minimal dense linear algebra: a row-major matrix and the handful of
+//! operations the MLP forward/backward passes need.
+//!
+//! This is deliberately not a general-purpose linear algebra library: the
+//! MLPs in NeuroSketch are tiny (tens of units per layer), so a simple
+//! cache-friendly row-major layout with scalar loops is fast enough and
+//! keeps the code auditable.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` — this is an internal
+    /// construction invariant, not user input.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `out = self * x` where `x` has length `cols` and `out` length `rows`.
+    ///
+    /// The workhorse of the forward pass. `out` is overwritten.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *o = acc;
+        }
+    }
+
+    /// `out = self^T * x` where `x` has length `rows` and `out` length `cols`.
+    ///
+    /// Used to back-propagate deltas through a layer's weights.
+    pub fn matvec_transpose_into(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.rows);
+        debug_assert_eq!(out.len(), self.cols);
+        out.fill(0.0);
+        for (r, xr) in x.iter().enumerate() {
+            if *xr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * xr;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += alpha * a * b^T` with `a` of length `rows` and
+    /// `b` of length `cols`. Used to accumulate weight gradients.
+    pub fn rank1_add(&mut self, alpha: f64, a: &[f64], b: &[f64]) {
+        debug_assert_eq!(a.len(), self.rows);
+        debug_assert_eq!(b.len(), self.cols);
+        for (r, ar) in a.iter().enumerate() {
+            if *ar == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let s = alpha * ar;
+            for (w, bi) in row.iter_mut().zip(b) {
+                *w += s * bi;
+            }
+        }
+    }
+
+    /// Reset all entries to zero (gradient buffers between batches).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// `y += alpha * x` for equal-length slices.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.5, -1.0];
+        let mut out = [0.0; 2];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, [1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [2.0, -1.0];
+        let mut out = [0.0; 3];
+        m.matvec_transpose_into(&x, &mut out);
+        assert_eq!(out, [2.0 - 4.0, 4.0 - 5.0, 6.0 - 6.0]);
+    }
+
+    #[test]
+    fn rank1_add_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank1_add(2.0, &[1.0, 0.5], &[3.0, 4.0]);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(0, 1), 8.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn row_views_are_consistent() {
+        let mut m = Matrix::zeros(3, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(1, 0), 7.0);
+        assert_eq!(m.row(1), &[7.0, 0.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm1(&[1.0, -2.0, 3.0]), 6.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix buffer size mismatch")]
+    fn from_vec_checks_size() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Loss functions and evaluation metrics.
+
+/// Mean squared error over paired predictions/targets.
+///
+/// This is the training objective of Alg. 4 in the paper.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mse inputs must pair up");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "mae inputs must pair up");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Normalized MAE as defined in Sec. 5.1 of the paper: the mean absolute
+/// error divided by the mean *magnitude* of the true answers. Returns
+/// `f64::INFINITY` when the mean magnitude is zero but errors are not.
+pub fn normalized_mae(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "normalized_mae inputs must pair up");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let err = mae(pred, target);
+    let scale = target.iter().map(|t| t.abs()).sum::<f64>() / target.len() as f64;
+    if scale == 0.0 {
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        err / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+    }
+
+    #[test]
+    fn normalized_mae_scales_by_target_magnitude() {
+        // errors: 1 and 1; mean |target| = 10 -> 0.1
+        assert!((normalized_mae(&[9.0, 11.0], &[10.0, 10.0]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_mae_zero_scale() {
+        assert_eq!(normalized_mae(&[0.0], &[0.0]), 0.0);
+        assert_eq!(normalized_mae(&[1.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

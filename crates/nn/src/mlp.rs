@@ -1,0 +1,432 @@
+//! The multi-layer perceptron used throughout NeuroSketch.
+//!
+//! Architecture follows Sec. 4.2 of the paper: an input layer of
+//! dimensionality `d`, a first hidden layer of `l_first` units, further
+//! hidden layers of `l_rest` units, and a single linear output unit; ReLU
+//! everywhere except the output.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::linalg::Matrix;
+use crate::NnError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One dense (fully connected) layer: `act(W x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, `out_dim x in_dim`.
+    pub weights: Matrix,
+    /// Bias vector, length `out_dim`.
+    pub biases: Vec<f64>,
+    /// Activation applied after the affine transform.
+    pub activation: Activation,
+}
+
+impl Dense {
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.cols()
+    }
+}
+
+/// A feed-forward network with ReLU hidden layers and a linear output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Reusable scratch buffers so repeated inference performs no allocation.
+///
+/// The paper's query-time numbers are dominated by a single forward pass of
+/// a tiny model; allocating on every query would distort them.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[4, 60, 30, 30, 1]`,
+    /// He-initialized with the given seed.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given (use
+    /// [`Mlp::try_new`] for a fallible version).
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        Self::try_new(sizes, seed).expect("invalid MLP architecture")
+    }
+
+    /// Fallible constructor: requires at least an input and an output size,
+    /// all sizes nonzero.
+    pub fn try_new(sizes: &[usize], seed: u64) -> Result<Self, NnError> {
+        Self::with_init(sizes, Init::HeNormal, seed)
+    }
+
+    /// Construct with an explicit weight-initialization scheme.
+    pub fn with_init(sizes: &[usize], init: Init, seed: u64) -> Result<Self, NnError> {
+        if sizes.len() < 2 {
+            return Err(NnError::BadArchitecture(format!(
+                "need at least input and output sizes, got {sizes:?}"
+            )));
+        }
+        if sizes.contains(&0) {
+            return Err(NnError::BadArchitecture(format!("zero-width layer in {sizes:?}")));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let mut m = Matrix::zeros(fan_out, fan_in);
+            for v in m.as_mut_slice() {
+                *v = init.sample(&mut rng, fan_in, fan_out);
+            }
+            let is_last = layers.len() == sizes.len() - 2;
+            layers.push(Dense {
+                weights: m,
+                biases: vec![0.0; fan_out],
+                activation: if is_last { Activation::Identity } else { Activation::Relu },
+            });
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Build directly from explicit layers (used by the memorization
+    /// construction).
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::BadArchitecture("no layers".into()));
+        }
+        for w in layers.windows(2) {
+            if w[0].out_dim() != w[1].in_dim() {
+                return Err(NnError::BadArchitecture(format!(
+                    "layer output {} does not match next input {}",
+                    w[0].out_dim(),
+                    w[1].in_dim()
+                )));
+            }
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality (1 for all NeuroSketch models).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by the optimizer).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total number of trainable parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+    }
+
+    /// Storage footprint in bytes, counting each parameter as an `f32`
+    /// (4 bytes), matching the paper's model-size accounting.
+    pub fn storage_bytes(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Width of the widest layer — sizing for scratch buffers.
+    fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.out_dim().max(l.in_dim()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Forward pass, allocating output. Prefer
+    /// [`Mlp::forward_with`] in hot loops.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut ws = Workspace::default();
+        self.forward_with(&mut ws, x).to_vec()
+    }
+
+    /// Forward pass using caller-provided scratch space; returns a slice
+    /// into the workspace valid until the next call.
+    pub fn forward_with<'w>(&self, ws: &'w mut Workspace, x: &[f64]) -> &'w [f64] {
+        assert_eq!(
+            x.len(),
+            self.input_dim(),
+            "input dim {} does not match network {}",
+            x.len(),
+            self.input_dim()
+        );
+        let w = self.max_width();
+        ws.a.resize(w, 0.0);
+        ws.b.resize(w, 0.0);
+        ws.a[..x.len()].copy_from_slice(x);
+        let mut cur_len = x.len();
+        let mut in_a = true;
+        for layer in &self.layers {
+            let out_len = layer.out_dim();
+            let (src, dst) = if in_a { (&ws.a, &mut ws.b) } else { (&ws.b, &mut ws.a) };
+            layer.weights.matvec_into(&src[..cur_len], &mut dst[..out_len]);
+            for (d, b) in dst[..out_len].iter_mut().zip(&layer.biases) {
+                *d += b;
+            }
+            layer.activation.apply(&mut dst[..out_len]);
+            cur_len = out_len;
+            in_a = !in_a;
+        }
+        if in_a {
+            &ws.a[..cur_len]
+        } else {
+            &ws.b[..cur_len]
+        }
+    }
+
+    /// Scalar prediction convenience for single-output networks.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.forward(x)[0]
+    }
+
+    /// Scalar prediction with scratch space.
+    pub fn predict_with(&self, ws: &mut Workspace, x: &[f64]) -> f64 {
+        self.forward_with(ws, x)[0]
+    }
+
+    /// Forward pass that retains every layer's pre-activations and
+    /// activations (for backprop). Returns `(pre_activations, activations)`
+    /// where `activations[0]` is the input.
+    pub fn forward_full(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for layer in &self.layers {
+            let input = acts.last().expect("nonempty");
+            let mut z = vec![0.0; layer.out_dim()];
+            layer.weights.matvec_into(input, &mut z);
+            for (zi, b) in z.iter_mut().zip(&layer.biases) {
+                *zi += b;
+            }
+            pre.push(z.clone());
+            layer.activation.apply(&mut z);
+            acts.push(z);
+        }
+        (pre, acts)
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String, NnError> {
+        serde_json::to_string(self).map_err(|e| NnError::Serde(e.to_string()))
+    }
+
+    /// Deserialize from a JSON string produced by [`Mlp::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, NnError> {
+        serde_json::from_str(s).map_err(|e| NnError::Serde(e.to_string()))
+    }
+}
+
+/// Gradients mirroring an [`Mlp`]'s layer structure.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// One `(dW, db)` pair per layer.
+    pub layers: Vec<(Matrix, Vec<f64>)>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `mlp`.
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        Gradients {
+            layers: mlp
+                .layers()
+                .iter()
+                .map(|l| (Matrix::zeros(l.out_dim(), l.in_dim()), vec![0.0; l.out_dim()]))
+                .collect(),
+        }
+    }
+
+    /// Reset to zero for the next batch.
+    pub fn zero(&mut self) {
+        for (w, b) in &mut self.layers {
+            w.fill_zero();
+            b.fill(0.0);
+        }
+    }
+
+    /// Scale all gradients by `s` (e.g. `1/batch_size`).
+    pub fn scale(&mut self, s: f64) {
+        for (w, b) in &mut self.layers {
+            for v in w.as_mut_slice() {
+                *v *= s;
+            }
+            for v in b {
+                *v *= s;
+            }
+        }
+    }
+}
+
+/// Accumulate into `grads` the MSE gradient contribution of one example.
+///
+/// Loss convention: `L = (f(x) - y)^2` summed over outputs; the caller is
+/// responsible for averaging over the batch via [`Gradients::scale`].
+pub fn accumulate_example_gradient(mlp: &Mlp, x: &[f64], y: &[f64], grads: &mut Gradients) -> f64 {
+    let (pre, acts) = mlp.forward_full(x);
+    let out = acts.last().expect("nonempty");
+    debug_assert_eq!(out.len(), y.len());
+    // delta at the output layer: dL/dz = 2 (a - y) * act'(z)
+    let last = mlp.layers().len() - 1;
+    let mut delta: Vec<f64> = out
+        .iter()
+        .zip(y)
+        .zip(&pre[last])
+        .map(|((a, t), z)| 2.0 * (a - t) * mlp.layers()[last].activation.derivative(*z))
+        .collect();
+    let loss: f64 = out.iter().zip(y).map(|(a, t)| (a - t) * (a - t)).sum();
+
+    for li in (0..mlp.layers().len()).rev() {
+        let layer = &mlp.layers()[li];
+        let (dw, db) = &mut grads.layers[li];
+        // dW += delta * input^T ; db += delta
+        dw.rank1_add(1.0, &delta, &acts[li]);
+        for (bi, d) in db.iter_mut().zip(&delta) {
+            *bi += d;
+        }
+        if li > 0 {
+            // propagate: delta_prev = (W^T delta) .* act'(z_prev)
+            let mut prev = vec![0.0; layer.in_dim()];
+            layer.weights.matvec_transpose_into(&delta, &mut prev);
+            let prev_layer = &mlp.layers()[li - 1];
+            for (p, z) in prev.iter_mut().zip(&pre[li - 1]) {
+                *p *= prev_layer.activation.derivative(*z);
+            }
+            delta = prev;
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Mlp {
+        Mlp::new(&[2, 4, 1], 42)
+    }
+
+    #[test]
+    fn shapes_and_params() {
+        let m = tiny();
+        assert_eq!(m.input_dim(), 2);
+        assert_eq!(m.output_dim(), 1);
+        assert_eq!(m.param_count(), 2 * 4 + 4 + 4 + 1);
+        assert_eq!(m.storage_bytes(), m.param_count() * 4);
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_matches_workspace_path() {
+        let m = tiny();
+        let x = [0.3, 0.7];
+        let a = m.forward(&x);
+        let mut ws = Workspace::default();
+        let b = m.forward_with(&mut ws, &x).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(a, m.forward(&x));
+    }
+
+    #[test]
+    fn rejects_degenerate_architectures() {
+        assert!(Mlp::try_new(&[3], 0).is_err());
+        assert!(Mlp::try_new(&[3, 0, 1], 0).is_err());
+        assert!(Mlp::from_layers(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_layers_checks_dims() {
+        let l1 = Dense {
+            weights: Matrix::zeros(4, 2),
+            biases: vec![0.0; 4],
+            activation: Activation::Relu,
+        };
+        let l2_bad = Dense {
+            weights: Matrix::zeros(1, 3),
+            biases: vec![0.0],
+            activation: Activation::Identity,
+        };
+        assert!(Mlp::from_layers(vec![l1, l2_bad]).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = tiny();
+        let s = m.to_json().unwrap();
+        let m2 = Mlp::from_json(&s).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(m.predict(&[0.1, 0.9]), m2.predict(&[0.1, 0.9]));
+    }
+
+    /// Check backprop gradients against central finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = Mlp::new(&[2, 5, 3, 1], 9);
+        let x = [0.4, -0.2];
+        let y = [1.5];
+        let mut grads = Gradients::zeros_like(&m);
+        accumulate_example_gradient(&m, &x, &y, &mut grads);
+
+        let eps = 1e-6;
+        let loss_of = |m: &Mlp| {
+            let o = m.predict(&x);
+            (o - y[0]) * (o - y[0])
+        };
+        for li in 0..m.layers().len() {
+            for idx in 0..m.layers()[li].weights.len() {
+                let orig = m.layers()[li].weights.as_slice()[idx];
+                m.layers_mut()[li].weights.as_mut_slice()[idx] = orig + eps;
+                let lp = loss_of(&m);
+                m.layers_mut()[li].weights.as_mut_slice()[idx] = orig - eps;
+                let lm = loss_of(&m);
+                m.layers_mut()[li].weights.as_mut_slice()[idx] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = grads.layers[li].0.as_slice()[idx];
+                assert!(
+                    (fd - an).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "layer {li} weight {idx}: fd {fd} vs analytic {an}"
+                );
+            }
+            for bi in 0..m.layers()[li].biases.len() {
+                let orig = m.layers()[li].biases[bi];
+                m.layers_mut()[li].biases[bi] = orig + eps;
+                let lp = loss_of(&m);
+                m.layers_mut()[li].biases[bi] = orig - eps;
+                let lm = loss_of(&m);
+                m.layers_mut()[li].biases[bi] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = grads.layers[li].1[bi];
+                assert!(
+                    (fd - an).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "layer {li} bias {bi}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim")]
+    fn forward_panics_on_wrong_dim() {
+        let m = tiny();
+        let _ = m.forward(&[0.1, 0.2, 0.3]);
+    }
+}

@@ -1,0 +1,159 @@
+//! First-order optimizers. The paper trains with Adam (Kingma & Ba, 2014);
+//! plain SGD is included for the construction-vs-SGD study (Fig. 19).
+
+use crate::mlp::{Gradients, Mlp};
+use crate::linalg::Matrix;
+
+/// A stateful optimizer that applies [`Gradients`] to an [`Mlp`].
+pub trait Optimizer {
+    /// Apply one update step. `grads` must be shaped like `mlp`.
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients);
+}
+
+/// Plain stochastic gradient descent with a fixed learning rate.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+        for (layer, (dw, db)) in mlp.layers_mut().iter_mut().zip(&grads.layers) {
+            let w = layer.weights.as_mut_slice();
+            for (wi, gi) in w.iter_mut().zip(dw.as_slice()) {
+                *wi -= self.lr * gi;
+            }
+            for (bi, gi) in layer.biases.iter_mut().zip(db) {
+                *bi -= self.lr * gi;
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba 2014) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper/TF default 1e-3).
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    t: u64,
+    m: Option<Vec<(Matrix, Vec<f64>)>>,
+    v: Option<Vec<(Matrix, Vec<f64>)>>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters and the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: None, v: None }
+    }
+
+    fn ensure_state(&mut self, grads: &Gradients) {
+        if self.m.is_none() {
+            let zeros = || {
+                grads
+                    .layers
+                    .iter()
+                    .map(|(w, b)| (Matrix::zeros(w.rows(), w.cols()), vec![0.0; b.len()]))
+                    .collect::<Vec<_>>()
+            };
+            self.m = Some(zeros());
+            self.v = Some(zeros());
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+        self.ensure_state(grads);
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let m = self.m.as_mut().expect("state initialized");
+        let v = self.v.as_mut().expect("state initialized");
+        for (li, layer) in mlp.layers_mut().iter_mut().enumerate() {
+            let (dw, db) = &grads.layers[li];
+            let (mw, mb) = &mut m[li];
+            let (vw, vb) = &mut v[li];
+            let ws = layer.weights.as_mut_slice();
+            for (((wi, gi), mi), vi) in ws
+                .iter_mut()
+                .zip(dw.as_slice())
+                .zip(mw.as_mut_slice())
+                .zip(vw.as_mut_slice())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            for (((bi, gi), mi), vi) in
+                layer.biases.iter_mut().zip(db).zip(mb.iter_mut()).zip(vb.iter_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *bi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::accumulate_example_gradient;
+
+    /// One optimizer step on a single example must reduce that example's
+    /// loss for a reasonable learning rate.
+    fn loss_decreases_with<O: Optimizer>(mut opt: O) {
+        let mut mlp = Mlp::new(&[2, 8, 1], 3);
+        let x = [0.2, 0.8];
+        let y = [2.0];
+        let before = {
+            let p = mlp.predict(&x);
+            (p - y[0]).powi(2)
+        };
+        for _ in 0..50 {
+            let mut g = Gradients::zeros_like(&mlp);
+            accumulate_example_gradient(&mlp, &x, &y, &mut g);
+            opt.step(&mut mlp, &g);
+        }
+        let after = {
+            let p = mlp.predict(&x);
+            (p - y[0]).powi(2)
+        };
+        assert!(after < before * 0.5, "before {before} after {after}");
+    }
+
+    #[test]
+    fn sgd_decreases_loss() {
+        loss_decreases_with(Sgd { lr: 0.01 });
+    }
+
+    #[test]
+    fn adam_decreases_loss() {
+        loss_decreases_with(Adam::new(0.01));
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // With a single constant gradient g on the first step, Adam's update
+        // must be lr * g/|g| = lr * sign(g) up to eps.
+        let mut mlp = Mlp::with_init(&[1, 1], crate::init::Init::Zeros, 0).unwrap();
+        let mut g = Gradients::zeros_like(&mlp);
+        g.layers[0].0.set(0, 0, 0.5);
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut mlp, &g);
+        let w = mlp.layers()[0].weights.get(0, 0);
+        assert!((w + 0.1).abs() < 1e-6, "w = {w}, expected ~ -0.1");
+    }
+}

@@ -1,0 +1,149 @@
+//! Magnitude-based weight pruning.
+//!
+//! The paper's conclusion lists "model pruning methods \[11\] to remove
+//! unimportant model weights for faster evaluation time" as future work;
+//! this module implements the standard magnitude-pruning baseline from
+//! that literature (Blalock et al. 2020): zero the smallest-magnitude
+//! fraction of weights, optionally fine-tune afterwards.
+
+use crate::mlp::Mlp;
+
+/// Result of a pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneReport {
+    /// Weights zeroed by this pass.
+    pub zeroed: usize,
+    /// Nonzero weights remaining (biases excluded).
+    pub remaining: usize,
+    /// The magnitude threshold applied.
+    pub threshold: f64,
+}
+
+/// Zero the `fraction` (0..=1) of smallest-magnitude *weights* (biases
+/// are kept — they are few and cheap). Returns what was done.
+///
+/// # Panics
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn prune_magnitude(mlp: &mut Mlp, fraction: f64) -> PruneReport {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut mags: Vec<f64> = mlp
+        .layers()
+        .iter()
+        .flat_map(|l| l.weights.as_slice().iter().map(|w| w.abs()))
+        .filter(|m| *m > 0.0)
+        .collect();
+    if mags.is_empty() {
+        return PruneReport { zeroed: 0, remaining: 0, threshold: 0.0 };
+    }
+    let k = ((mags.len() as f64) * fraction) as usize;
+    if k == 0 {
+        return PruneReport { zeroed: 0, remaining: mags.len(), threshold: 0.0 };
+    }
+    let idx = (k - 1).min(mags.len() - 1);
+    let (_, thr, _) =
+        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("no NaN"));
+    let threshold = *thr;
+    let mut zeroed = 0usize;
+    let mut remaining = 0usize;
+    for layer in mlp.layers_mut() {
+        for w in layer.weights.as_mut_slice() {
+            if *w != 0.0 && w.abs() <= threshold && zeroed < k {
+                *w = 0.0;
+                zeroed += 1;
+            } else if *w != 0.0 {
+                remaining += 1;
+            }
+        }
+    }
+    PruneReport { zeroed, remaining, threshold }
+}
+
+/// Count nonzero weights (biases excluded).
+pub fn nonzero_weights(mlp: &Mlp) -> usize {
+    mlp.layers()
+        .iter()
+        .map(|l| l.weights.as_slice().iter().filter(|w| **w != 0.0).count())
+        .sum()
+}
+
+/// Storage estimate for a sparse (CSR-style) encoding: 4 bytes per
+/// nonzero value + 2 bytes per column index + biases.
+pub fn sparse_storage_bytes(mlp: &Mlp) -> usize {
+    let nnz = nonzero_weights(mlp);
+    let biases: usize = mlp.layers().iter().map(|l| l.biases.len()).sum();
+    nnz * 6 + biases * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train, TrainConfig};
+
+    fn trained() -> (Mlp, Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 0.7 - x[1] * 0.2).collect();
+        let mut mlp = Mlp::new(&[2, 24, 24, 1], 3);
+        train(&mut mlp, &xs, &ys, &TrainConfig { epochs: 200, ..TrainConfig::default() });
+        (mlp, xs, ys)
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let (mut mlp, xs, _) = trained();
+        let before: Vec<f64> = xs.iter().take(5).map(|x| mlp.predict(x)).collect();
+        let report = prune_magnitude(&mut mlp, 0.0);
+        assert_eq!(report.zeroed, 0);
+        let after: Vec<f64> = xs.iter().take(5).map(|x| mlp.predict(x)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn pruning_reduces_nonzeros_proportionally() {
+        let (mut mlp, _, _) = trained();
+        let before = nonzero_weights(&mlp);
+        let report = prune_magnitude(&mut mlp, 0.5);
+        let after = nonzero_weights(&mlp);
+        assert_eq!(after, report.remaining);
+        assert!(after < before);
+        let ratio = after as f64 / before as f64;
+        assert!((0.35..=0.65).contains(&ratio), "ratio {ratio}");
+        assert!(sparse_storage_bytes(&mlp) < before * 6 + 49 * 4);
+    }
+
+    #[test]
+    fn moderate_pruning_keeps_function_close() {
+        let (mut mlp, xs, ys) = trained();
+        let err_before: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (mlp.predict(x) - y).abs())
+            .sum::<f64>()
+            / xs.len() as f64;
+        prune_magnitude(&mut mlp, 0.3);
+        let err_after: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (mlp.predict(x) - y).abs())
+            .sum::<f64>()
+            / xs.len() as f64;
+        // 30% magnitude pruning of an over-parameterized net should
+        // barely move the error.
+        assert!(err_after < err_before + 0.05, "{err_before} -> {err_after}");
+    }
+
+    #[test]
+    fn full_pruning_zeroes_everything() {
+        let (mut mlp, _, _) = trained();
+        prune_magnitude(&mut mlp, 1.0);
+        assert_eq!(nonzero_weights(&mlp), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let (mut mlp, _, _) = trained();
+        let _ = prune_magnitude(&mut mlp, 1.5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Mini-batch training loop (Alg. 4 of the paper).
+//!
+//! The paper trains each partition's model by sampling batches from the
+//! node's query set and descending the MSE gradient with Adam until
+//! convergence. We add a small patience-based stopping rule so "until
+//! convergence" is well defined and deterministic.
+
+use crate::mlp::{accumulate_example_gradient, Gradients, Mlp};
+use crate::optimizer::{Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Stop early when the epoch loss has not improved by at least
+    /// `min_delta` (relative) for `patience` consecutive epochs. `0`
+    /// disables early stopping.
+    pub patience: usize,
+    /// Relative improvement threshold for the patience rule.
+    pub min_delta: f64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    /// Optional hard cap on training wall-clock; `None` means unlimited.
+    pub time_budget: Option<std::time::Duration>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            batch_size: 64,
+            lr: 1e-3,
+            patience: 20,
+            min_delta: 1e-4,
+            seed: 0,
+            time_budget: None,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// Mean squared error on the training set after the final epoch.
+    pub final_loss: f64,
+    /// Per-epoch mean training loss (useful for Fig. 13c style curves).
+    pub loss_curve: Vec<f64>,
+    /// Wall-clock spent training.
+    pub elapsed: std::time::Duration,
+}
+
+/// Train `mlp` on `(xs, ys)` with MSE + Adam. `ys` are scalar targets.
+///
+/// # Panics
+/// Panics if `xs` and `ys` differ in length or `xs` is empty: callers must
+/// provide a nonempty supervised set.
+pub fn train(mlp: &mut Mlp, xs: &[Vec<f64>], ys: &[f64], cfg: &TrainConfig) -> TrainReport {
+    assert_eq!(xs.len(), ys.len(), "features/targets must pair up");
+    assert!(!xs.is_empty(), "training set must be nonempty");
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    let mut adam = Adam::new(cfg.lr);
+    let mut grads = Gradients::zeros_like(mlp);
+    let mut curve = Vec::with_capacity(cfg.epochs);
+    let mut best = f64::INFINITY;
+    let mut stale = 0usize;
+    let mut epochs_run = 0usize;
+
+    'outer: for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            grads.zero();
+            let mut batch_loss = 0.0;
+            for &i in chunk {
+                batch_loss += accumulate_example_gradient(mlp, &xs[i], &[ys[i]], &mut grads);
+            }
+            grads.scale(1.0 / chunk.len() as f64);
+            adam.step(mlp, &grads);
+            epoch_loss += batch_loss;
+            if let Some(budget) = cfg.time_budget {
+                if start.elapsed() > budget {
+                    curve.push(epoch_loss / xs.len() as f64);
+                    break 'outer;
+                }
+            }
+        }
+        epoch_loss /= xs.len() as f64;
+        curve.push(epoch_loss);
+        if cfg.patience > 0 {
+            if epoch_loss < best * (1.0 - cfg.min_delta) {
+                best = epoch_loss;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= cfg.patience {
+                    break;
+                }
+            }
+        }
+    }
+
+    let final_loss = *curve.last().expect("at least one epoch");
+    TrainReport { epochs_run, final_loss, loss_curve: curve, elapsed: start.elapsed() }
+}
+
+/// Evaluate mean squared error of `mlp` on a supervised set without
+/// touching its weights.
+pub fn evaluate_mse(mlp: &Mlp, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "features/targets must pair up");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut ws = crate::mlp::Workspace::default();
+    let mut acc = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let p = mlp.predict_with(&mut ws, x);
+        acc += (p - y) * (p - y);
+    }
+    acc / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_linear_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / (n as f64 / 10.0)])
+            .collect();
+        let ys = xs.iter().map(|x| 0.5 * x[0] - 0.25 * x[1] + 0.1).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (xs, ys) = make_linear_set(100);
+        let mut mlp = Mlp::new(&[2, 16, 1], 5);
+        let cfg = TrainConfig { epochs: 600, lr: 5e-3, ..Default::default() };
+        let report = train(&mut mlp, &xs, &ys, &cfg);
+        assert!(report.final_loss < 1e-3, "loss {}", report.final_loss);
+        assert!(report.epochs_run <= 600);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (xs, ys) = make_linear_set(50);
+        let run = || {
+            let mut mlp = Mlp::new(&[2, 8, 1], 11);
+            let cfg = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+            train(&mut mlp, &xs, &ys, &cfg);
+            mlp.predict(&[0.3, 0.3])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn early_stopping_kicks_in() {
+        // Constant target: loss hits (numerical) floor almost immediately.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys = vec![0.0; 20];
+        let mut mlp = Mlp::with_init(&[1, 4, 1], crate::init::Init::Zeros, 0).unwrap();
+        let cfg = TrainConfig { epochs: 500, patience: 3, ..Default::default() };
+        let report = train(&mut mlp, &xs, &ys, &cfg);
+        assert!(report.epochs_run < 500, "stopped at {}", report.epochs_run);
+    }
+
+    #[test]
+    fn loss_curve_has_one_entry_per_epoch() {
+        let (xs, ys) = make_linear_set(30);
+        let mut mlp = Mlp::new(&[2, 4, 1], 1);
+        let cfg = TrainConfig { epochs: 7, patience: 0, ..Default::default() };
+        let report = train(&mut mlp, &xs, &ys, &cfg);
+        assert_eq!(report.loss_curve.len(), 7);
+    }
+
+    #[test]
+    fn evaluate_mse_matches_training_objective() {
+        let (xs, ys) = make_linear_set(30);
+        let mlp = Mlp::new(&[2, 4, 1], 2);
+        let e = evaluate_mse(&mlp, &xs, &ys);
+        let manual: f64 =
+            xs.iter().zip(&ys).map(|(x, y)| (mlp.predict(x) - y).powi(2)).sum::<f64>() / 30.0;
+        assert!((e - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Aggregation functions.
+//!
+//! The paper's theory covers COUNT, SUM and AVG; NeuroSketch itself makes
+//! no assumption on the aggregate and is evaluated on STD and MEDIAN too
+//! (Sec. 4.3, Fig. 9, Table 2). The empty-range convention is `0.0` for
+//! every aggregate — the same convention the paper's training-label
+//! generation implies (a query matching no rows contributes target 0).
+
+use serde::{Deserialize, Serialize};
+
+/// An aggregation function over the measure values of matching rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Number of matching rows.
+    Count,
+    /// Sum of the measure attribute.
+    Sum,
+    /// Mean of the measure attribute.
+    Avg,
+    /// Population standard deviation of the measure attribute.
+    Std,
+    /// Median (lower median for even counts) of the measure attribute.
+    Median,
+}
+
+impl Aggregate {
+    /// All aggregates, in the order of Fig. 9 plus MEDIAN.
+    pub const ALL: [Aggregate; 5] =
+        [Aggregate::Avg, Aggregate::Sum, Aggregate::Std, Aggregate::Count, Aggregate::Median];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggregate::Count => "COUNT",
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Std => "STD",
+            Aggregate::Median => "MEDIAN",
+        }
+    }
+
+    /// Whether the aggregate's magnitude grows with data size (true for
+    /// COUNT/SUM — the "normalize by n" cases of Sec. 3.1.1).
+    pub fn scales_with_n(&self) -> bool {
+        matches!(self, Aggregate::Count | Aggregate::Sum)
+    }
+
+    /// Apply to a *mutable* buffer of measure values of the matching rows
+    /// (MEDIAN reorders the buffer in place; other aggregates leave it
+    /// untouched). Empty input yields `0.0`.
+    pub fn apply(&self, values: &mut [f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let n = values.len() as f64;
+        match self {
+            Aggregate::Count => n,
+            Aggregate::Sum => values.iter().sum(),
+            Aggregate::Avg => values.iter().sum::<f64>() / n,
+            Aggregate::Std => {
+                let mean = values.iter().sum::<f64>() / n;
+                (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt()
+            }
+            Aggregate::Median => {
+                let mid = (values.len() - 1) / 2;
+                let (_, m, _) = values
+                    .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN"));
+                *m
+            }
+        }
+    }
+
+    /// Streaming variant for COUNT/SUM/AVG/STD that avoids materializing
+    /// the matching values; returns `None` for MEDIAN (which needs them).
+    pub fn apply_streaming(&self, it: impl Iterator<Item = f64>) -> Option<f64> {
+        match self {
+            Aggregate::Median => None,
+            _ => {
+                let (mut n, mut s, mut s2) = (0.0f64, 0.0f64, 0.0f64);
+                for v in it {
+                    n += 1.0;
+                    s += v;
+                    s2 += v * v;
+                }
+                if n == 0.0 {
+                    return Some(0.0);
+                }
+                Some(match self {
+                    Aggregate::Count => n,
+                    Aggregate::Sum => s,
+                    Aggregate::Avg => s / n,
+                    Aggregate::Std => {
+                        let mean = s / n;
+                        (s2 / n - mean * mean).max(0.0).sqrt()
+                    }
+                    Aggregate::Median => unreachable!(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(agg: Aggregate, vals: &[f64]) -> f64 {
+        agg.apply(&mut vals.to_vec())
+    }
+
+    #[test]
+    fn count_sum_avg() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(apply(Aggregate::Count, &v), 4.0);
+        assert_eq!(apply(Aggregate::Sum, &v), 10.0);
+        assert_eq!(apply(Aggregate::Avg, &v), 2.5);
+    }
+
+    #[test]
+    fn std_population() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((apply(Aggregate::Std, &v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(apply(Aggregate::Median, &[5.0, 1.0, 3.0]), 3.0);
+        // Lower median for even counts.
+        assert_eq!(apply(Aggregate::Median, &[4.0, 1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(apply(Aggregate::Median, &[9.0]), 9.0);
+    }
+
+    #[test]
+    fn empty_yields_zero() {
+        for agg in Aggregate::ALL {
+            assert_eq!(agg.apply(&mut []), 0.0, "{}", agg.name());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let v = [1.0, 5.0, 2.0, 8.0, 3.5];
+        for agg in [Aggregate::Count, Aggregate::Sum, Aggregate::Avg, Aggregate::Std] {
+            let a = apply(agg, &v);
+            let b = agg.apply_streaming(v.iter().copied()).unwrap();
+            assert!((a - b).abs() < 1e-12, "{}", agg.name());
+        }
+        assert!(Aggregate::Median.apply_streaming(v.iter().copied()).is_none());
+    }
+
+    #[test]
+    fn scales_with_n_flags() {
+        assert!(Aggregate::Count.scales_with_n());
+        assert!(Aggregate::Sum.scales_with_n());
+        assert!(!Aggregate::Avg.scales_with_n());
+        assert!(!Aggregate::Median.scales_with_n());
+    }
+}

@@ -1,0 +1,101 @@
+//! Evaluation metrics (Sec. 5.1 "Measurements" and Fig. 12).
+
+/// Normalized mean absolute error over a test set, as defined in the
+/// paper: `mean |f_D(q) − f̂(q)| / mean |f_D(q)|`.
+///
+/// Returns `f64::INFINITY` when the true answers are identically zero but
+/// predictions are not, and `0.0` on an empty test set.
+pub fn normalized_mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "truth/pred must pair up");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let err: f64 =
+        truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64;
+    let scale: f64 = truth.iter().map(|t| t.abs()).sum::<f64>() / truth.len() as f64;
+    if scale == 0.0 {
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        err / scale
+    }
+}
+
+/// Average Euclidean distance from each test query to its nearest
+/// training query ("dist. NTQ", Fig. 12b). Brute force; used for analysis
+/// only.
+pub fn dist_ntq(test: &[Vec<f64>], train: &[Vec<f64>]) -> f64 {
+    assert!(!train.is_empty(), "need at least one training query");
+    if test.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for t in test {
+        let mut best = f64::INFINITY;
+        for q in train {
+            let d2: f64 = t.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d2 < best {
+                best = d2;
+            }
+        }
+        total += best.sqrt();
+    }
+    total / test.len() as f64
+}
+
+/// Relative-error quantile: the `p`-quantile (0..=1) of
+/// `|truth − pred| / (|truth| + eps)`. Useful for tail-error analysis
+/// beyond the paper's mean-based metric.
+pub fn relative_error_quantile(truth: &[f64], pred: &[f64], p: f64, eps: f64) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "truth/pred must pair up");
+    assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut errs: Vec<f64> =
+        truth.iter().zip(pred).map(|(t, q)| (t - q).abs() / (t.abs() + eps)).collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let idx = ((errs.len() - 1) as f64 * p).round() as usize;
+    errs[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_mae_basic() {
+        // errors 1,1; mean |truth| = 10 -> 0.1.
+        assert!((normalized_mae(&[10.0, 10.0], &[9.0, 11.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(normalized_mae(&[], &[]), 0.0);
+        assert_eq!(normalized_mae(&[0.0], &[1.0]), f64::INFINITY);
+        assert_eq!(normalized_mae(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn dist_ntq_exact_match_is_zero() {
+        let train = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let test = vec![vec![0.0, 0.0]];
+        assert_eq!(dist_ntq(&test, &train), 0.0);
+    }
+
+    #[test]
+    fn dist_ntq_uses_nearest() {
+        let train = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        let test = vec![vec![0.9, 0.0]];
+        assert!((dist_ntq(&test, &train) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let truth = vec![1.0, 1.0, 1.0, 1.0];
+        let pred = vec![1.0, 1.1, 1.5, 3.0];
+        let q50 = relative_error_quantile(&truth, &pred, 0.5, 0.0);
+        let q100 = relative_error_quantile(&truth, &pred, 1.0, 0.0);
+        assert!(q50 <= q100);
+        assert!((q100 - 2.0).abs() < 1e-12);
+    }
+}

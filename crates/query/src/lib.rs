@@ -1,0 +1,61 @@
+//! # query — range aggregate query (RAQ) substrate
+//!
+//! Implements the paper's problem setting (Sec. 2) and its general-RAQ
+//! extension (Sec. 4.3):
+//!
+//! * a **query instance** is a parameter vector `q ∈ [0,1]^d` — for the
+//!   standard axis-aligned range query, `q = (c, r)` with per-attribute
+//!   lower bounds `c_i` and widths `r_i`;
+//! * a **predicate function** `P_f(q, x)` decides whether row `x` matches
+//!   instance `q` ([`predicate::PredicateFn`], with axis-aligned ranges,
+//!   fixed-width ranges, rotated rectangles, half-spaces and circles);
+//! * an **aggregation function** reduces the measure values of matching
+//!   rows ([`aggregate::Aggregate`]: COUNT, SUM, AVG, STD, MEDIAN);
+//! * the **query function** `f_D(q) = AGG({x ∈ D : P_f(q,x)=1})` is
+//!   evaluated exactly by [`exec::QueryEngine`] — the ground-truth oracle
+//!   used both for training labels and for evaluation;
+//! * [`workload`] generates the paper's query distributions (uniform
+//!   ranges, fixed active attributes or random ones, range-percentage
+//!   sweeps) with train/test splits.
+
+pub mod aggregate;
+pub mod error;
+pub mod exec;
+pub mod predicate;
+pub mod sql;
+pub mod workload;
+
+pub use aggregate::Aggregate;
+pub use exec::QueryEngine;
+pub use predicate::{
+    DisjunctiveThresholds, FixedWidthRange, HalfSpace, HyperSphere, PredicateFn, Range,
+    RotatedRect,
+};
+pub use workload::{ActiveMode, Workload, WorkloadConfig};
+
+/// Errors produced by the query layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A query vector's length doesn't match the predicate's declared dim.
+    BadQueryDim { expected: usize, got: usize },
+    /// Configuration refers to attributes outside the dataset.
+    BadAttribute { attr: usize, dims: usize },
+    /// Degenerate workload configuration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::BadQueryDim { expected, got } => {
+                write!(f, "query vector length {got}, predicate expects {expected}")
+            }
+            QueryError::BadAttribute { attr, dims } => {
+                write!(f, "attribute {attr} out of range for {dims}-dim data")
+            }
+            QueryError::BadConfig(s) => write!(f, "bad workload config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

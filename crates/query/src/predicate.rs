@@ -1,0 +1,445 @@
+//! Predicate functions `P_f(q, x)`.
+//!
+//! Sec. 4.3 of the paper deliberately leaves the predicate abstract: any
+//! binary function of a query instance and a data point defines a valid
+//! RAQ. We provide the predicates used in the evaluation:
+//!
+//! * [`Range`] — the standard WHERE clause of Sec. 2
+//!   (`c_i ≤ x_i < c_i + r_i` over a chosen set of active attributes),
+//! * [`FixedWidthRange`] — ranges with widths baked into the predicate so
+//!   the query instance is only the lower-corner `c` (Example 2.1, Fig. 16),
+//! * [`RotatedRect`] — the general rectangle `(p, p′, φ)` of Table 2,
+//! * [`HalfSpace`] — the `x[1] > x[0]·q[0] + q[1]` example of Sec. 4.3,
+//! * [`HyperSphere`] — the circular predicate of Sec. 3.3.2.
+
+use crate::QueryError;
+
+/// A binary predicate over (query instance, data row).
+pub trait PredicateFn: Send + Sync {
+    /// Dimensionality of the query instance vector this predicate consumes.
+    fn query_dim(&self) -> usize;
+
+    /// Does row `x` match query instance `q`?
+    ///
+    /// `q` must have length [`PredicateFn::query_dim`]; implementations
+    /// may debug-assert this.
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool;
+
+    /// If the predicate constrains axis-aligned per-attribute intervals,
+    /// return `(attr, lo, hi)` triples for index pruning (half-open
+    /// `[lo, hi)`). Default: no pruning possible.
+    fn axis_bounds(&self, _q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
+        None
+    }
+}
+
+/// The standard range predicate of Sec. 2 over `attrs` active attributes.
+///
+/// The query instance is `[c_1..c_k, r_1..r_k]` where `k = attrs.len()`;
+/// attribute `attrs[i]` is constrained to `[c_i, c_i + r_i)`. Attributes
+/// not listed are unconstrained (equivalently `c = 0, r = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    attrs: Vec<usize>,
+}
+
+impl Range {
+    /// Constrain the given attributes. `dims` is the dataset width, used
+    /// to validate indices.
+    pub fn new(attrs: Vec<usize>, dims: usize) -> Result<Self, QueryError> {
+        if attrs.is_empty() {
+            return Err(QueryError::BadConfig("no active attributes".into()));
+        }
+        for &a in &attrs {
+            if a >= dims {
+                return Err(QueryError::BadAttribute { attr: a, dims });
+            }
+        }
+        Ok(Range { attrs })
+    }
+
+    /// Constrain every attribute of a `dims`-wide dataset (the paper's
+    /// full `(c, r)` query function with `d = 2·d̄`).
+    pub fn all(dims: usize) -> Self {
+        Range { attrs: (0..dims).collect() }
+    }
+
+    /// The active attribute indices.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+}
+
+impl PredicateFn for Range {
+    fn query_dim(&self) -> usize {
+        2 * self.attrs.len()
+    }
+
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), self.query_dim());
+        let k = self.attrs.len();
+        self.attrs.iter().enumerate().all(|(i, &a)| {
+            let (c, r) = (q[i], q[k + i]);
+            x[a] >= c && x[a] < c + r
+        })
+    }
+
+    fn axis_bounds(&self, q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
+        let k = self.attrs.len();
+        Some(
+            self.attrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (a, q[i], q[i] + q[k + i]))
+                .collect(),
+        )
+    }
+}
+
+/// Range predicate with fixed widths: the query instance is only the
+/// lower corner `c` (length `attrs.len()`).
+///
+/// This is Example 2.1's 50m x 50m average-visit-duration query and the
+/// `r = 10%` sweep of Fig. 16.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedWidthRange {
+    attrs: Vec<usize>,
+    widths: Vec<f64>,
+}
+
+impl FixedWidthRange {
+    /// Constrain `attrs[i]` to `[c_i, c_i + widths[i])`.
+    pub fn new(attrs: Vec<usize>, widths: Vec<f64>, dims: usize) -> Result<Self, QueryError> {
+        if attrs.len() != widths.len() || attrs.is_empty() {
+            return Err(QueryError::BadConfig("attrs/widths must pair up and be nonempty".into()));
+        }
+        for &a in &attrs {
+            if a >= dims {
+                return Err(QueryError::BadAttribute { attr: a, dims });
+            }
+        }
+        if widths.iter().any(|w| *w <= 0.0) {
+            return Err(QueryError::BadConfig("widths must be positive".into()));
+        }
+        Ok(FixedWidthRange { attrs, widths })
+    }
+
+    /// The active attribute indices.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// The fixed widths.
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+}
+
+impl PredicateFn for FixedWidthRange {
+    fn query_dim(&self) -> usize {
+        self.attrs.len()
+    }
+
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), self.query_dim());
+        self.attrs
+            .iter()
+            .zip(q)
+            .zip(&self.widths)
+            .all(|((&a, &c), &w)| x[a] >= c && x[a] < c + w)
+    }
+
+    fn axis_bounds(&self, q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
+        Some(
+            self.attrs
+                .iter()
+                .zip(q)
+                .zip(&self.widths)
+                .map(|((&a, &c), &w)| (a, c, c + w))
+                .collect(),
+        )
+    }
+}
+
+/// General rectangle predicate of Table 2: the query instance is
+/// `(p, p′, φ)` — two opposite vertices and the rectangle's angle with the
+/// x-axis. A point is inside if, after rotating the plane by `−φ` about
+/// `p`, it lies in the axis-aligned box spanned by the rotated `p` and `p′`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotatedRect {
+    x_attr: usize,
+    y_attr: usize,
+}
+
+impl RotatedRect {
+    /// Rectangle over the plane of the two given attributes.
+    pub fn new(x_attr: usize, y_attr: usize, dims: usize) -> Result<Self, QueryError> {
+        for &a in &[x_attr, y_attr] {
+            if a >= dims {
+                return Err(QueryError::BadAttribute { attr: a, dims });
+            }
+        }
+        if x_attr == y_attr {
+            return Err(QueryError::BadConfig("x and y attributes must differ".into()));
+        }
+        Ok(RotatedRect { x_attr, y_attr })
+    }
+}
+
+impl PredicateFn for RotatedRect {
+    fn query_dim(&self) -> usize {
+        5 // p.x, p.y, p'.x, p'.y, phi
+    }
+
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), 5);
+        let (px, py, qx, qy, phi) = (q[0], q[1], q[2], q[3], q[4]);
+        let (cos, sin) = (phi.cos(), phi.sin());
+        // Rotate both the point and p' by −φ about p.
+        let rot = |vx: f64, vy: f64| -> (f64, f64) {
+            let (dx, dy) = (vx - px, vy - py);
+            (dx * cos + dy * sin, -dx * sin + dy * cos)
+        };
+        let (cx, cy) = rot(qx, qy);
+        let (ux, uy) = rot(x[self.x_attr], x[self.y_attr]);
+        let (x0, x1) = if cx < 0.0 { (cx, 0.0) } else { (0.0, cx) };
+        let (y0, y1) = if cy < 0.0 { (cy, 0.0) } else { (0.0, cy) };
+        ux >= x0 && ux <= x1 && uy >= y0 && uy <= y1
+    }
+}
+
+/// Half-space predicate from Sec. 4.3: matches points *above* the line
+/// `y = slope·x + intercept`, with the query instance `q = (slope,
+/// intercept)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfSpace {
+    x_attr: usize,
+    y_attr: usize,
+}
+
+impl HalfSpace {
+    /// Half-space over the plane of the two given attributes.
+    pub fn new(x_attr: usize, y_attr: usize, dims: usize) -> Result<Self, QueryError> {
+        for &a in &[x_attr, y_attr] {
+            if a >= dims {
+                return Err(QueryError::BadAttribute { attr: a, dims });
+            }
+        }
+        Ok(HalfSpace { x_attr, y_attr })
+    }
+}
+
+impl PredicateFn for HalfSpace {
+    fn query_dim(&self) -> usize {
+        2
+    }
+
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), 2);
+        x[self.y_attr] > x[self.x_attr] * q[0] + q[1]
+    }
+}
+
+/// Circular predicate of Sec. 3.3.2: `‖x_attrs − center‖₂ ≤ radius`, with
+/// `q = [center..., radius]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperSphere {
+    attrs: Vec<usize>,
+}
+
+impl HyperSphere {
+    /// Ball over the subspace of the given attributes.
+    pub fn new(attrs: Vec<usize>, dims: usize) -> Result<Self, QueryError> {
+        if attrs.is_empty() {
+            return Err(QueryError::BadConfig("no attributes".into()));
+        }
+        for &a in &attrs {
+            if a >= dims {
+                return Err(QueryError::BadAttribute { attr: a, dims });
+            }
+        }
+        Ok(HyperSphere { attrs })
+    }
+}
+
+impl PredicateFn for HyperSphere {
+    fn query_dim(&self) -> usize {
+        self.attrs.len() + 1
+    }
+
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), self.query_dim());
+        let radius = q[self.attrs.len()];
+        let d2: f64 = self
+            .attrs
+            .iter()
+            .zip(q)
+            .map(|(&a, &c)| (x[a] - c) * (x[a] - c))
+            .sum();
+        d2 <= radius * radius
+    }
+
+    fn axis_bounds(&self, q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
+        // The ball's bounding box; `matches` still does the exact test.
+        let radius = q[self.attrs.len()];
+        Some(
+            self.attrs
+                .iter()
+                .zip(q)
+                .map(|(&a, &c)| (a, c - radius, c + radius + f64::EPSILON))
+                .collect(),
+        )
+    }
+}
+
+/// Parametric disjunctive predicate from Sec. 4.3's WHERE-clause example
+/// (`WHERE X1 > ?param1 OR X2 > ?param2`): matches when *any* listed
+/// attribute exceeds its query-supplied threshold. The query instance is
+/// the threshold vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisjunctiveThresholds {
+    attrs: Vec<usize>,
+}
+
+impl DisjunctiveThresholds {
+    /// OR of `x[attrs[i]] > q[i]` terms.
+    pub fn new(attrs: Vec<usize>, dims: usize) -> Result<Self, QueryError> {
+        if attrs.is_empty() {
+            return Err(QueryError::BadConfig("no attributes".into()));
+        }
+        for &a in &attrs {
+            if a >= dims {
+                return Err(QueryError::BadAttribute { attr: a, dims });
+            }
+        }
+        Ok(DisjunctiveThresholds { attrs })
+    }
+}
+
+impl PredicateFn for DisjunctiveThresholds {
+    fn query_dim(&self) -> usize {
+        self.attrs.len()
+    }
+
+    fn matches(&self, q: &[f64], x: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), self.query_dim());
+        self.attrs.iter().zip(q).any(|(&a, &t)| x[a] > t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_matches_half_open_interval() {
+        let p = Range::new(vec![0, 2], 3).unwrap();
+        assert_eq!(p.query_dim(), 4);
+        let q = [0.2, 0.4, 0.3, 0.3]; // attr0 in [0.2,0.5), attr2 in [0.4,0.7)
+        assert!(p.matches(&q, &[0.2, 9.0, 0.4]));
+        assert!(p.matches(&q, &[0.49, -1.0, 0.69]));
+        assert!(!p.matches(&q, &[0.5, 0.0, 0.5])); // upper bound excluded
+        assert!(!p.matches(&q, &[0.19, 0.0, 0.5]));
+    }
+
+    #[test]
+    fn range_all_covers_every_attr() {
+        let p = Range::all(2);
+        let q = [0.0, 0.0, 1.0, 1.0];
+        assert!(p.matches(&q, &[0.5, 0.99]));
+        assert!(!p.matches(&q, &[1.0, 0.5])); // 1.0 is outside [0,1)
+    }
+
+    #[test]
+    fn range_axis_bounds() {
+        let p = Range::new(vec![1], 2).unwrap();
+        let b = p.axis_bounds(&[0.25, 0.5]).unwrap();
+        assert_eq!(b, vec![(1, 0.25, 0.75)]);
+    }
+
+    #[test]
+    fn range_rejects_bad_attrs() {
+        assert!(Range::new(vec![3], 3).is_err());
+        assert!(Range::new(vec![], 3).is_err());
+    }
+
+    #[test]
+    fn fixed_width_uses_only_corner() {
+        let p = FixedWidthRange::new(vec![0, 1], vec![0.1, 0.1], 2).unwrap();
+        assert_eq!(p.query_dim(), 2);
+        assert!(p.matches(&[0.5, 0.5], &[0.55, 0.59]));
+        assert!(!p.matches(&[0.5, 0.5], &[0.55, 0.61]));
+        assert!(FixedWidthRange::new(vec![0], vec![0.0], 2).is_err());
+        assert!(FixedWidthRange::new(vec![0], vec![0.1, 0.2], 2).is_err());
+    }
+
+    #[test]
+    fn rotated_rect_axis_aligned_case() {
+        // phi = 0 degenerates to an ordinary rectangle between p and p'.
+        let p = RotatedRect::new(0, 1, 2).unwrap();
+        let q = [0.2, 0.2, 0.6, 0.5, 0.0];
+        assert!(p.matches(&q, &[0.4, 0.3]));
+        assert!(p.matches(&q, &[0.2, 0.2]));
+        assert!(!p.matches(&q, &[0.7, 0.3]));
+        assert!(!p.matches(&q, &[0.4, 0.6]));
+    }
+
+    #[test]
+    fn rotated_rect_45_degrees() {
+        let p = RotatedRect::new(0, 1, 2).unwrap();
+        let s = std::f64::consts::FRAC_PI_4;
+        // p at origin, p' along the rotated axes at (0.4, 0.2) in local
+        // coordinates: in world coords p' = R(φ)(0.4, 0.2).
+        let (lx, ly) = (0.4, 0.2);
+        let qx = lx * s.cos() - ly * s.sin();
+        let qy = lx * s.sin() + ly * s.cos();
+        let q = [0.0, 0.0, qx, qy, s];
+        // Local point (0.2, 0.1) is inside; world coords:
+        let (wx, wy) = (0.2 * s.cos() - 0.1 * s.sin(), 0.2 * s.sin() + 0.1 * s.cos());
+        assert!(p.matches(&q, &[wx, wy]));
+        // Local point (0.2, 0.3) is outside (y beyond 0.2).
+        let (ox, oy) = (0.2 * s.cos() - 0.3 * s.sin(), 0.2 * s.sin() + 0.3 * s.cos());
+        assert!(!p.matches(&q, &[ox, oy]));
+    }
+
+    #[test]
+    fn rotated_rect_handles_negative_extents() {
+        // p' below/left of p still forms a valid rectangle.
+        let p = RotatedRect::new(0, 1, 2).unwrap();
+        let q = [0.6, 0.5, 0.2, 0.2, 0.0];
+        assert!(p.matches(&q, &[0.4, 0.3]));
+        assert!(!p.matches(&q, &[0.7, 0.3]));
+    }
+
+    #[test]
+    fn half_space_above_line() {
+        let p = HalfSpace::new(0, 1, 2).unwrap();
+        let q = [1.0, 0.0]; // y > x
+        assert!(p.matches(&q, &[0.3, 0.5]));
+        assert!(!p.matches(&q, &[0.5, 0.3]));
+        assert!(!p.matches(&q, &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn disjunction_matches_any_exceeding_threshold() {
+        let p = DisjunctiveThresholds::new(vec![0, 2], 3).unwrap();
+        assert_eq!(p.query_dim(), 2);
+        let q = [0.5, 0.8];
+        assert!(p.matches(&q, &[0.6, 0.0, 0.0])); // first term
+        assert!(p.matches(&q, &[0.0, 0.0, 0.9])); // second term
+        assert!(p.matches(&q, &[0.9, 0.0, 0.9])); // both
+        assert!(!p.matches(&q, &[0.5, 1.0, 0.8])); // strict inequality
+        assert!(p.axis_bounds(&q).is_none()); // not expressible as a box
+        assert!(DisjunctiveThresholds::new(vec![5], 3).is_err());
+    }
+
+    #[test]
+    fn sphere_contains_center_boundary() {
+        let p = HyperSphere::new(vec![0, 1], 2).unwrap();
+        assert_eq!(p.query_dim(), 3);
+        let q = [0.5, 0.5, 0.2];
+        assert!(p.matches(&q, &[0.5, 0.5]));
+        assert!(p.matches(&q, &[0.7, 0.5])); // on the boundary
+        assert!(!p.matches(&q, &[0.71, 0.5]));
+    }
+}

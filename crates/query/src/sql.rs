@@ -1,0 +1,370 @@
+//! A small SQL front-end for the RAQ form the paper targets (Sec. 2):
+//!
+//! ```sql
+//! SELECT AVG(m) FROM t WHERE 0.1 <= a AND a < 0.4 AND b BETWEEN 0.2 AND 0.7
+//! ```
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! * aggregates: `COUNT(col)`, `SUM(col)`, `AVG(col)`, `STD(col)`,
+//!   `MEDIAN(col)`;
+//! * conjunctions of per-column constraints, each either
+//!   `lit <= col`, `lit < col`, `col < lit`, `col <= lit`,
+//!   `col >= lit`, `col > lit`, or `col BETWEEN lit AND lit`
+//!   (BETWEEN is half-open `[lo, hi)` here, matching the paper's ranges);
+//! * no OR, no joins, no nesting — exactly the query family NeuroSketch
+//!   models.
+//!
+//! [`parse`] produces a [`ParsedQuery`]; [`ParsedQuery::bind`] resolves
+//! column names against a dataset and yields the `(Range, query-vector,
+//! Aggregate)` triple the rest of the crate consumes.
+
+use crate::aggregate::Aggregate;
+use crate::predicate::Range;
+use crate::QueryError;
+use datagen::Dataset;
+
+/// A parsed (but not yet column-resolved) RAQ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// Aggregation function.
+    pub agg: Aggregate,
+    /// Name of the measure column.
+    pub measure: String,
+    /// Table name after FROM (informational).
+    pub table: String,
+    /// Per-column `(name, lo, hi)` constraints, half-open.
+    pub constraints: Vec<(String, f64, f64)>,
+}
+
+/// Parse errors, pointing at the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    LParen,
+    RParen,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+}
+
+fn keyword(t: &Tok, kw: &str) -> bool {
+    matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() || c == ',' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '<' | '>' => {
+                let eq = chars.get(i + 1) == Some(&'=');
+                out.push(match (c, eq) {
+                    ('<', true) => Tok::Le,
+                    ('<', false) => Tok::Lt,
+                    ('>', true) => Tok::Ge,
+                    ('>', false) => Tok::Gt,
+                    _ => unreachable!(),
+                });
+                i += if eq { 2 } else { 1 };
+            }
+            c if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '-' || chars[i] == '+')
+                            && matches!(chars[i - 1], 'e' | 'E')))
+                {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                let v: f64 =
+                    s.parse().map_err(|_| ParseError(format!("bad number `{s}`")))?;
+                out.push(Tok::Num(v));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(ParseError(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one RAQ of the supported grammar.
+pub fn parse(sql: &str) -> Result<ParsedQuery, ParseError> {
+    let toks = tokenize(sql)?;
+    let mut i = 0;
+    let eat = |i: &mut usize, want: &str, toks: &[Tok]| -> Result<(), ParseError> {
+        match toks.get(*i) {
+            Some(t) if keyword(t, want) => {
+                *i += 1;
+                Ok(())
+            }
+            other => Err(ParseError(format!("expected {want}, got {other:?}"))),
+        }
+    };
+    let ident = |i: &mut usize, toks: &[Tok]| -> Result<String, ParseError> {
+        match toks.get(*i) {
+            Some(Tok::Ident(s)) => {
+                *i += 1;
+                Ok(s.clone())
+            }
+            other => Err(ParseError(format!("expected identifier, got {other:?}"))),
+        }
+    };
+    let num = |i: &mut usize, toks: &[Tok]| -> Result<f64, ParseError> {
+        match toks.get(*i) {
+            Some(Tok::Num(v)) => {
+                *i += 1;
+                Ok(*v)
+            }
+            other => Err(ParseError(format!("expected number, got {other:?}"))),
+        }
+    };
+
+    eat(&mut i, "SELECT", &toks)?;
+    let agg_name = ident(&mut i, &toks)?;
+    let agg = match agg_name.to_ascii_uppercase().as_str() {
+        "COUNT" => Aggregate::Count,
+        "SUM" => Aggregate::Sum,
+        "AVG" => Aggregate::Avg,
+        "STD" | "STDEV" | "STDDEV" => Aggregate::Std,
+        "MEDIAN" => Aggregate::Median,
+        other => return Err(ParseError(format!("unknown aggregate `{other}`"))),
+    };
+    if toks.get(i) != Some(&Tok::LParen) {
+        return Err(ParseError("expected ( after aggregate".into()));
+    }
+    i += 1;
+    let measure = ident(&mut i, &toks)?;
+    if toks.get(i) != Some(&Tok::RParen) {
+        return Err(ParseError("expected ) after measure column".into()));
+    }
+    i += 1;
+    eat(&mut i, "FROM", &toks)?;
+    let table = ident(&mut i, &toks)?;
+
+    // Optional WHERE with AND-chained constraints.
+    let mut constraints: Vec<(String, f64, f64)> = Vec::new();
+    if i < toks.len() {
+        eat(&mut i, "WHERE", &toks)?;
+        loop {
+            // Forms: num OP col | col OP num | col BETWEEN num AND num.
+            let (name, lo, hi) = match toks.get(i) {
+                Some(Tok::Num(v)) => {
+                    let v = *v;
+                    i += 1;
+                    let op = toks
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| ParseError("dangling comparison".into()))?;
+                    i += 1;
+                    let col = ident(&mut i, &toks)?;
+                    match op {
+                        // lit <= col / lit < col: lower bound.
+                        Tok::Le | Tok::Lt => (col, v, f64::INFINITY),
+                        // lit >= col / lit > col: upper bound.
+                        Tok::Ge | Tok::Gt => (col, f64::NEG_INFINITY, v),
+                        other => {
+                            return Err(ParseError(format!("bad operator {other:?}")))
+                        }
+                    }
+                }
+                Some(Tok::Ident(_)) => {
+                    let col = ident(&mut i, &toks)?;
+                    match toks.get(i) {
+                        Some(t) if keyword(t, "BETWEEN") => {
+                            i += 1;
+                            let lo = num(&mut i, &toks)?;
+                            eat(&mut i, "AND", &toks)?;
+                            let hi = num(&mut i, &toks)?;
+                            (col, lo, hi)
+                        }
+                        Some(Tok::Le) | Some(Tok::Lt) => {
+                            i += 1;
+                            let v = num(&mut i, &toks)?;
+                            (col, f64::NEG_INFINITY, v)
+                        }
+                        Some(Tok::Ge) | Some(Tok::Gt) => {
+                            i += 1;
+                            let v = num(&mut i, &toks)?;
+                            (col, v, f64::INFINITY)
+                        }
+                        other => {
+                            return Err(ParseError(format!("bad constraint at {other:?}")))
+                        }
+                    }
+                }
+                other => return Err(ParseError(format!("bad constraint at {other:?}"))),
+            };
+            // Merge with any existing constraint on the same column.
+            if let Some(existing) =
+                constraints.iter_mut().find(|(n, _, _)| n.eq_ignore_ascii_case(&name))
+            {
+                existing.1 = existing.1.max(lo);
+                existing.2 = existing.2.min(hi);
+            } else {
+                constraints.push((name, lo, hi));
+            }
+            match toks.get(i) {
+                None => break,
+                Some(t) if keyword(t, "AND") => i += 1,
+                other => return Err(ParseError(format!("expected AND, got {other:?}"))),
+            }
+        }
+    }
+    Ok(ParsedQuery { agg, measure, table, constraints })
+}
+
+impl ParsedQuery {
+    /// Resolve column names against a dataset: returns the predicate, the
+    /// query vector, the aggregate, and the measure column index. Open
+    /// bounds default to the column's normalized domain `[0, 1]`.
+    pub fn bind(&self, data: &Dataset) -> Result<(Range, Vec<f64>, Aggregate, usize), QueryError> {
+        let find = |name: &str| -> Result<usize, QueryError> {
+            data.column_names()
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+                .ok_or_else(|| QueryError::BadConfig(format!("no column `{name}`")))
+        };
+        let measure = find(&self.measure)?;
+        if self.constraints.is_empty() {
+            return Err(QueryError::BadConfig(
+                "need at least one WHERE constraint to form a range query".into(),
+            ));
+        }
+        let mut attrs = Vec::with_capacity(self.constraints.len());
+        let mut cs = Vec::with_capacity(self.constraints.len());
+        let mut rs = Vec::with_capacity(self.constraints.len());
+        for (name, lo, hi) in &self.constraints {
+            let a = find(name)?;
+            let lo = lo.max(0.0);
+            let hi = hi.min(1.0);
+            if hi <= lo {
+                return Err(QueryError::BadConfig(format!(
+                    "empty range on `{name}`: [{lo}, {hi})"
+                )));
+            }
+            attrs.push(a);
+            cs.push(lo);
+            rs.push(hi - lo);
+        }
+        let pred = Range::new(attrs, data.dims())?;
+        let mut q = cs;
+        q.extend_from_slice(&rs);
+        Ok((pred, q, self.agg, measure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::QueryEngine;
+    use datagen::simple::uniform;
+
+    #[test]
+    fn parses_full_query() {
+        let p = parse("SELECT AVG(m) FROM t WHERE 0.1 <= a AND a < 0.4 AND b BETWEEN 0.2 AND 0.7")
+            .unwrap();
+        assert_eq!(p.agg, Aggregate::Avg);
+        assert_eq!(p.measure, "m");
+        assert_eq!(p.table, "t");
+        assert_eq!(
+            p.constraints,
+            vec![("a".into(), 0.1, 0.4), ("b".into(), 0.2, 0.7)]
+        );
+    }
+
+    #[test]
+    fn merges_constraints_on_same_column() {
+        let p = parse("SELECT COUNT(m) FROM t WHERE a >= 0.1 AND a < 0.6").unwrap();
+        assert_eq!(p.constraints, vec![("a".into(), 0.1, 0.6)]);
+    }
+
+    #[test]
+    fn all_aggregates_parse() {
+        for (kw, agg) in [
+            ("COUNT", Aggregate::Count),
+            ("SUM", Aggregate::Sum),
+            ("AVG", Aggregate::Avg),
+            ("STD", Aggregate::Std),
+            ("MEDIAN", Aggregate::Median),
+        ] {
+            let p = parse(&format!("SELECT {kw}(x) FROM t WHERE x < 0.5")).unwrap();
+            assert_eq!(p.agg, agg, "{kw}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT MAX(m) FROM t").is_err());
+        assert!(parse("SELECT AVG(m) FROM t WHERE").is_err());
+        assert!(parse("SELECT AVG(m) FROM t WHERE a ! 0.5").is_err());
+        assert!(parse("SELECT AVG(m) FROM t WHERE a < 0.5 OR b < 0.5").is_err());
+    }
+
+    #[test]
+    fn bind_and_execute_matches_manual_query() {
+        let data = uniform(2_000, 3, 1); // columns x0, x1, x2
+        let engine = QueryEngine::new(&data, 2);
+        let p = parse("SELECT SUM(x2) FROM t WHERE x0 BETWEEN 0.2 AND 0.6").unwrap();
+        let (pred, q, agg, measure) = p.bind(&data).unwrap();
+        assert_eq!(measure, 2);
+        let sql_ans = QueryEngine::new(&data, measure).answer(&pred, agg, &q);
+        // Manual equivalent.
+        let manual_pred = crate::predicate::Range::new(vec![0], 3).unwrap();
+        let manual = engine.answer(&manual_pred, Aggregate::Sum, &[0.2, 0.4]);
+        assert!((sql_ans - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bind_rejects_unknown_columns_and_empty_ranges() {
+        let data = uniform(10, 2, 2);
+        let p = parse("SELECT AVG(nope) FROM t WHERE x0 < 0.5").unwrap();
+        assert!(p.bind(&data).is_err());
+        let p = parse("SELECT AVG(x1) FROM t WHERE x0 BETWEEN 0.6 AND 0.4").unwrap();
+        assert!(p.bind(&data).is_err());
+        let p = parse("SELECT AVG(x1) FROM t").unwrap();
+        assert!(p.bind(&data).is_err());
+    }
+
+    #[test]
+    fn scientific_notation_and_reversed_comparisons() {
+        let p = parse("SELECT COUNT(m) FROM t WHERE 1e-2 <= a AND 0.9 >= a").unwrap();
+        assert_eq!(p.constraints, vec![("a".into(), 0.01, 0.9)]);
+    }
+}

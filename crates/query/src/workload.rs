@@ -1,0 +1,323 @@
+//! Query workload generation (Sec. 5.1 "Query Distribution").
+//!
+//! The paper's workloads: pick `r` active attributes uniformly at random
+//! per query (or use a fixed set, e.g. lat/lon for VS), then draw a
+//! uniform range for each active attribute. Inactive attributes get
+//! `(c, r) = (0, 1)`. For the range-size sweep (Fig. 7) widths are fixed
+//! to a percentage of the attribute's domain and only the position is
+//! random.
+//!
+//! Training/test sets are disjoint by construction: we generate one pool
+//! and split it, deduplicating exact query-vector collisions.
+
+use crate::predicate::Range;
+use crate::QueryError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How active attributes are chosen for each query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActiveMode {
+    /// The same attributes are active in every query; the query vector
+    /// contains only their `(c, r)` pairs (lower NN input dim).
+    Fixed(Vec<usize>),
+    /// `k` attributes chosen uniformly at random per query; the query
+    /// vector spans all `dims` attributes, inactive ones set to `(0, 1)`.
+    Random(usize),
+}
+
+/// How each active attribute's range is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeMode {
+    /// Uniform: both endpoints uniform (width `r ~ U(0, 1−c)`), the
+    /// paper's default.
+    Uniform,
+    /// Fixed width as a fraction of the domain; position uniform
+    /// (Fig. 7's `x%` ranges).
+    FixedWidth(f64),
+    /// Width uniform within `[lo, hi]` fractions of the domain.
+    WidthBetween(f64, f64),
+    /// Workload skew: fixed width, positions Gaussian around `center`
+    /// with std `sigma` (truncated to the domain). Models the "workload
+    /// distribution" of Sec. 4.2 — NeuroSketch's equi-probable kd-tree
+    /// partitions adapt to it, diverting capacity to hot regions.
+    Hotspot {
+        /// Fixed range width.
+        width: f64,
+        /// Center of query-position mass.
+        center: f64,
+        /// Std of query positions.
+        sigma: f64,
+    },
+}
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Dataset dimensionality `d̄`.
+    pub dims: usize,
+    /// Active-attribute selection.
+    pub active: ActiveMode,
+    /// Range drawing mode.
+    pub range: RangeMode,
+    /// Number of queries to generate.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated workload: the predicate shared by all queries plus the
+/// query vectors.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The range predicate all query vectors are interpreted against.
+    pub predicate: Range,
+    /// Query instance vectors.
+    pub queries: Vec<Vec<f64>>,
+}
+
+impl Workload {
+    /// Generate a workload per the configuration.
+    pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, QueryError> {
+        if cfg.dims == 0 || cfg.count == 0 {
+            return Err(QueryError::BadConfig("dims and count must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        match &cfg.active {
+            ActiveMode::Fixed(attrs) => {
+                let predicate = Range::new(attrs.clone(), cfg.dims)?;
+                let k = attrs.len();
+                let queries = (0..cfg.count)
+                    .map(|_| {
+                        let mut q = vec![0.0; 2 * k];
+                        for i in 0..k {
+                            let (c, r) = draw_range(&mut rng, cfg.range);
+                            q[i] = c;
+                            q[k + i] = r;
+                        }
+                        q
+                    })
+                    .collect();
+                Ok(Workload { predicate, queries })
+            }
+            ActiveMode::Random(k) => {
+                let k = *k;
+                if k == 0 || k > cfg.dims {
+                    return Err(QueryError::BadConfig(format!(
+                        "{k} active attributes out of {} dims",
+                        cfg.dims
+                    )));
+                }
+                let predicate = Range::all(cfg.dims);
+                let d = cfg.dims;
+                let queries = (0..cfg.count)
+                    .map(|_| {
+                        let mut q = vec![0.0; 2 * d];
+                        // Inactive default: (c, r) = (0, 1).
+                        for r in 0..d {
+                            q[d + r] = 1.0;
+                        }
+                        // Choose k distinct active attributes.
+                        let mut chosen: Vec<usize> = (0..d).collect();
+                        for i in 0..k {
+                            let j = rng.random_range(i..d);
+                            chosen.swap(i, j);
+                        }
+                        for &a in &chosen[..k] {
+                            let (c, r) = draw_range(&mut rng, cfg.range);
+                            q[a] = c;
+                            q[d + a] = r;
+                        }
+                        q
+                    })
+                    .collect();
+                Ok(Workload { predicate, queries })
+            }
+        }
+    }
+
+    /// Split into disjoint (train, test) sets: the first
+    /// `total − test_count` queries train, the last `test_count` test,
+    /// with exact-duplicate test queries removed (the paper "ensures that
+    /// none of the test queries are in the training set").
+    pub fn split(&self, test_count: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let test_count = test_count.min(self.queries.len() / 2);
+        let cut = self.queries.len() - test_count;
+        let train: Vec<Vec<f64>> = self.queries[..cut].to_vec();
+        let test: Vec<Vec<f64>> = self.queries[cut..]
+            .iter()
+            .filter(|q| !train.contains(q))
+            .cloned()
+            .collect();
+        (train, test)
+    }
+}
+
+/// Draw one `(c, r)` pair in `[0,1]` with `c + r ≤ 1`.
+fn draw_range(rng: &mut StdRng, mode: RangeMode) -> (f64, f64) {
+    match mode {
+        RangeMode::Uniform => {
+            let c: f64 = rng.random();
+            let r: f64 = rng.random_range(0.0..(1.0 - c).max(f64::MIN_POSITIVE));
+            (c, r)
+        }
+        RangeMode::FixedWidth(w) => {
+            let w = w.clamp(0.0, 1.0);
+            let c: f64 = rng.random_range(0.0..(1.0 - w).max(f64::MIN_POSITIVE));
+            (c, w)
+        }
+        RangeMode::WidthBetween(lo, hi) => {
+            let w: f64 = rng.random_range(lo.clamp(0.0, 1.0)..hi.clamp(0.0, 1.0));
+            let c: f64 = rng.random_range(0.0..(1.0 - w).max(f64::MIN_POSITIVE));
+            (c, w)
+        }
+        RangeMode::Hotspot { width, center, sigma } => {
+            let w = width.clamp(0.0, 1.0);
+            // Box–Muller normal, truncated into the feasible corner range.
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let c = (center + sigma * z).clamp(0.0, (1.0 - w).max(0.0));
+            (c, w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PredicateFn;
+
+    #[test]
+    fn fixed_mode_compact_vectors() {
+        let cfg = WorkloadConfig {
+            dims: 3,
+            active: ActiveMode::Fixed(vec![0, 1]),
+            range: RangeMode::Uniform,
+            count: 100,
+            seed: 1,
+        };
+        let w = Workload::generate(&cfg).unwrap();
+        assert_eq!(w.queries.len(), 100);
+        assert_eq!(w.predicate.query_dim(), 4);
+        for q in &w.queries {
+            assert_eq!(q.len(), 4);
+            for i in 0..2 {
+                assert!(q[i] >= 0.0 && q[i] + q[2 + i] <= 1.0 + 1e-12, "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_mode_full_vectors_with_inactive_defaults() {
+        let cfg = WorkloadConfig {
+            dims: 5,
+            active: ActiveMode::Random(2),
+            range: RangeMode::Uniform,
+            count: 200,
+            seed: 2,
+        };
+        let w = Workload::generate(&cfg).unwrap();
+        assert_eq!(w.predicate.query_dim(), 10);
+        for q in &w.queries {
+            assert_eq!(q.len(), 10);
+            // Exactly 2 attributes should deviate from (0, 1).
+            let active = (0..5).filter(|&a| q[a] != 0.0 || q[5 + a] != 1.0).count();
+            assert!(active <= 2, "{q:?}");
+        }
+        // On average close to 2 active (c=0 draws are measure-zero).
+        let avg: f64 = w
+            .queries
+            .iter()
+            .map(|q| (0..5).filter(|&a| q[a] != 0.0 || q[5 + a] != 1.0).count() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!(avg > 1.9, "avg active {avg}");
+    }
+
+    #[test]
+    fn fixed_width_mode_produces_constant_widths() {
+        let cfg = WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::FixedWidth(0.05),
+            count: 50,
+            seed: 3,
+        };
+        let w = Workload::generate(&cfg).unwrap();
+        for q in &w.queries {
+            assert_eq!(q[1], 0.05);
+            assert!(q[0] + 0.05 <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hotspot_mode_concentrates_positions() {
+        let cfg = WorkloadConfig {
+            dims: 1,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Hotspot { width: 0.1, center: 0.3, sigma: 0.05 },
+            count: 2000,
+            seed: 5,
+        };
+        let w = Workload::generate(&cfg).unwrap();
+        let near = w.queries.iter().filter(|q| (q[0] - 0.3).abs() < 0.15).count();
+        assert!(near > 1800, "only {near} of 2000 near the hotspot");
+        for q in &w.queries {
+            assert_eq!(q[1], 0.1);
+            assert!(q[0] >= 0.0 && q[0] + 0.1 <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        let cfg = WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: 100,
+            seed: 4,
+        };
+        let w = Workload::generate(&cfg).unwrap();
+        let (train, test) = w.split(20);
+        assert_eq!(train.len(), 80);
+        assert!(test.len() <= 20);
+        for t in &test {
+            assert!(!train.contains(t));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let bad = WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Random(3),
+            range: RangeMode::Uniform,
+            count: 10,
+            seed: 0,
+        };
+        assert!(Workload::generate(&bad).is_err());
+        let zero = WorkloadConfig {
+            dims: 0,
+            active: ActiveMode::Random(1),
+            range: RangeMode::Uniform,
+            count: 10,
+            seed: 0,
+        };
+        assert!(Workload::generate(&zero).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WorkloadConfig {
+            dims: 3,
+            active: ActiveMode::Random(1),
+            range: RangeMode::Uniform,
+            count: 20,
+            seed: 9,
+        };
+        let a = Workload::generate(&cfg).unwrap();
+        let b = Workload::generate(&cfg).unwrap();
+        assert_eq!(a.queries, b.queries);
+    }
+}

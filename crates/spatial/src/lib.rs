@@ -1,0 +1,20 @@
+//! # spatial — index substrate
+//!
+//! Two index structures the paper depends on:
+//!
+//! * [`kdtree::KdTree`] — the query-space partitioning index of
+//!   NeuroSketch (Alg. 2 `partition_&_index`) together with the
+//!   complexity-guided leaf merging of Alg. 3. The tree is built over
+//!   *query instances*, its split values are medians of the training
+//!   workload, and each leaf owns the subset of training queries falling
+//!   inside it.
+//! * [`rtree::RTree`] — a bulk-loaded R-tree over data points, the
+//!   backbone of the TREE-AGG sampling baseline ("it builds an R-tree
+//!   index on the samples, which is well-suited for range predicates",
+//!   Sec. 5.1).
+
+pub mod kdtree;
+pub mod rtree;
+
+pub use kdtree::KdTree;
+pub use rtree::RTree;

@@ -1,0 +1,280 @@
+//! A bulk-loaded R-tree over data points — the index behind the paper's
+//! TREE-AGG baseline.
+//!
+//! Construction is a recursive sort-tile variant: at each level the points
+//! are sorted along the axis with the largest spread and cut into `FANOUT`
+//! slabs; minimum bounding rectangles are computed bottom-up. Range search
+//! takes per-attribute half-open interval bounds `(attr, lo, hi)` and
+//! visits every point inside all of them, pruning subtrees whose MBR
+//! misses any bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum children per internal node / points per leaf.
+const FANOUT: usize = 16;
+
+/// Bulk-loaded R-tree holding its own copy of the indexed points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RTree {
+    dims: usize,
+    /// Row-major point storage.
+    points: Vec<f64>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// Per-dimension (min, max) bounds of everything below.
+    mbr_lo: Vec<f64>,
+    mbr_hi: Vec<f64>,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum NodeKind {
+    Internal(Vec<usize>),
+    /// Point ids (row indices into `points`).
+    Leaf(Vec<usize>),
+}
+
+impl RTree {
+    /// Bulk load from rows (each of width `dims`). Rows are copied.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or `dims == 0`.
+    pub fn bulk_load(rows: &[Vec<f64>], dims: usize) -> RTree {
+        assert!(dims > 0, "dims must be positive");
+        assert!(rows.iter().all(|r| r.len() == dims), "ragged rows");
+        let mut points = Vec::with_capacity(rows.len() * dims);
+        for r in rows {
+            points.extend_from_slice(r);
+        }
+        Self::bulk_load_flat(points, dims)
+    }
+
+    /// Bulk load from an already-flat row-major buffer.
+    pub fn bulk_load_flat(points: Vec<f64>, dims: usize) -> RTree {
+        assert!(dims > 0, "dims must be positive");
+        assert_eq!(points.len() % dims, 0, "buffer not a multiple of dims");
+        let n = points.len() / dims;
+        let mut tree = RTree { dims, points, nodes: Vec::new(), root: None };
+        if n > 0 {
+            let mut ids: Vec<usize> = (0..n).collect();
+            let root = tree.build(&mut ids);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len() / self.dims
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Point dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// A stored point by id.
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.points[id * self.dims..(id + 1) * self.dims]
+    }
+
+    fn build(&mut self, ids: &mut [usize]) -> usize {
+        if ids.len() <= FANOUT {
+            let (lo, hi) = self.mbr_of_points(ids);
+            let id = self.nodes.len();
+            self.nodes.push(Node { mbr_lo: lo, mbr_hi: hi, kind: NodeKind::Leaf(ids.to_vec()) });
+            return id;
+        }
+        // Split along the widest axis into FANOUT slabs.
+        let axis = self.widest_axis(ids);
+        ids.sort_unstable_by(|&a, &b| {
+            self.points[a * self.dims + axis]
+                .partial_cmp(&self.points[b * self.dims + axis])
+                .expect("no NaN")
+        });
+        let slab = ids.len().div_ceil(FANOUT).max(FANOUT);
+        let mut children = Vec::new();
+        let mut start = 0;
+        while start < ids.len() {
+            let end = (start + slab).min(ids.len());
+            // Recurse on an owned copy to satisfy the borrow checker.
+            let mut sub: Vec<usize> = ids[start..end].to_vec();
+            children.push(self.build(&mut sub));
+            start = end;
+        }
+        let (lo, hi) = self.mbr_of_children(&children);
+        let id = self.nodes.len();
+        self.nodes.push(Node { mbr_lo: lo, mbr_hi: hi, kind: NodeKind::Internal(children) });
+        id
+    }
+
+    fn widest_axis(&self, ids: &[usize]) -> usize {
+        let (lo, hi) = self.mbr_of_points(ids);
+        (0..self.dims)
+            .max_by(|&a, &b| {
+                (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).expect("no NaN")
+            })
+            .unwrap_or(0)
+    }
+
+    fn mbr_of_points(&self, ids: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![f64::INFINITY; self.dims];
+        let mut hi = vec![f64::NEG_INFINITY; self.dims];
+        for &i in ids {
+            let p = self.point(i);
+            for d in 0..self.dims {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        (lo, hi)
+    }
+
+    fn mbr_of_children(&self, children: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![f64::INFINITY; self.dims];
+        let mut hi = vec![f64::NEG_INFINITY; self.dims];
+        for &c in children {
+            for d in 0..self.dims {
+                lo[d] = lo[d].min(self.nodes[c].mbr_lo[d]);
+                hi[d] = hi[d].max(self.nodes[c].mbr_hi[d]);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Visit every point id whose coordinates satisfy all half-open
+    /// bounds `(attr, lo, hi)`: `lo ≤ x[attr] < hi`.
+    pub fn search(&self, bounds: &[(usize, f64, f64)], mut visit: impl FnMut(usize)) {
+        debug_assert!(bounds.iter().all(|&(a, _, _)| a < self.dims), "bad bound attr");
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid];
+            // Prune: MBR must intersect every bound.
+            let overlaps = bounds
+                .iter()
+                .all(|&(a, lo, hi)| node.mbr_lo[a] < hi && node.mbr_hi[a] >= lo);
+            if !overlaps {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+                NodeKind::Leaf(ids) => {
+                    for &i in ids {
+                        let p = self.point(i);
+                        if bounds.iter().all(|&(a, lo, hi)| p[a] >= lo && p[a] < hi) {
+                            visit(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect matching point ids (convenience over [`RTree::search`]).
+    pub fn query(&self, bounds: &[(usize, f64, f64)]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.search(bounds, |i| out.push(i));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dims).map(|_| rng.random::<f64>()).collect()).collect()
+    }
+
+    fn brute_force(rows: &[Vec<f64>], bounds: &[(usize, f64, f64)]) -> Vec<usize> {
+        rows.iter()
+            .enumerate()
+            .filter(|(_, r)| bounds.iter().all(|&(a, lo, hi)| r[a] >= lo && r[a] < hi))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        let rows = random_points(2000, 3, 1);
+        let tree = RTree::bulk_load(&rows, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = rng.random_range(0..3);
+            let lo: f64 = rng.random_range(0.0..0.8);
+            let hi = lo + rng.random_range(0.01..0.2);
+            let bounds = vec![(a, lo, hi)];
+            let mut got = tree.query(&bounds);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&rows, &bounds));
+        }
+    }
+
+    #[test]
+    fn multi_bound_queries() {
+        let rows = random_points(1000, 2, 3);
+        let tree = RTree::bulk_load(&rows, 2);
+        let bounds = vec![(0, 0.2, 0.5), (1, 0.4, 0.9)];
+        let mut got = tree.query(&bounds);
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&rows, &bounds));
+    }
+
+    #[test]
+    fn empty_bounds_returns_everything() {
+        let rows = random_points(100, 2, 4);
+        let tree = RTree::bulk_load(&rows, 2);
+        assert_eq!(tree.query(&[]).len(), 100);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::bulk_load(&[], 2);
+        assert!(tree.is_empty());
+        assert_eq!(tree.query(&[(0, 0.0, 1.0)]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn half_open_boundary_semantics() {
+        let rows = vec![vec![0.5], vec![0.7]];
+        let tree = RTree::bulk_load(&rows, 1);
+        assert_eq!(tree.query(&[(0, 0.5, 0.7)]), vec![0]); // hi excluded
+        let mut both = tree.query(&[(0, 0.5, 0.700001)]);
+        both.sort_unstable();
+        assert_eq!(both, vec![0, 1]); // lo included
+    }
+
+    #[test]
+    fn point_accessor_roundtrip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let tree = RTree::bulk_load(&rows, 2);
+        assert_eq!(tree.point(1), &[3.0, 4.0]);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn large_tree_has_internal_structure() {
+        // More than FANOUT^2 points forces at least 3 levels.
+        let rows = random_points(1000, 2, 5);
+        let tree = RTree::bulk_load(&rows, 2);
+        assert!(tree.nodes.len() > 64, "nodes {}", tree.nodes.len());
+        // Full-range query still returns all points exactly once.
+        let got = tree.query(&[(0, 0.0, 1.1), (1, 0.0, 1.1)]);
+        assert_eq!(got.len(), 1000);
+        let unique: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+}

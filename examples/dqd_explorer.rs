@@ -1,0 +1,90 @@
+//! DQD explorer — the theory side of the paper, runnable.
+//!
+//! Walks through: closed-form LDQ constants (Examples 3.2/3.3), the
+//! Theorem 3.4 approximation-complexity bound, the Theorem 3.5 sampling
+//! bound and the "faster on larger databases" effect, and the explicit
+//! Algorithm-1 construction with its memorization guarantee.
+//!
+//! ```text
+//! cargo run --release --example dqd_explorer
+//! ```
+
+use neurosketch::dqd::{
+    approx_complexity, dqd_bound, eps2_for_confidence, sampling_confidence, ErrorNorm,
+};
+use neurosketch::ldq::{ldq_gaussian_count, ldq_gmm_count, ldq_uniform_count};
+use nn::construction::{GridNet, SlopeMode};
+
+fn main() {
+    println!("== LDQ: the paper's complexity measure (Sec. 3.1.3) ==");
+    println!("uniform COUNT:            rho = {:.2}", ldq_uniform_count());
+    for sigma in [0.3, 0.15, 0.05] {
+        println!("gaussian(sigma={sigma:.2}) COUNT: rho = {:.2}", ldq_gaussian_count(sigma));
+    }
+    println!(
+        "2-GMM(sigma=0.05) COUNT:  rho = {:.2}",
+        ldq_gmm_count(&[0.5, 0.5], &[0.05, 0.05])
+    );
+
+    println!("\n== Theorem 3.4: network complexity for approximation error eps1 ==");
+    println!("(d = 2, 1-norm bound; complexity = d * (t+1)^d units)");
+    for rho in [1.0, 8.0] {
+        for eps1 in [0.1, 0.05, 0.01] {
+            println!(
+                "  rho {rho:>4.1}, eps1 {eps1:>5.2} -> complexity {}",
+                approx_complexity(rho, 2, eps1, ErrorNorm::L1)
+            );
+        }
+    }
+
+    println!("\n== Theorem 3.5: sampling error vs data size ==");
+    println!("(probability that normalized COUNT error exceeds eps2 = 0.05, d = 2)");
+    for n in [10_000usize, 100_000, 1_000_000, 10_000_000] {
+        println!("  n = {n:>9}: failure prob <= {:.3e}", sampling_confidence(2, n, 0.05));
+    }
+
+    println!("\n== 'Faster on larger databases' (Sec. 3.1.2) ==");
+    println!("(fixing confidence 0.01, the achievable eps2 shrinks with n,");
+    println!(" so eps1 may grow and the network may shrink at equal total error)");
+    for n in [1_000_000usize, 10_000_000, 100_000_000] {
+        match eps2_for_confidence(1, n, 0.01) {
+            Some(eps2) => {
+                let total = 0.08;
+                let eps1 = (total - eps2).max(1e-4);
+                let b = dqd_bound(1.0, 1, n, eps1, eps2);
+                println!(
+                    "  n = {n:>10}: eps2 {:.4} -> eps1 {:.4} -> network complexity {}",
+                    b.eps2, b.eps1, b.complexity
+                );
+            }
+            None => println!("  n = {n:>10}: bound vacuous at this size"),
+        }
+    }
+
+    println!("\n== Algorithm 1: the memorization construction ==");
+    let f = |x: &[f64]| 0.5 * x[0] + 0.5 * (1.0 - x[1]); // 1-Lipschitz
+    let t = 8;
+    let net = GridNet::construct(&f, 2, t, SlopeMode::LemmaA3).expect("construct");
+    println!("grid t = {t}: {} g-units, slope M = {:.2}", net.units(), net.slope());
+    // Check the memorization guarantee at a few vertices.
+    let mut worst: f64 = 0.0;
+    for i in 0..=t {
+        for j in 0..=t {
+            let p = [i as f64 / t as f64, j as f64 / t as f64];
+            worst = worst.max((net.forward(&p) - f(&p)).abs());
+        }
+    }
+    println!("max error over all {} grid vertices: {worst:.2e} (Lemma A.1: exactly 0)", (t + 1) * (t + 1));
+    // Empirical 1-norm error vs the 3*rho*d/t bound of Theorem 3.4(a).
+    let steps = 50;
+    let mut acc = 0.0;
+    for i in 0..steps {
+        for j in 0..steps {
+            let p = [(i as f64 + 0.5) / steps as f64, (j as f64 + 0.5) / steps as f64];
+            acc += (net.forward(&p) - f(&p)).abs();
+        }
+    }
+    let emp = acc / (steps * steps) as f64;
+    let bound = 3.0 * 1.0 * 2.0 / t as f64;
+    println!("empirical 1-norm error {emp:.4} <= theorem bound {bound:.4}");
+}

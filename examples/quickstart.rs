@@ -1,0 +1,81 @@
+//! Quickstart: train a NeuroSketch on synthetic data and answer range
+//! aggregate queries with a forward pass.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use datagen::simple::uniform;
+use neurosketch::{NeuroSketch, NeuroSketchConfig};
+use query::aggregate::Aggregate;
+use query::error::normalized_mae;
+use query::exec::QueryEngine;
+use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+fn main() {
+    // 1. A dataset: 20k uniform rows over [0,1]^3; column 2 is the measure.
+    let data = uniform(20_000, 3, 7);
+    let engine = QueryEngine::new(&data, 2);
+
+    // 2. A training workload: AVG of the measure over ranges on column 0.
+    //    SELECT AVG(x2) FROM data WHERE c <= x0 < c + r
+    let wl = Workload::generate(&WorkloadConfig {
+        dims: 3,
+        active: ActiveMode::Fixed(vec![0]),
+        range: RangeMode::Uniform,
+        count: 2_200,
+        seed: 1,
+    })
+    .expect("valid workload");
+    let (train, test) = wl.split(200);
+
+    // 3. Build the sketch (labels computed once by exact scan).
+    let cfg = NeuroSketchConfig::default();
+    let t0 = std::time::Instant::now();
+    let (sketch, report) =
+        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &train, &cfg)
+            .expect("build succeeds");
+    println!(
+        "built {} partitions in {:.1}s (labeling {:.1}s, training {:.1}s)",
+        sketch.partitions(),
+        t0.elapsed().as_secs_f64(),
+        report.labeling.as_secs_f64(),
+        report.training.as_secs_f64()
+    );
+    println!(
+        "model: {} parameters, {:.1} KiB (data: {:.0} KiB)",
+        sketch.param_count(),
+        sketch.storage_bytes() as f64 / 1024.0,
+        (data.rows() * data.dims() * 8) as f64 / 1024.0
+    );
+
+    // 4. Answer queries without touching the data.
+    let truth: Vec<f64> =
+        test.iter().map(|q| engine.answer(&wl.predicate, Aggregate::Avg, q)).collect();
+    let t1 = std::time::Instant::now();
+    let preds: Vec<f64> = test.iter().map(|q| sketch.answer(q)).collect();
+    let per_query_us = t1.elapsed().as_secs_f64() * 1e6 / test.len() as f64;
+
+    println!("normalized MAE on {} held-out queries: {:.4}", test.len(), normalized_mae(&truth, &preds));
+    println!("per-query latency: {per_query_us:.1} us (exact scan touches all 20k rows)");
+
+    let q = &test[0];
+    println!(
+        "\nexample: AVG(x2) WHERE {:.3} <= x0 < {:.3}  ->  sketch {:.4}, exact {:.4}",
+        q[0],
+        q[0] + q[1],
+        sketch.answer(q),
+        truth[0]
+    );
+
+    // The same query through the SQL front-end.
+    let parsed = query::sql::parse("SELECT AVG(x2) FROM data WHERE x0 BETWEEN 0.25 AND 0.75")
+        .expect("valid SQL");
+    let (pred, qvec, agg, measure) = parsed.bind(&data).expect("columns resolve");
+    let exact_sql = QueryEngine::new(&data, measure).answer(&pred, agg, &qvec);
+    println!(
+        "SQL front-end: SELECT AVG(x2) ... BETWEEN 0.25 AND 0.75 -> sketch {:.4}, exact {:.4}",
+        sketch.answer(&qvec),
+        exact_sql
+    );
+}
