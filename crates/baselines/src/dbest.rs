@@ -97,7 +97,11 @@ impl Default for DbEstConfig {
             kde_centers: 512,
             reg_samples: 4_000,
             reg_width: 32,
-            train: TrainConfig { epochs: 120, patience: 12, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 120,
+                patience: 12,
+                ..TrainConfig::default()
+            },
             grid: 64,
             seed: 0,
         }
@@ -112,7 +116,10 @@ impl DbEst {
     /// Panics on empty data or out-of-range columns.
     pub fn build(data: &Dataset, attr: usize, measure: usize, cfg: &DbEstConfig) -> DbEst {
         assert!(data.rows() > 0, "empty dataset");
-        assert!(attr < data.dims() && measure < data.dims(), "column out of range");
+        assert!(
+            attr < data.dims() && measure < data.dims(),
+            "column out of range"
+        );
         let xs_all = data.column(attr);
         let density = Kde::fit(&xs_all, cfg.kde_centers, cfg.seed);
 
@@ -136,7 +143,15 @@ impl DbEst {
         tcfg.seed = cfg.seed;
         train(&mut reg, &xs, &ys, &tcfg);
 
-        DbEst { attr, n: data.rows() as f64, density, reg, y_mean, y_std, grid: cfg.grid.max(4) }
+        DbEst {
+            attr,
+            n: data.rows() as f64,
+            density,
+            reg,
+            y_mean,
+            y_std,
+            grid: cfg.grid.max(4),
+        }
     }
 
     /// The active attribute this model answers for.
@@ -181,7 +196,9 @@ impl DbEst {
             .collect();
         match active.as_slice() {
             [&(a, lo, hi)] if a == self.attr => Ok((lo, hi)),
-            [_] => Err(Unsupported::QueryShape("active attribute not modeled".into())),
+            [_] => Err(Unsupported::QueryShape(
+                "active attribute not modeled".into(),
+            )),
             _ => Err(Unsupported::QueryShape(format!(
                 "DBEst supports exactly one active attribute, got {}",
                 active.len()
@@ -300,7 +317,10 @@ mod tests {
             kde_centers: 256,
             reg_samples: 1_000,
             reg_width: 16,
-            train: TrainConfig { epochs: 60, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 60,
+                ..TrainConfig::default()
+            },
             grid: 32,
             seed: 0,
         }
@@ -326,11 +346,12 @@ mod tests {
     fn avg_tracks_conditional_mean() {
         // measure = 2*x + noise-free: AVG over [c, c+r] = c + r (in
         // measure units 2 * midpoint).
-        let rows: Vec<Vec<f64>> =
-            (0..4000).map(|i| {
+        let rows: Vec<Vec<f64>> = (0..4000)
+            .map(|i| {
                 let x = (i as f64 + 0.5) / 4000.0;
                 vec![x, 2.0 * x]
-            }).collect();
+            })
+            .collect();
         let data = Dataset::from_rows(vec!["x".into(), "m".into()], &rows).unwrap();
         let model = DbEst::build(&data, 0, 1, &fast_cfg());
         let pred = Range::new(vec![0], 2).unwrap();
@@ -372,7 +393,10 @@ mod tests {
         q[4] = 0.4;
         let exact = engine.answer(&pred, Aggregate::Count, &q);
         let est = ens.answer(&pred, Aggregate::Count, &q).unwrap();
-        assert!((exact - est).abs() / exact < 0.15, "exact {exact} est {est}");
+        assert!(
+            (exact - est).abs() / exact < 0.15,
+            "exact {exact} est {est}"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ struct Histogram {
 
 impl Histogram {
     fn fit(data: &Dataset, rows: &[usize], col: usize, lo: f64, hi: f64, bins: usize) -> Self {
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         let mut counts = vec![0usize; bins];
         let mut sums = vec![0.0f64; bins];
         let mut sums2 = vec![0.0f64; bins];
@@ -102,14 +106,25 @@ impl Histogram {
                 }
             })
             .collect();
-        Histogram { col, lo, hi, probs, means, m2s }
+        Histogram {
+            col,
+            lo,
+            hi,
+            probs,
+            means,
+            m2s,
+        }
     }
 
     /// `(P, E[v·1], E[v²·1])` of this column restricted to `[qlo, qhi)`,
     /// assuming uniform mass within each bin.
     fn range_moments(&self, qlo: f64, qhi: f64) -> (f64, f64, f64) {
         let bins = self.probs.len();
-        let width = if self.hi > self.lo { (self.hi - self.lo) / bins as f64 } else { 1.0 };
+        let width = if self.hi > self.lo {
+            (self.hi - self.lo) / bins as f64
+        } else {
+            1.0
+        };
         let (mut p, mut e1, mut e2) = (0.0, 0.0, 0.0);
         for b in 0..bins {
             let b0 = self.lo + b as f64 * width;
@@ -195,7 +210,10 @@ impl Spn {
         cols: &[usize],
         cfg: &SpnConfig,
     ) -> usize {
-        let children: Vec<usize> = cols.iter().map(|&c| self.leaf(data, rows, c, cfg)).collect();
+        let children: Vec<usize> = cols
+            .iter()
+            .map(|&c| self.leaf(data, rows, c, cfg))
+            .collect();
         if children.len() == 1 {
             return children[0];
         }
@@ -242,12 +260,16 @@ impl Spn {
         // Otherwise a sum split: 2-means over the rows.
         match two_means(data, &rows, &cols, &self.ranges, rng) {
             Some((a, b)) => {
-                let (wa, wb) =
-                    (a.len() as f64 / rows.len() as f64, b.len() as f64 / rows.len() as f64);
+                let (wa, wb) = (
+                    a.len() as f64 / rows.len() as f64,
+                    b.len() as f64 / rows.len() as f64,
+                );
                 let ca = self.learn(data, a, cols.clone(), cfg, depth + 1, rng);
                 let cb = self.learn(data, b, cols, cfg, depth + 1, rng);
                 let id = self.nodes.len();
-                self.nodes.push(Node::Sum { children: vec![(wa, ca), (wb, cb)] });
+                self.nodes.push(Node::Sum {
+                    children: vec![(wa, ca), (wb, cb)],
+                });
                 id
             }
             None => self.factorized(data, &rows, &cols, cfg),
@@ -270,9 +292,17 @@ impl Spn {
                     .unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
                 let (p, e1, e2) = h.range_moments(qlo.max(h.lo), qhi.min(h.hi + 1e-12));
                 if h.col == self.measure {
-                    Moments { p, e1: Some(e1), e2: Some(e2) }
+                    Moments {
+                        p,
+                        e1: Some(e1),
+                        e2: Some(e2),
+                    }
                 } else {
-                    Moments { p, e1: None, e2: None }
+                    Moments {
+                        p,
+                        e1: None,
+                        e2: None,
+                    }
                 }
             }
             Node::Product { children } => {
@@ -303,9 +333,17 @@ impl Spn {
                                 others *= m.p;
                             }
                         }
-                        Moments { p, e1: Some(a * others), e2: Some(b * others) }
+                        Moments {
+                            p,
+                            e1: Some(a * others),
+                            e2: Some(b * others),
+                        }
                     }
-                    _ => Moments { p, e1: None, e2: None },
+                    _ => Moments {
+                        p,
+                        e1: None,
+                        e2: None,
+                    },
                 }
             }
             Node::Sum { children } => {
@@ -485,8 +523,14 @@ fn two_means(
             0.0
         }
     };
-    let mut c0: Vec<f64> = cols.iter().map(|&c| norm(rows[rng.random_range(0..rows.len())], c)).collect();
-    let mut c1: Vec<f64> = cols.iter().map(|&c| norm(rows[rng.random_range(0..rows.len())], c)).collect();
+    let mut c0: Vec<f64> = cols
+        .iter()
+        .map(|&c| norm(rows[rng.random_range(0..rows.len())], c))
+        .collect();
+    let mut c1: Vec<f64> = cols
+        .iter()
+        .map(|&c| norm(rows[rng.random_range(0..rows.len())], c))
+        .collect();
     if c0 == c1 {
         // Nudge the second centroid to break ties.
         for v in &mut c1 {
@@ -509,7 +553,11 @@ fn two_means(
         let (mut s0, mut s1) = (vec![0.0; cols.len()], vec![0.0; cols.len()]);
         let (mut n0, mut n1) = (0usize, 0usize);
         for (i, &r) in rows.iter().enumerate() {
-            let (s, n) = if assign[i] { (&mut s1, &mut n1) } else { (&mut s0, &mut n0) };
+            let (s, n) = if assign[i] {
+                (&mut s1, &mut n1)
+            } else {
+                (&mut s0, &mut n0)
+            };
             for (j, &c) in cols.iter().enumerate() {
                 s[j] += norm(r, c);
             }
@@ -523,9 +571,18 @@ fn two_means(
             c1[j] = s1[j] / n1 as f64;
         }
     }
-    let a: Vec<usize> =
-        rows.iter().zip(&assign).filter(|(_, &s)| !s).map(|(&r, _)| r).collect();
-    let b: Vec<usize> = rows.iter().zip(&assign).filter(|(_, &s)| s).map(|(&r, _)| r).collect();
+    let a: Vec<usize> = rows
+        .iter()
+        .zip(&assign)
+        .filter(|(_, &s)| !s)
+        .map(|(&r, _)| r)
+        .collect();
+    let b: Vec<usize> = rows
+        .iter()
+        .zip(&assign)
+        .filter(|(_, &s)| s)
+        .map(|(&r, _)| r)
+        .collect();
     if a.is_empty() || b.is_empty() {
         None
     } else {
@@ -577,7 +634,14 @@ mod tests {
         // COUNT estimate must track the empty trough.
         let data = gmm2(6_000, 0.25, 0.75, 0.04, 3);
         let engine = QueryEngine::new(&data, 0);
-        let spn = Spn::build(&data, 0, &SpnConfig { min_rows: 300, ..SpnConfig::default() });
+        let spn = Spn::build(
+            &data,
+            0,
+            &SpnConfig {
+                min_rows: 300,
+                ..SpnConfig::default()
+            },
+        );
         let pred = Range::new(vec![0], 1).unwrap();
         let trough = spn.answer(&pred, Aggregate::Count, &[0.45, 0.1]).unwrap();
         let mode = spn.answer(&pred, Aggregate::Count, &[0.2, 0.1]).unwrap();
@@ -598,7 +662,14 @@ mod tests {
             })
             .collect();
         let data = Dataset::from_rows(vec!["x".into(), "m".into()], &rows).unwrap();
-        let spn = Spn::build(&data, 1, &SpnConfig { min_rows: 200, ..SpnConfig::default() });
+        let spn = Spn::build(
+            &data,
+            1,
+            &SpnConfig {
+                min_rows: 200,
+                ..SpnConfig::default()
+            },
+        );
         let pred = Range::new(vec![0], 2).unwrap();
         let avg = spn.answer(&pred, Aggregate::Avg, &[0.8, 0.2]).unwrap();
         assert!((avg - 0.9).abs() < 0.1, "avg {avg} should be near 0.9");
@@ -621,7 +692,10 @@ mod tests {
     fn storage_grows_with_data_complexity() {
         let simple = uniform(1_000, 2, 6);
         let complex = datagen::gmm::generate(&datagen::GmmConfig::paper_gmm(2, 20_000), 7);
-        let cfg = SpnConfig { min_rows: 200, ..SpnConfig::default() };
+        let cfg = SpnConfig {
+            min_rows: 200,
+            ..SpnConfig::default()
+        };
         let s1 = Spn::build(&simple, 1, &cfg);
         let s2 = Spn::build(&complex, 1, &cfg);
         assert!(s2.node_count() >= s1.node_count());
@@ -636,11 +710,8 @@ mod tests {
                 vec![x, x * x, 1.0 - x, 0.5]
             })
             .collect();
-        let data = Dataset::from_rows(
-            vec!["a".into(), "b".into(), "c".into(), "d".into()],
-            &rows,
-        )
-        .unwrap();
+        let data = Dataset::from_rows(vec!["a".into(), "b".into(), "c".into(), "d".into()], &rows)
+            .unwrap();
         let rows_idx: Vec<usize> = (0..100).collect();
         assert!(spearman(&data, &rows_idx, 0, 1) > 0.99);
         assert!(spearman(&data, &rows_idx, 0, 2) < -0.99);

@@ -30,7 +30,11 @@ impl ColumnHist {
     /// uniform mass within each bin.
     fn range(&self, qlo: f64, qhi: f64, n: f64) -> (f64, f64) {
         let bins = self.counts.len();
-        let width = if self.hi > self.lo { (self.hi - self.lo) / bins as f64 } else { 1.0 };
+        let width = if self.hi > self.lo {
+            (self.hi - self.lo) / bins as f64
+        } else {
+            1.0
+        };
         let (mut cnt, mut sum) = (0.0, 0.0);
         for b in 0..bins {
             let b0 = self.lo + b as f64 * width;
@@ -75,7 +79,11 @@ impl AviHistogram {
         for row in data.iter_rows() {
             let m = row[measure];
             for (c, h) in hists.iter_mut().enumerate() {
-                let width = if h.hi > h.lo { (h.hi - h.lo) / bins as f64 } else { 1.0 };
+                let width = if h.hi > h.lo {
+                    (h.hi - h.lo) / bins as f64
+                } else {
+                    1.0
+                };
                 let b = (((row[c] - h.lo) / width) as usize).min(bins - 1);
                 h.counts[b] += 1.0;
                 h.measure_sums[b] += m;
@@ -83,7 +91,11 @@ impl AviHistogram {
         }
         let n = data.rows() as f64;
         let global_measure_mean = data.column(measure).iter().sum::<f64>() / n;
-        AviHistogram { hists, n, global_measure_mean }
+        AviHistogram {
+            hists,
+            n,
+            global_measure_mean,
+        }
     }
 }
 
@@ -112,7 +124,7 @@ impl AqpEngine for AviHistogram {
             let h = &self.hists[a];
             let (sel, msum) = h.range(lo.max(h.lo), hi.min(h.hi + 1e-12), self.n);
             selectivity *= sel;
-            if best.map_or(true, |(s, _)| sel < s) {
+            if best.is_none_or(|(s, _)| sel < s) {
                 best = Some((sel, msum));
             }
         }
@@ -156,7 +168,10 @@ mod tests {
         for q in [[0.1, 0.3], [0.5, 0.4], [0.0, 1.0]] {
             let exact = engine.answer(&pred, Aggregate::Count, &q);
             let est = hist.answer(&pred, Aggregate::Count, &q).unwrap();
-            assert!((exact - est).abs() / exact < 0.05, "q {q:?} exact {exact} est {est}");
+            assert!(
+                (exact - est).abs() / exact < 0.05,
+                "q {q:?} exact {exact} est {est}"
+            );
         }
     }
 
@@ -169,7 +184,10 @@ mod tests {
         let q = [0.2, 0.3, 0.4, 0.5]; // independent uniforms: sel = 0.4*0.5
         let exact = engine.answer(&pred, Aggregate::Count, &q);
         let est = hist.answer(&pred, Aggregate::Count, &q).unwrap();
-        assert!((exact - est).abs() / exact < 0.08, "exact {exact} est {est}");
+        assert!(
+            (exact - est).abs() / exact < 0.08,
+            "exact {exact} est {est}"
+        );
     }
 
     #[test]
@@ -187,7 +205,10 @@ mod tests {
         let pred = Range::new(vec![0, 1], 3).unwrap();
         let q = [0.0, 0.5, 0.5, 0.5];
         let est = hist.answer(&pred, Aggregate::Count, &q).unwrap();
-        assert!(est > 1000.0, "AVI should (wrongly) predict ~1250, got {est}");
+        assert!(
+            est > 1000.0,
+            "AVI should (wrongly) predict ~1250, got {est}"
+        );
     }
 
     #[test]

@@ -57,12 +57,8 @@ pub trait AqpEngine: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Approximate `f_D(q)`, or explain why the engine cannot answer.
-    fn answer(
-        &self,
-        pred: &dyn PredicateFn,
-        agg: Aggregate,
-        q: &[f64],
-    ) -> Result<f64, Unsupported>;
+    fn answer(&self, pred: &dyn PredicateFn, agg: Aggregate, q: &[f64])
+        -> Result<f64, Unsupported>;
 
     /// Storage footprint in bytes (samples, histograms, or parameters),
     /// comparable with `NeuroSketch::storage_bytes`.

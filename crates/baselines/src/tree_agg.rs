@@ -96,7 +96,11 @@ impl AqpEngine for TreeAgg {
     ) -> Result<f64, Unsupported> {
         let mut vals = self.matching_values(pred, q);
         let est = agg.apply(&mut vals);
-        Ok(if agg.scales_with_n() { est * self.scale } else { est })
+        Ok(if agg.scales_with_n() {
+            est * self.scale
+        } else {
+            est
+        })
     }
 
     fn storage_bytes(&self) -> usize {
@@ -183,8 +187,12 @@ mod tests {
         let data = uniform(1000, 2, 9);
         let pred = Range::new(vec![0], 2).unwrap();
         let q = [0.25, 0.3];
-        let a = TreeAgg::build(&data, 1, 200, 11).answer(&pred, Aggregate::Sum, &q).unwrap();
-        let b = TreeAgg::build(&data, 1, 200, 11).answer(&pred, Aggregate::Sum, &q).unwrap();
+        let a = TreeAgg::build(&data, 1, 200, 11)
+            .answer(&pred, Aggregate::Sum, &q)
+            .unwrap();
+        let b = TreeAgg::build(&data, 1, 200, 11)
+            .answer(&pred, Aggregate::Sum, &q)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

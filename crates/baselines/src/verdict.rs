@@ -67,7 +67,12 @@ impl StratifiedSampler {
                 weights.push(w);
             }
         }
-        StratifiedSampler { rows, weights, dims: data.dims(), measure }
+        StratifiedSampler {
+            rows,
+            weights,
+            dims: data.dims(),
+            measure,
+        }
     }
 
     /// Number of retained samples.
@@ -76,7 +81,9 @@ impl StratifiedSampler {
     }
 
     fn iter_rows(&self) -> impl Iterator<Item = (&[f64], f64)> {
-        self.rows.chunks_exact(self.dims).zip(self.weights.iter().copied())
+        self.rows
+            .chunks_exact(self.dims)
+            .zip(self.weights.iter().copied())
     }
 }
 
@@ -155,7 +162,10 @@ mod tests {
         let q = [0.3, 0.4];
         let exact = engine.answer(&pred, Aggregate::Count, &q);
         let est = vs.answer(&pred, Aggregate::Count, &q).unwrap();
-        assert!((exact - est).abs() / exact < 0.12, "exact {exact} est {est}");
+        assert!(
+            (exact - est).abs() / exact < 0.12,
+            "exact {exact} est {est}"
+        );
     }
 
     #[test]
@@ -175,12 +185,15 @@ mod tests {
         // With stratification on the measure, the top stratum is always
         // represented: 50 strata of 20 rows each, 2 samples per stratum,
         // so the sampled max must come from the top stratum (>= 980).
-        let rows: Vec<Vec<f64>> =
-            (0..1000).map(|i| vec![i as f64 / 1000.0, i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..1000)
+            .map(|i| vec![i as f64 / 1000.0, i as f64])
+            .collect();
         let data = Dataset::from_rows(vec!["a".into(), "m".into()], &rows).unwrap();
         let vs = StratifiedSampler::build(&data, 1, 100, 50, 1);
-        let max_measure =
-            vs.iter_rows().map(|(r, _)| r[1]).fold(f64::NEG_INFINITY, f64::max);
+        let max_measure = vs
+            .iter_rows()
+            .map(|(r, _)| r[1])
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(max_measure >= 980.0, "sampled max {max_measure}");
     }
 
@@ -189,6 +202,9 @@ mod tests {
         let data = uniform(100, 2, 5);
         let vs = StratifiedSampler::build(&data, 1, 50, 5, 0);
         let pred = Range::new(vec![0], 2).unwrap();
-        assert_eq!(vs.answer(&pred, Aggregate::Avg, &[0.99, 0.0001]).unwrap(), 0.0);
+        assert_eq!(
+            vs.answer(&pred, Aggregate::Avg, &[0.99, 0.0001]).unwrap(),
+            0.0
+        );
     }
 }

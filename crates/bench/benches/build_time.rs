@@ -29,9 +29,7 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("label_600_queries_exact", |b| {
-        b.iter(|| {
-            black_box(engine.label_batch(&wl.predicate, Aggregate::Avg, &wl.queries, 4))
-        })
+        b.iter(|| black_box(engine.label_batch(&wl.predicate, Aggregate::Avg, &wl.queries, 4)))
     });
 
     group.bench_function("build_sketch_h2_small", |b| {
@@ -39,9 +37,7 @@ fn bench_build(c: &mut Criterion) {
         cfg.tree_height = 2;
         cfg.target_partitions = 4;
         cfg.train.epochs = 15;
-        b.iter(|| {
-            black_box(NeuroSketch::build_from_labeled(&wl.queries, &labels, &cfg).unwrap())
-        })
+        b.iter(|| black_box(NeuroSketch::build_from_labeled(&wl.queries, &labels, &cfg).unwrap()))
     });
 
     group.bench_function("construction_t8_d2", |b| {

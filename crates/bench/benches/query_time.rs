@@ -42,7 +42,10 @@ fn bench_query_time(c: &mut Criterion) {
         &data,
         0,
         measure,
-        &DbEstConfig { reg_samples: 1_000, ..DbEstConfig::default() },
+        &DbEstConfig {
+            reg_samples: 1_000,
+            ..DbEstConfig::default()
+        },
     );
 
     let mut group = c.benchmark_group("fig6b_query_time");

@@ -14,12 +14,11 @@ experiments: fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11 fig12 table3 fig13 fig1
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(which) = args.first().cloned() else {
-        eprintln!("{USAGE}");
-        std::process::exit(2);
-    };
     let mut ctx = ExperimentContext::default();
-    let mut i = 1;
+    // Flags and the experiment name may appear in any order
+    // (`repro fig5 --fast` and `repro --fast fig5` both work).
+    let mut which = None;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -39,14 +38,24 @@ fn main() {
             "--fast" => {
                 ctx.fast = true;
             }
-            other => die(&format!("unknown flag {other}\n{USAGE}")),
+            other if other.starts_with('-') => die(&format!("unknown flag {other}\n{USAGE}")),
+            other if which.is_none() => which = Some(other.to_string()),
+            other => die(&format!("unexpected argument {other}\n{USAGE}")),
         }
         i += 1;
     }
+    let Some(which) = which else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
 
     let start = std::time::Instant::now();
     run_one(&which, &ctx);
-    eprintln!("\n[{} finished in {:.1} s]", which, start.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[{} finished in {:.1} s]",
+        which,
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn die(msg: &str) -> ! {
@@ -73,8 +82,8 @@ fn run_one(which: &str, ctx: &ExperimentContext) {
         "ablation" => ablation::print(&ablation::run(ctx)),
         "all" => {
             for exp in [
-                "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10", "fig11",
-                "fig12", "table3", "fig13", "fig14", "fig16", "fig19", "ablation",
+                "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10", "fig11", "fig12",
+                "table3", "fig13", "fig14", "fig16", "fig19", "ablation",
             ] {
                 let t = std::time::Instant::now();
                 run_one(exp, ctx);

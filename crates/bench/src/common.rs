@@ -30,14 +30,22 @@ pub struct ExperimentContext {
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        ExperimentContext { scale: 1.0, seed: 42, fast: false }
+        ExperimentContext {
+            scale: 1.0,
+            seed: 42,
+            fast: false,
+        }
     }
 }
 
 impl ExperimentContext {
     /// A context for CI smoke tests.
     pub fn fast() -> Self {
-        ExperimentContext { scale: 0.05, seed: 42, fast: true }
+        ExperimentContext {
+            scale: 0.05,
+            seed: 42,
+            fast: true,
+        }
     }
 
     /// Training-workload size for NeuroSketch (paper: 100k).
@@ -110,17 +118,29 @@ pub struct EngineRow {
 impl EngineRow {
     /// `N/A` row for engines that cannot run an experiment at all.
     pub fn unsupported(engine: &'static str) -> EngineRow {
-        EngineRow { engine, nmae: f64::NAN, query_us: f64::NAN, storage_kib: f64::NAN, support: 0.0 }
+        EngineRow {
+            engine,
+            nmae: f64::NAN,
+            query_us: f64::NAN,
+            storage_kib: f64::NAN,
+            support: 0.0,
+        }
     }
 }
 
 /// Print a comparison table.
 pub fn print_rows(title: &str, rows: &[EngineRow]) {
     println!("\n== {title} ==");
-    println!("{:<14} {:>12} {:>14} {:>12} {:>9}", "engine", "norm. MAE", "query time", "storage", "support");
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>9}",
+        "engine", "norm. MAE", "query time", "storage", "support"
+    );
     for r in rows {
         if r.support == 0.0 {
-            println!("{:<14} {:>12} {:>14} {:>12} {:>9}", r.engine, "N/A", "N/A", "N/A", "0%");
+            println!(
+                "{:<14} {:>12} {:>14} {:>12} {:>9}",
+                r.engine, "N/A", "N/A", "N/A", "0%"
+            );
         } else {
             println!(
                 "{:<14} {:>12.4} {:>11.1} us {:>8.1} KiB {:>8.0}%",
@@ -203,8 +223,7 @@ pub fn build_lineup(
     ns_cfg: &NeuroSketchConfig,
     build_dbest: bool,
 ) -> Lineup {
-    let (sketch, _) =
-        NeuroSketch::build_from_labeled(train, labels, ns_cfg).expect("sketch build");
+    let (sketch, _) = NeuroSketch::build_from_labeled(train, labels, ns_cfg).expect("sketch build");
     let sample_k = (data.rows() / 10).max(100);
     let tree_agg = TreeAgg::build(data, measure, sample_k, ctx.seed);
     let verdict = StratifiedSampler::build(data, measure, sample_k, 32, ctx.seed ^ 1);
@@ -215,7 +234,10 @@ pub fn build_lineup(
     };
     let deepdb = Spn::build(data, measure, &spn_cfg);
     let dbest = build_dbest.then(|| {
-        let mut cfg = DbEstConfig { seed: ctx.seed, ..DbEstConfig::default() };
+        let mut cfg = DbEstConfig {
+            seed: ctx.seed,
+            ..DbEstConfig::default()
+        };
         if ctx.fast {
             cfg.reg_samples = 500;
             cfg.kde_centers = 128;
@@ -223,7 +245,13 @@ pub fn build_lineup(
         }
         DbEstEnsemble::build_all(data, measure, &cfg)
     });
-    Lineup { sketch, tree_agg, verdict, deepdb, dbest }
+    Lineup {
+        sketch,
+        tree_agg,
+        verdict,
+        deepdb,
+        dbest,
+    }
 }
 
 /// Run the standard comparison: label a train/test split, build the
@@ -301,12 +329,7 @@ pub fn run_comparison(
 
 /// The default workload for a dataset: lat/lon active for VS (as in the
 /// paper), one random active attribute elsewhere.
-pub fn default_workload(
-    ds: PaperDataset,
-    dims: usize,
-    count: usize,
-    seed: u64,
-) -> Workload {
+pub fn default_workload(ds: PaperDataset, dims: usize, count: usize, seed: u64) -> Workload {
     let active = match ds {
         PaperDataset::Vs => ActiveMode::Fixed(vec![0, 1]),
         _ => ActiveMode::Random(1),

@@ -117,15 +117,19 @@ pub fn run(ctx: &ExperimentContext) -> AblationResult {
                     .expect("every leaf has a model")
             })
             .collect();
-        merge.push(MergeRow { strategy: name, nmae: normalized_mae(&truth, &preds) });
+        merge.push(MergeRow {
+            strategy: name,
+            nmae: normalized_mae(&truth, &preds),
+        });
     }
 
     // --- Pruning ablation ------------------------------------------------
     // A single model trained on the full workload, pruned progressively.
     let n = labels.len() as f64;
     let y_mean = labels.iter().sum::<f64>() / n;
-    let y_std =
-        (labels.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n).sqrt().max(1e-12);
+    let y_std = (labels.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n)
+        .sqrt()
+        .max(1e-12);
     let ys: Vec<f64> = labels.iter().map(|y| (y - y_mean) / y_std).collect();
     let cfg = ctx.ns_config();
     let mut base = Mlp::new(&cfg.layer_sizes(train_q[0].len()), ctx.seed);
@@ -139,8 +143,10 @@ pub fn run(ctx: &ExperimentContext) -> AblationResult {
     for fraction in [0.0, 0.25, 0.5, 0.75, 0.9] {
         let mut pruned = base.clone();
         prune_magnitude(&mut pruned, fraction);
-        let preds: Vec<f64> =
-            test_q.iter().map(|q| pruned.predict(q) * y_std + y_mean).collect();
+        let preds: Vec<f64> = test_q
+            .iter()
+            .map(|q| pruned.predict(q) * y_std + y_mean)
+            .collect();
         prune.push(PruneRow {
             fraction,
             nmae: normalized_mae(&truth, &preds),

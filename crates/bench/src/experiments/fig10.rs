@@ -8,7 +8,7 @@
 //! *worse* (the paper's red line); TREE-AGG wins only when near-exact
 //! answers are required.
 
-use crate::common::{ExperimentContext};
+use crate::common::ExperimentContext;
 use baselines::deepdb::{Spn, SpnConfig};
 use baselines::tree_agg::TreeAgg;
 use baselines::verdict::StratifiedSampler;
@@ -72,9 +72,21 @@ pub fn run(ctx: &ExperimentContext) -> Vec<TradeoffPoint> {
         });
     };
 
-    let heights: Vec<usize> = if ctx.fast { vec![0, 2] } else { vec![0, 1, 2, 3, 4] };
-    let widths: Vec<usize> = if ctx.fast { vec![15, 60] } else { vec![15, 30, 60, 120] };
-    let depths: Vec<usize> = if ctx.fast { vec![2, 5] } else { vec![2, 5, 10, 20] };
+    let heights: Vec<usize> = if ctx.fast {
+        vec![0, 2]
+    } else {
+        vec![0, 1, 2, 3, 4]
+    };
+    let widths: Vec<usize> = if ctx.fast {
+        vec![15, 60]
+    } else {
+        vec![15, 30, 60, 120]
+    };
+    let depths: Vec<usize> = if ctx.fast {
+        vec![2, 5]
+    } else {
+        vec![2, 5, 10, 20]
+    };
 
     for &h in &heights {
         eval_sketch(format!("(h,120,5) h={h}"), h as f64, h, 120, 5);
@@ -89,7 +101,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<TradeoffPoint> {
     }
 
     // Baselines at several budgets.
-    let fracs: &[f64] = if ctx.fast { &[1.0, 0.1] } else { &[1.0, 0.5, 0.2, 0.1] };
+    let fracs: &[f64] = if ctx.fast {
+        &[1.0, 0.1]
+    } else {
+        &[1.0, 0.5, 0.2, 0.1]
+    };
     for &f in fracs {
         let k = ((data.rows() as f64 * f) as usize).max(50);
         let ta = TreeAgg::build(&data, measure, k, ctx.seed);
@@ -118,7 +134,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<TradeoffPoint> {
         let spn = Spn::build(
             &data,
             measure,
-            &SpnConfig { corr_threshold: t, seed: ctx.seed, ..SpnConfig::default() },
+            &SpnConfig {
+                corr_threshold: t,
+                seed: ctx.seed,
+                ..SpnConfig::default()
+            },
         );
         points.push(eval_baseline(
             format!("DeepDB rdc={t}"),
@@ -160,7 +180,10 @@ fn eval_baseline(
 /// Print the trade-off table.
 pub fn print(points: &[TradeoffPoint]) {
     println!("\n==== Fig. 10: time/space/accuracy trade-offs (VS, AVG) ====");
-    println!("{:<22} {:>12} {:>12} {:>10}", "config", "query (us)", "space frac", "nMAE");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "config", "query (us)", "space frac", "nMAE"
+    );
     for p in points {
         println!(
             "{:<22} {:>12.1} {:>12.5} {:>10.4}",
@@ -190,6 +213,10 @@ mod tests {
         let ctx = ExperimentContext::fast();
         let points = run(&ctx);
         let exact = points.iter().find(|p| p.label == "TREE-AGG 100%").unwrap();
-        assert!(exact.nmae < 1e-9, "full-sample TREE-AGG nmae {}", exact.nmae);
+        assert!(
+            exact.nmae < 1e-9,
+            "full-sample TREE-AGG nmae {}",
+            exact.nmae
+        );
     }
 }

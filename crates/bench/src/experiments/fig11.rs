@@ -52,14 +52,19 @@ pub fn run(ctx: &ExperimentContext) -> Fig11Result {
     // Fixed window over (lat, lon): the query function takes only the
     // window corner (Example 2.1's 50m x 50m query).
     let width = 0.15;
-    let pred = FixedWidthRange::new(vec![0, 1], vec![width, width], data.dims())
-        .expect("lat/lon exist");
+    let pred =
+        FixedWidthRange::new(vec![0, 1], vec![width, width], data.dims()).expect("lat/lon exist");
 
     // Training queries: uniform corners.
     let mut rng = StdRng::seed_from_u64(ctx.seed);
     let n_train = ctx.train_queries();
     let train: Vec<Vec<f64>> = (0..n_train)
-        .map(|_| vec![rng.random_range(0.0..1.0 - width), rng.random_range(0.0..1.0 - width)])
+        .map(|_| {
+            vec![
+                rng.random_range(0.0..1.0 - width),
+                rng.random_range(0.0..1.0 - width),
+            ]
+        })
         .collect();
     let labels = engine.label_batch(&pred, Aggregate::Avg, &train, 4);
 
@@ -91,7 +96,13 @@ pub fn run(ctx: &ExperimentContext) -> Fig11Result {
         }
     }
     let correlation = (pearson(&truth, &d5), pearson(&truth, &d10));
-    Fig11Result { grid, truth, depth5: d5, depth10: d10, correlation }
+    Fig11Result {
+        grid,
+        truth,
+        depth5: d5,
+        depth10: d10,
+        correlation,
+    }
 }
 
 /// Print coarse ASCII heat maps.

@@ -62,8 +62,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig12Row> {
                 cfg.target_partitions = 1;
                 cfg.l_first = width;
                 cfg.l_rest = width;
-                let Ok((sketch, _)) = NeuroSketch::build_from_labeled(train, labels, &cfg)
-                else {
+                let Ok((sketch, _)) = NeuroSketch::build_from_labeled(train, labels, &cfg) else {
                     continue;
                 };
                 let preds: Vec<f64> = test.iter().map(|q| sketch.answer(q)).collect();
@@ -103,8 +102,10 @@ mod tests {
     fn dist_ntq_shrinks_with_more_training_queries() {
         let ctx = ExperimentContext::fast();
         let rows = run(&ctx);
-        let w30: Vec<&Fig12Row> =
-            rows.iter().filter(|r| r.width == 30 && r.dataset == "VS").collect();
+        let w30: Vec<&Fig12Row> = rows
+            .iter()
+            .filter(|r| r.width == 30 && r.dataset == "VS")
+            .collect();
         assert!(w30.len() >= 2);
         let first = w30.first().unwrap();
         let last = w30.last().unwrap();
@@ -122,8 +123,10 @@ mod tests {
         let ctx = ExperimentContext::fast();
         let rows = run(&ctx);
         for width in [30, 120] {
-            let mut series: Vec<&Fig12Row> =
-                rows.iter().filter(|r| r.width == width && r.dataset == "VS").collect();
+            let mut series: Vec<&Fig12Row> = rows
+                .iter()
+                .filter(|r| r.width == width && r.dataset == "VS")
+                .collect();
             series.sort_by_key(|r| r.n_train);
             let first = series.first().unwrap().nmae;
             let last = series.last().unwrap().nmae;

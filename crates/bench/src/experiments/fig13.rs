@@ -103,8 +103,16 @@ pub fn run(ctx: &ExperimentContext) -> Fig13Result {
     let preds: Vec<f64> = val.iter().map(|q| default_sketch.answer(q)).collect();
     let default_error = normalized_mae(&val_labels, &preds);
 
-    let widths: Vec<usize> = if ctx.fast { vec![15, 30] } else { vec![15, 30, 60, 120] };
-    let depths: Vec<usize> = if ctx.fast { vec![3, 5] } else { vec![3, 4, 5, 7] };
+    let widths: Vec<usize> = if ctx.fast {
+        vec![15, 30]
+    } else {
+        vec![15, 30, 60, 120]
+    };
+    let depths: Vec<usize> = if ctx.fast {
+        vec![3, 5]
+    } else {
+        vec![3, 4, 5, 7]
+    };
     let default_params = default_sketch.param_count();
     let result = grid_search(
         &train,
@@ -130,11 +138,22 @@ pub fn run(ctx: &ExperimentContext) -> Fig13Result {
         cfg.l_rest = width;
         cfg.train.patience = 0; // full curve, no early stop
         let (_, report) = NeuroSketch::build_from_labeled(&train, &labels, &cfg).expect("build");
-        let losses = report.train_reports.first().map(|r| r.loss_curve.clone()).unwrap_or_default();
+        let losses = report
+            .train_reports
+            .first()
+            .map(|r| r.loss_curve.clone())
+            .unwrap_or_default();
         training.push(LossCurve { width, losses });
     }
 
-    Fig13Result { label_times, search: SearchCurve { default_error, points }, training }
+    Fig13Result {
+        label_times,
+        search: SearchCurve {
+            default_error,
+            points,
+        },
+        training,
+    }
 }
 
 /// Print all three panels.
@@ -149,7 +168,10 @@ pub fn print(res: &Fig13Result) {
             lt.elapsed.as_secs_f64()
         );
     }
-    println!("\n(b) architecture search (error ratio vs default = {:.4})", res.search.default_error);
+    println!(
+        "\n(b) architecture search (error ratio vs default = {:.4})",
+        res.search.default_error
+    );
     for (t, ratio) in &res.search.points {
         println!("  {:>8.2} s  ratio {:.3}", t.as_secs_f64(), ratio);
     }

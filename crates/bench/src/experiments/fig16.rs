@@ -74,10 +74,13 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig16Row> {
 
             // Evaluate on a grid of corners.
             let steps = if ctx.fast { 25 } else { 50 };
-            let grid: Vec<f64> =
-                (0..steps).map(|i| i as f64 / steps as f64 * (1.0 - width)).collect();
-            let truth: Vec<f64> =
-                grid.iter().map(|&c| engine.answer(&pred, Aggregate::Avg, &[c])).collect();
+            let grid: Vec<f64> = (0..steps)
+                .map(|i| i as f64 / steps as f64 * (1.0 - width))
+                .collect();
+            let truth: Vec<f64> = grid
+                .iter()
+                .map(|&c| engine.answer(&pred, Aggregate::Avg, &[c]))
+                .collect();
             let learned: Vec<f64> = grid.iter().map(|&c| sketch.answer(&[c])).collect();
             let nmae = normalized_mae(&truth, &learned);
 
@@ -92,7 +95,14 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig16Row> {
             let grid_q: Vec<Vec<f64>> = grid.iter().map(|&c| vec![c]).collect();
             let norm_aqc = aqc_sampled(&grid_q, &scaled, 20_000);
 
-            Fig16Row { dataset: ds.name(), grid, truth, learned, nmae, norm_aqc }
+            Fig16Row {
+                dataset: ds.name(),
+                grid,
+                truth,
+                learned,
+                nmae,
+                norm_aqc,
+            }
         })
         .collect()
 }

@@ -55,8 +55,10 @@ fn width_for_budget(input: usize, depth: usize, budget: usize) -> usize {
 }
 
 fn eval_mlp(mlp: &Mlp, test: &[Vec<f64>], truth: &[f64], y_scale: (f64, f64)) -> f64 {
-    let preds: Vec<f64> =
-        test.iter().map(|q| mlp.predict(q) * y_scale.1 + y_scale.0).collect();
+    let preds: Vec<f64> = test
+        .iter()
+        .map(|q| mlp.predict(q) * y_scale.1 + y_scale.0)
+        .collect();
     normalized_mae(truth, &preds)
 }
 
@@ -82,7 +84,15 @@ fn run_dim(
     let ys: Vec<f64> = labels.iter().map(|y| (y - y_mean) / y_std).collect();
 
     // Parameter budget set by the construction at a modest t.
-    let t = if dims == 2 { if ctx.fast { 6 } else { 10 } } else { 3 };
+    let t = if dims == 2 {
+        if ctx.fast {
+            6
+        } else {
+            10
+        }
+    } else {
+        3
+    };
     let f = |x: &[f64]| engine.answer(pred, Aggregate::Avg, x);
     let grid = GridNet::construct(&f, dims, t, SlopeMode::LemmaA3).expect("construct");
     let budget = grid.to_mlp().param_count();
@@ -142,10 +152,15 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig19Row> {
 
     // 2-D: fixed-window AVG (query = window corner).
     let width = 0.2;
-    let pred2 = FixedWidthRange::new(vec![0, 1], vec![width, width], data.dims())
-        .expect("valid predicate");
+    let pred2 =
+        FixedWidthRange::new(vec![0, 1], vec![width, width], data.dims()).expect("valid predicate");
     let queries2: Vec<Vec<f64>> = (0..n_q)
-        .map(|_| vec![rng.random_range(0.0..1.0 - width), rng.random_range(0.0..1.0 - width)])
+        .map(|_| {
+            vec![
+                rng.random_range(0.0..1.0 - width),
+                rng.random_range(0.0..1.0 - width),
+            ]
+        })
         .collect();
     let engine = QueryEngine::new(&data, measure);
     let mut rows = run_dim(ctx, 2, &engine, &pred2, &queries2);
@@ -208,6 +223,11 @@ mod tests {
             .filter(|r| r.dims == 4 && r.method.starts_with("FNN"))
             .map(|r| r.nmae)
             .fold(f64::INFINITY, f64::min);
-        assert!(by(4, "CS").nmae > fnn_best, "CS {} vs FNN {}", by(4, "CS").nmae, fnn_best);
+        assert!(
+            by(4, "CS").nmae > fnn_best,
+            "CS {} vs FNN {}",
+            by(4, "CS").nmae,
+            fnn_best
+        );
     }
 }

@@ -20,8 +20,12 @@ pub struct Fig5Row {
 
 /// Compute the four histograms of Fig. 5.
 pub fn run(ctx: &ExperimentContext) -> Vec<Fig5Row> {
-    let targets =
-        [PaperDataset::Pm, PaperDataset::Tpc1, PaperDataset::Vs, PaperDataset::G5];
+    let targets = [
+        PaperDataset::Pm,
+        PaperDataset::Tpc1,
+        PaperDataset::Vs,
+        PaperDataset::G5,
+    ];
     targets
         .iter()
         .map(|&ds| {
@@ -29,7 +33,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig5Row> {
             let scale = if ctx.fast { 0.05 } else { ctx.scale };
             let raw = ds.generate(scale, ctx.seed);
             let (edges, freqs) = raw.histogram(ds.measure_column(), 20);
-            Fig5Row { dataset: ds.name(), edges, freqs }
+            Fig5Row {
+                dataset: ds.name(),
+                edges,
+                freqs,
+            }
         })
         .collect()
 }
@@ -61,12 +69,26 @@ mod tests {
         }
         // PM: mode in the lower third (right-skew).
         let pm = &rows[0];
-        let argmax = pm.freqs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let argmax = pm
+            .freqs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert!(argmax < 7, "PM mode at bucket {argmax}");
         // TPC: both negative and positive profit buckets populated.
         let tpc = &rows[1];
-        let has_neg = tpc.edges.iter().zip(&tpc.freqs).any(|(e, f)| *e < 0.0 && *f > 0.0);
-        let has_pos = tpc.edges.iter().zip(&tpc.freqs).any(|(e, f)| *e > 0.0 && *f > 0.0);
+        let has_neg = tpc
+            .edges
+            .iter()
+            .zip(&tpc.freqs)
+            .any(|(e, f)| *e < 0.0 && *f > 0.0);
+        let has_pos = tpc
+            .edges
+            .iter()
+            .zip(&tpc.freqs)
+            .any(|(e, f)| *e > 0.0 && *f > 0.0);
         assert!(has_neg && has_pos);
     }
 }

@@ -23,7 +23,12 @@ pub struct Fig6Row {
 /// mode: their cost dwarfs the information gained in a smoke run).
 fn datasets(ctx: &ExperimentContext) -> Vec<PaperDataset> {
     if ctx.fast {
-        vec![PaperDataset::Pm, PaperDataset::Vs, PaperDataset::G5, PaperDataset::Tpc1]
+        vec![
+            PaperDataset::Pm,
+            PaperDataset::Vs,
+            PaperDataset::G5,
+            PaperDataset::Tpc1,
+        ]
     } else {
         PaperDataset::ALL.to_vec()
     }
@@ -54,7 +59,10 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig6Row> {
                 &ctx.ns_config(),
                 build_dbest,
             );
-            Fig6Row { dataset: ds.name(), engines }
+            Fig6Row {
+                dataset: ds.name(),
+                engines,
+            }
         })
         .collect()
 }

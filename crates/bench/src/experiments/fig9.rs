@@ -31,8 +31,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<Fig9Row> {
                 seed: ctx.seed,
             })
             .expect("valid workload");
-            let engines =
-                run_comparison(&data, measure, &wl, agg, ctx, &ctx.ns_config(), false);
+            let engines = run_comparison(&data, measure, &wl, agg, ctx, &ctx.ns_config(), false);
             Fig9Row { agg, engines }
         })
         .collect()

@@ -56,11 +56,22 @@ pub fn run(ctx: &ExperimentContext) -> Vec<EngineRow> {
     let sample_k = (data.rows() / 10).max(100);
     let tree_agg = TreeAgg::build(&data, measure, sample_k, ctx.seed);
     let verdict = StratifiedSampler::build(&data, measure, sample_k, 32, ctx.seed);
-    let deepdb = Spn::build(&data, measure, &SpnConfig { seed: ctx.seed, ..SpnConfig::default() });
+    let deepdb = Spn::build(
+        &data,
+        measure,
+        &SpnConfig {
+            seed: ctx.seed,
+            ..SpnConfig::default()
+        },
+    );
     let dbest = DbEstEnsemble::build(
         &data,
         measure,
-        &DbEstConfig { seed: ctx.seed, reg_samples: 500, ..DbEstConfig::default() },
+        &DbEstConfig {
+            seed: ctx.seed,
+            reg_samples: 500,
+            ..DbEstConfig::default()
+        },
     );
 
     let mut rows = Vec::new();
@@ -74,16 +85,51 @@ pub fn run(ctx: &ExperimentContext) -> Vec<EngineRow> {
         storage_kib: sketch.storage_bytes() as f64 / 1024.0,
         support: 1.0,
     });
-    rows.push(eval_engine(&tree_agg, "TREE-AGG", &pred, agg, &test_v, &truth, tree_agg.storage_bytes()));
-    rows.push(eval_engine(&verdict, "VerdictDB", &pred, agg, &test_v, &truth, verdict.storage_bytes()));
-    rows.push(eval_engine(&deepdb, "DeepDB", &pred, agg, &test_v, &truth, deepdb.storage_bytes()));
-    rows.push(eval_engine(&dbest, "DBEst", &pred, agg, &test_v, &truth, dbest.storage_bytes()));
+    rows.push(eval_engine(
+        &tree_agg,
+        "TREE-AGG",
+        &pred,
+        agg,
+        &test_v,
+        &truth,
+        tree_agg.storage_bytes(),
+    ));
+    rows.push(eval_engine(
+        &verdict,
+        "VerdictDB",
+        &pred,
+        agg,
+        &test_v,
+        &truth,
+        verdict.storage_bytes(),
+    ));
+    rows.push(eval_engine(
+        &deepdb,
+        "DeepDB",
+        &pred,
+        agg,
+        &test_v,
+        &truth,
+        deepdb.storage_bytes(),
+    ));
+    rows.push(eval_engine(
+        &dbest,
+        "DBEst",
+        &pred,
+        agg,
+        &test_v,
+        &truth,
+        dbest.storage_bytes(),
+    ));
     rows
 }
 
 /// Print the table.
 pub fn print(rows: &[EngineRow]) {
-    print_rows("Table 2: MEDIAN visit duration, general rectangle (VS)", rows);
+    print_rows(
+        "Table 2: MEDIAN visit duration, general rectangle (VS)",
+        rows,
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,76 @@
+//! Smoke coverage for the `repro` CLI's experiment entry points: the
+//! fig5 and table2 experiments must run at `--fast` scale and return
+//! non-empty, finite rows. This is exactly what
+//! `cargo run -p bench --bin repro -- --fast fig5` executes, minus the
+//! printing.
+
+use bench::common::ExperimentContext;
+use bench::experiments::{fig5, table2};
+
+#[test]
+fn fig5_fast_returns_nonempty_finite_rows() {
+    let ctx = ExperimentContext::fast();
+    let rows = fig5::run(&ctx);
+    assert!(!rows.is_empty(), "fig5 returned no rows");
+    for r in &rows {
+        assert!(!r.dataset.is_empty());
+        assert!(!r.freqs.is_empty(), "{}: empty histogram", r.dataset);
+        assert_eq!(
+            r.edges.len(),
+            r.freqs.len(),
+            "{}: histogram left edges/freqs mismatch",
+            r.dataset
+        );
+        assert!(
+            r.edges.iter().all(|e| e.is_finite()),
+            "{}: non-finite bin edge",
+            r.dataset
+        );
+        // Frequencies form a (sub-)distribution: finite, nonnegative,
+        // summing to ~1 over the recorded support.
+        let sum: f64 = r.freqs.iter().sum();
+        assert!(
+            r.freqs.iter().all(|f| f.is_finite() && *f >= 0.0),
+            "{}: bad frequency",
+            r.dataset
+        );
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&sum),
+            "{}: freq sum {sum}",
+            r.dataset
+        );
+    }
+}
+
+#[test]
+fn table2_fast_returns_all_engines_with_finite_supported_rows() {
+    let ctx = ExperimentContext::fast();
+    let rows = table2::run(&ctx);
+    assert!(!rows.is_empty(), "table2 returned no rows");
+    // The paper's table lists every engine, supported or not.
+    assert!(rows.iter().any(|r| r.engine == "NeuroSketch"));
+    let mut supported = 0;
+    for r in &rows {
+        assert!(
+            (0.0..=1.0).contains(&r.support),
+            "{}: support {}",
+            r.engine,
+            r.support
+        );
+        if r.support > 0.0 {
+            supported += 1;
+            assert!(r.nmae.is_finite(), "{}: non-finite nMAE", r.engine);
+            assert!(
+                r.query_us.is_finite() && r.query_us >= 0.0,
+                "{}: bad query time",
+                r.engine
+            );
+            assert!(
+                r.storage_kib.is_finite() && r.storage_kib > 0.0,
+                "{}: bad storage",
+                r.engine
+            );
+        }
+    }
+    assert!(supported > 0, "no engine answered the table2 workload");
+}

@@ -47,7 +47,10 @@ impl Dataset {
         let mut data = Vec::with_capacity(rows.len() * dims);
         for r in rows {
             if r.len() != dims {
-                return Err(DataError::ShapeMismatch { expected: dims, got: r.len() });
+                return Err(DataError::ShapeMismatch {
+                    expected: dims,
+                    got: r.len(),
+                });
             }
             data.extend_from_slice(r);
         }
@@ -125,7 +128,9 @@ impl Dataset {
     /// inverts the mapping.
     pub fn normalized(&self) -> (Dataset, Normalizer) {
         let ranges = self.column_ranges();
-        let norm = Normalizer { ranges: ranges.clone() };
+        let norm = Normalizer {
+            ranges: ranges.clone(),
+        };
         let d = self.dims();
         let mut data = Vec::with_capacity(self.data.len());
         for row in self.iter_rows() {
@@ -133,7 +138,13 @@ impl Dataset {
                 data.push(norm.forward(c, *v));
             }
         }
-        (Dataset { columns: self.columns.clone(), data }, norm)
+        (
+            Dataset {
+                columns: self.columns.clone(),
+                data,
+            },
+            norm,
+        )
     }
 
     /// Project onto a subset of columns (Fig. 15's 2-D subsets).
@@ -174,7 +185,10 @@ impl Dataset {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(Dataset { columns: self.columns.clone(), data })
+        Ok(Dataset {
+            columns: self.columns.clone(),
+            data,
+        })
     }
 
     /// Mean and (population) standard deviation of one column.
@@ -194,15 +208,24 @@ impl Dataset {
         let vals = self.column(col);
         let (lo, hi) = vals
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         let mut counts = vec![0usize; bins];
         for v in &vals {
             let b = (((v - lo) / width) as usize).min(bins - 1);
             counts[b] += 1;
         }
         let edges = (0..bins).map(|b| lo + b as f64 * width).collect();
-        let freqs = counts.iter().map(|&c| c as f64 / vals.len() as f64).collect();
+        let freqs = counts
+            .iter()
+            .map(|&c| c as f64 / vals.len() as f64)
+            .collect();
         (edges, freqs)
     }
 }
@@ -244,7 +267,12 @@ mod tests {
     fn sample() -> Dataset {
         Dataset::from_rows(
             vec!["a".into(), "b".into()],
-            &[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]],
+            &[
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+            ],
         )
         .unwrap()
     }

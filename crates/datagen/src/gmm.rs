@@ -27,7 +27,12 @@ pub struct GmmConfig {
 impl GmmConfig {
     /// The paper's setup: 100 components, random mean and covariance.
     pub fn paper_gmm(dims: usize, rows: usize) -> Self {
-        GmmConfig { components: 100, dims, rows, spread: 0.05 }
+        GmmConfig {
+            components: 100,
+            dims,
+            rows,
+            spread: 0.05,
+        }
     }
 }
 
@@ -46,7 +51,9 @@ pub fn generate(cfg: &GmmConfig, seed: u64) -> Dataset {
     let d = cfg.dims;
 
     // Random weights, normalized into a cumulative distribution.
-    let raw_w: Vec<f64> = (0..cfg.components).map(|_| rng.random_range(0.2..1.0)).collect();
+    let raw_w: Vec<f64> = (0..cfg.components)
+        .map(|_| rng.random_range(0.2..1.0))
+        .collect();
     let total: f64 = raw_w.iter().sum();
     let mut cum = 0.0;
     let comps: Vec<Component> = raw_w
@@ -57,7 +64,11 @@ pub fn generate(cfg: &GmmConfig, seed: u64) -> Dataset {
             let mix = (0..d * d)
                 .map(|_| standard_normal(&mut rng) * cfg.spread / (d as f64).sqrt())
                 .collect();
-            Component { weight_cum: cum, mean, mix }
+            Component {
+                weight_cum: cum,
+                mean,
+                mix,
+            }
         })
         .collect();
 
@@ -118,7 +129,12 @@ mod tests {
     #[test]
     fn components_have_different_locations() {
         // Two different seeds produce different mixtures.
-        let cfg = GmmConfig { components: 3, dims: 2, rows: 500, spread: 0.02 };
+        let cfg = GmmConfig {
+            components: 3,
+            dims: 2,
+            rows: 500,
+            spread: 0.02,
+        };
         let a = generate(&cfg, 10);
         let b = generate(&cfg, 11);
         let (ma, _) = a.column_stats(0);

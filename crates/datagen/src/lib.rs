@@ -121,9 +121,10 @@ impl PaperDataset {
             PaperDataset::Pm => pm::generate(rows(20_000), seed),
             PaperDataset::Tpc1 => tpc::generate(rows(50_000), seed),
             PaperDataset::Tpc10 => tpc::generate(rows(500_000), seed),
-            PaperDataset::Vs => {
-                veraset::generate(&veraset::VerasetConfig::default_with_rows(rows(20_000)), seed)
-            }
+            PaperDataset::Vs => veraset::generate(
+                &veraset::VerasetConfig::default_with_rows(rows(20_000)),
+                seed,
+            ),
         }
     }
 }

@@ -65,6 +65,24 @@ const REGIMES: [(f64, f64); 4] = [
 /// Maximum recorded visit duration (hours), matching Fig. 5's VS x-axis.
 const MAX_DURATION_H: f64 = 20.0;
 
+/// Category mix of a downtown: mostly short-stay retail/food, fewer
+/// office/residential POIs. Biasing the mix toward the short regimes
+/// makes the global duration distribution right-skewed (Fig. 5) by
+/// construction instead of by luck of the per-POI regime draws.
+const REGIME_WEIGHTS: [f64; 4] = [0.35, 0.30, 0.20, 0.15];
+
+fn sample_regime(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, w) in REGIME_WEIGHTS.iter().enumerate() {
+        acc += w;
+        if u <= acc {
+            return i;
+        }
+    }
+    REGIMES.len() - 1
+}
+
 struct Poi {
     lat: f64,
     lon: f64,
@@ -80,7 +98,9 @@ pub fn generate(cfg: &VerasetConfig, seed: u64) -> Dataset {
     let (lon0, lon1) = cfg.lon_range;
 
     // Zipf popularity over POIs.
-    let weights: Vec<f64> = (1..=cfg.pois).map(|r| 1.0 / (r as f64).powf(cfg.zipf_s)).collect();
+    let weights: Vec<f64> = (1..=cfg.pois)
+        .map(|r| 1.0 / (r as f64).powf(cfg.zipf_s))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cum = 0.0;
     let pois: Vec<Poi> = weights
@@ -90,7 +110,7 @@ pub fn generate(cfg: &VerasetConfig, seed: u64) -> Dataset {
             Poi {
                 lat: rng.random_range(lat0..lat1),
                 lon: rng.random_range(lon0..lon1),
-                regime: rng.random_range(0..REGIMES.len()),
+                regime: sample_regime(&mut rng),
                 popularity_cum: cum,
             }
         })
@@ -114,13 +134,12 @@ pub fn generate(cfg: &VerasetConfig, seed: u64) -> Dataset {
         let regime = if rng.random::<f64>() < 0.75 {
             poi.regime
         } else {
-            rng.random_range(0..REGIMES.len())
+            sample_regime(&mut rng)
         };
         let (mean_h, sigma) = REGIMES[regime];
         // Lognormal around the regime mean; stay-point extraction floors
         // visits at 15 minutes.
-        let dur = (mean_h * (sigma * standard_normal(&mut rng)).exp())
-            .clamp(0.25, MAX_DURATION_H);
+        let dur = (mean_h * (sigma * standard_normal(&mut rng)).exp()).clamp(0.25, MAX_DURATION_H);
         data.extend_from_slice(&[lat, lon, dur]);
     }
     Dataset::new(vec!["lat".into(), "lon".into(), "duration_h".into()], data)
@@ -167,11 +186,9 @@ mod tests {
         let cfg = VerasetConfig::default_with_rows(1);
         let mut counts = vec![0usize; 400];
         for row in d.iter_rows() {
-            let gx = (((row[0] - cfg.lat_range.0) / (cfg.lat_range.1 - cfg.lat_range.0))
-                * 20.0)
+            let gx = (((row[0] - cfg.lat_range.0) / (cfg.lat_range.1 - cfg.lat_range.0)) * 20.0)
                 .min(19.0) as usize;
-            let gy = (((row[1] - cfg.lon_range.0) / (cfg.lon_range.1 - cfg.lon_range.0))
-                * 20.0)
+            let gy = (((row[1] - cfg.lon_range.0) / (cfg.lon_range.1 - cfg.lon_range.0)) * 20.0)
                 .min(19.0) as usize;
             counts[gx * 20 + gy] += 1;
         }
@@ -188,11 +205,9 @@ mod tests {
         let cfg = VerasetConfig::default_with_rows(1);
         let mut sums = vec![(0.0f64, 0usize); 100];
         for row in d.iter_rows() {
-            let gx = (((row[0] - cfg.lat_range.0) / (cfg.lat_range.1 - cfg.lat_range.0))
-                * 10.0)
+            let gx = (((row[0] - cfg.lat_range.0) / (cfg.lat_range.1 - cfg.lat_range.0)) * 10.0)
                 .min(9.0) as usize;
-            let gy = (((row[1] - cfg.lon_range.0) / (cfg.lon_range.1 - cfg.lon_range.0))
-                * 10.0)
+            let gy = (((row[1] - cfg.lon_range.0) / (cfg.lon_range.1 - cfg.lon_range.0)) * 10.0)
                 .min(9.0) as usize;
             let cell = &mut sums[gx * 10 + gy];
             cell.0 += row[2];

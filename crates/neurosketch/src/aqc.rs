@@ -153,7 +153,10 @@ mod tests {
     fn steeper_functions_have_larger_aqc() {
         let qs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
         let smooth: Vec<f64> = qs.iter().map(|q| q[0]).collect();
-        let sharp: Vec<f64> = qs.iter().map(|q| if q[0] > 0.5 { 10.0 } else { 0.0 }).collect();
+        let sharp: Vec<f64> = qs
+            .iter()
+            .map(|q| if q[0] > 0.5 { 10.0 } else { 0.0 })
+            .collect();
         assert!(aqc(&qs, &sharp) > aqc(&qs, &smooth));
     }
 
@@ -174,12 +177,16 @@ mod tests {
 
     #[test]
     fn sampled_approximates_exact_on_larger_sets() {
-        let qs: Vec<Vec<f64>> =
-            (0..300).map(|i| vec![(i as f64 * 0.754877) % 1.0, (i as f64 * 0.569840) % 1.0]).collect();
+        let qs: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i as f64 * 0.754877) % 1.0, (i as f64 * 0.569840) % 1.0])
+            .collect();
         let vs: Vec<f64> = qs.iter().map(|q| (6.0 * q[0]).sin() + q[1]).collect();
         let exact = aqc(&qs, &vs);
         let approx = aqc_sampled(&qs, &vs, 5000);
-        assert!((exact - approx).abs() / exact < 0.2, "exact {exact} approx {approx}");
+        assert!(
+            (exact - approx).abs() / exact < 0.2,
+            "exact {exact} approx {approx}"
+        );
     }
 
     #[test]

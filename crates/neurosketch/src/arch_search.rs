@@ -153,7 +153,12 @@ mod tests {
     /// Synthetic query function: labels = smooth function of the query.
     fn labeled_set(n: usize, offset: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let qs: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![((i as f64 + offset) * 0.754877) % 1.0, ((i as f64 + offset) * 0.569840) % 1.0])
+            .map(|i| {
+                vec![
+                    ((i as f64 + offset) * 0.754877) % 1.0,
+                    ((i as f64 + offset) * 0.569840) % 1.0,
+                ]
+            })
             .collect();
         let ys = qs.iter().map(|q| q[0] + 0.5 * q[1]).collect();
         (qs, ys)
@@ -171,8 +176,16 @@ mod tests {
     fn search_finds_a_candidate_and_tracks_best() {
         let (tq, tl) = labeled_set(300, 0.0);
         let (vq, vl) = labeled_set(60, 0.33);
-        let res =
-            grid_search(&tq, &tl, &vq, &vl, &[8, 16], &[3, 4], usize::MAX, &fast_base());
+        let res = grid_search(
+            &tq,
+            &tl,
+            &vq,
+            &vl,
+            &[8, 16],
+            &[3, 4],
+            usize::MAX,
+            &fast_base(),
+        );
         assert!(!res.history.is_empty());
         let best = res.best_candidate();
         assert!(res.history.iter().all(|c| c.error >= best.error));
@@ -196,15 +209,7 @@ mod tests {
     fn smallest_width_prefers_small() {
         let (tq, tl) = labeled_set(400, 0.0);
         let (vq, vl) = labeled_set(80, 0.25);
-        let found = smallest_width_for_error(
-            &tq,
-            &tl,
-            &vq,
-            &vl,
-            &[4, 16, 64],
-            0.2,
-            &fast_base(),
-        );
+        let found = smallest_width_for_error(&tq, &tl, &vq, &vl, &[4, 16, 64], 0.2, &fast_base());
         let (w, sketch) = found.expect("a width should reach 0.2 on a linear target");
         assert!(w <= 64);
         assert_eq!(sketch.partitions(), 1);
@@ -216,8 +221,7 @@ mod tests {
         let (vq, vl) = labeled_set(30, 0.4);
         let mut base = fast_base();
         base.train.epochs = 1; // severely undertrained
-        let found =
-            smallest_width_for_error(&tq, &tl, &vq, &vl, &[2], 1e-9, &base);
+        let found = smallest_width_for_error(&tq, &tl, &vq, &vl, &[2], 1e-9, &base);
         assert!(found.is_none());
     }
 }

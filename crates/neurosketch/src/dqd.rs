@@ -26,7 +26,10 @@ pub enum ErrorNorm {
 /// # Panics
 /// Panics on nonpositive `eps1`/`rho` or `d == 0`, or `LInf` with `d > 3`.
 pub fn grid_resolution(rho: f64, d: usize, eps1: f64, norm: ErrorNorm) -> usize {
-    assert!(rho > 0.0 && eps1 > 0.0 && d > 0, "rho, eps1, d must be positive");
+    assert!(
+        rho > 0.0 && eps1 > 0.0 && d > 0,
+        "rho, eps1, d must be positive"
+    );
     if norm == ErrorNorm::LInf {
         assert!(d <= 3, "the ∞-norm bound of Theorem 3.4 requires d <= 3");
     }
@@ -61,8 +64,7 @@ pub fn sampling_confidence(d: usize, n: usize, eps2: f64) -> f64 {
     let vc = 2.0 * d as f64;
     let e = std::f64::consts::E;
     // 8 e^{vc} (32 e / ε)^{vc} exp(−ε² n / 32), in log space for stability.
-    let log_p = (8.0f64).ln() + vc * (1.0 + (32.0 * e / eps2).ln())
-        - eps2 * eps2 * n as f64 / 32.0;
+    let log_p = (8.0f64).ln() + vc * (1.0 + (32.0 * e / eps2).ln()) - eps2 * eps2 * n as f64 / 32.0;
     log_p.exp().min(1.0)
 }
 
@@ -121,8 +123,8 @@ pub fn avg_sampling_confidence(d: usize, n: usize, xi: f64, eps: f64) -> f64 {
     let vc = 2.0 * d as f64;
     let scaled = xi * eps / (1.0 + eps);
     // 16 e^{vc} (32e/scaled)^{vc} exp(−scaled² n / 32)
-    let log_p = (16.0f64).ln() + vc * (1.0 + (32.0 * e / scaled).ln())
-        - scaled * scaled * n as f64 / 32.0;
+    let log_p =
+        (16.0f64).ln() + vc * (1.0 + (32.0 * e / scaled).ln()) - scaled * scaled * n as f64 / 32.0;
     log_p.exp().min(1.0)
 }
 

@@ -39,7 +39,10 @@ pub fn ldq_gaussian_count(sigma: f64) -> f64 {
 pub fn ldq_gmm_count(weights: &[f64], sigmas: &[f64]) -> f64 {
     assert_eq!(weights.len(), sigmas.len(), "weights/sigmas must pair up");
     let wsum: f64 = weights.iter().sum();
-    assert!((wsum - 1.0).abs() < 1e-6, "weights must sum to 1, got {wsum}");
+    assert!(
+        (wsum - 1.0).abs() < 1e-6,
+        "weights must sum to 1, got {wsum}"
+    );
     weights
         .iter()
         .zip(sigmas)
@@ -55,8 +58,11 @@ pub fn ldq_empirical(queries: &[Vec<f64>], values: &[f64]) -> f64 {
     let mut best = 0.0f64;
     for i in 0..queries.len() {
         for j in (i + 1)..queries.len() {
-            let dist: f64 =
-                queries[i].iter().zip(&queries[j]).map(|(a, b)| (a - b).abs()).sum();
+            let dist: f64 = queries[i]
+                .iter()
+                .zip(&queries[j])
+                .map(|(a, b)| (a - b).abs())
+                .sum();
             if dist > 0.0 {
                 best = best.max((values[i] - values[j]).abs() / dist);
             }

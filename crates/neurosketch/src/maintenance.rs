@@ -59,7 +59,10 @@ impl DriftMonitor {
         let truth = engine.label_batch(pred, agg, &self.probe, 2);
         let preds: Vec<f64> = self.probe.iter().map(|q| sketch.answer(q)).collect();
         let nmae = normalized_mae(&truth, &preds);
-        DriftReport { nmae, stale: nmae > self.threshold }
+        DriftReport {
+            nmae,
+            stale: nmae > self.threshold,
+        }
     }
 }
 
@@ -79,7 +82,6 @@ pub fn refresh(
 mod tests {
     use super::*;
     use datagen::simple::{gaussian, uniform};
-    use query::predicate::Range;
     use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
 
     fn workload(seed: u64) -> Workload {
@@ -101,11 +103,14 @@ mod tests {
         let mut cfg = NeuroSketchConfig::small();
         cfg.train.epochs = 120;
         let (sketch, _) =
-            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &wl.queries, &cfg)
-                .unwrap();
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &wl.queries, &cfg).unwrap();
         let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2);
         let report = monitor.check(&sketch, &engine, &wl.predicate, Aggregate::Avg);
-        assert!(!report.stale, "fresh sketch flagged stale (nmae {})", report.nmae);
+        assert!(
+            !report.stale,
+            "fresh sketch flagged stale (nmae {})",
+            report.nmae
+        );
     }
 
     #[test]
@@ -117,9 +122,14 @@ mod tests {
         let wl = workload(3);
         let mut cfg = NeuroSketchConfig::small();
         cfg.train.epochs = 120;
-        let (sketch, _) =
-            NeuroSketch::build(&old_engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
-                .unwrap();
+        let (sketch, _) = NeuroSketch::build(
+            &old_engine,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
 
         let new = gaussian(3_000, 1, 0.2, 0.05, 9);
         let new_engine = QueryEngine::new(&new, 0);
@@ -128,8 +138,14 @@ mod tests {
         let drifted = monitor.check(&sketch, &new_engine, &wl.predicate, Aggregate::Count);
         assert!(drifted.stale, "drift not detected (nmae {})", drifted.nmae);
 
-        let (fresh, _) =
-            refresh(&new_engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg).unwrap();
+        let (fresh, _) = refresh(
+            &new_engine,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
         let fixed = monitor.check(&fresh, &new_engine, &wl.predicate, Aggregate::Count);
         assert!(
             fixed.nmae < drifted.nmae * 0.5,

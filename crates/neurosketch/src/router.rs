@@ -39,7 +39,10 @@ pub struct RoutingPolicy {
 
 impl Default for RoutingPolicy {
     fn default() -> Self {
-        RoutingPolicy { min_range_volume: 0.0, max_leaf_aqc: f64::INFINITY }
+        RoutingPolicy {
+            min_range_volume: 0.0,
+            max_leaf_aqc: f64::INFINITY,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ impl DqdRouter {
             sketch.partitions(),
             "need one AQC per partition"
         );
-        DqdRouter { sketch, leaf_aqcs, policy }
+        DqdRouter {
+            sketch,
+            leaf_aqcs,
+            policy,
+        }
     }
 
     /// The wrapped sketch.
@@ -107,7 +114,10 @@ impl DqdRouter {
 /// Range volume of a `[c..., r...]` query vector over `k` active
 /// attributes: the product of the widths.
 pub fn range_volume(q: &[f64], k: usize) -> f64 {
-    assert!(q.len() >= 2 * k, "query vector too short for {k} active attrs");
+    assert!(
+        q.len() >= 2 * k,
+        "query vector too short for {k} active attrs"
+    );
     q[k..2 * k].iter().product()
 }
 
@@ -142,9 +152,15 @@ mod tests {
     #[test]
     fn small_ranges_fall_back_to_exact() {
         let (s, aqcs) = tiny_sketch();
-        let policy = RoutingPolicy { min_range_volume: 0.01, ..RoutingPolicy::default() };
+        let policy = RoutingPolicy {
+            min_range_volume: 0.01,
+            ..RoutingPolicy::default()
+        };
         let router = DqdRouter::new(s, aqcs, policy);
-        assert_eq!(router.route(&[0.3, 0.2], Some(0.001)), Route::ExactSmallRange);
+        assert_eq!(
+            router.route(&[0.3, 0.2], Some(0.001)),
+            Route::ExactSmallRange
+        );
         assert_eq!(router.route(&[0.3, 0.2], Some(0.5)), Route::Sketch);
         // Volume-less predicates skip the range rule.
         assert_eq!(router.route(&[0.3, 0.2], None), Route::Sketch);
@@ -156,16 +172,16 @@ mod tests {
     fn hard_leaves_fall_back_to_exact() {
         let (s, mut aqcs) = tiny_sketch();
         // Make one partition "hard": any query landing in it re-routes.
-        let hard = aqcs
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let hard = aqcs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for a in &mut aqcs {
             if *a == hard {
                 *a = 1e9;
             }
         }
-        let policy = RoutingPolicy { max_leaf_aqc: 1e6, ..RoutingPolicy::default() };
+        let policy = RoutingPolicy {
+            max_leaf_aqc: 1e6,
+            ..RoutingPolicy::default()
+        };
         let router = DqdRouter::new(s, aqcs.clone(), policy);
         // Some query must land in the hard partition; probe a grid.
         let mut hit_hard = false;

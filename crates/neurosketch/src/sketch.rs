@@ -66,7 +66,11 @@ impl NeuroSketchConfig {
             depth: 3,
             l_first: 24,
             l_rest: 24,
-            train: TrainConfig { epochs: 150, patience: 15, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 150,
+                patience: 15,
+                ..TrainConfig::default()
+            },
             threads: 2,
             seed: 0,
             aqc_max_pairs: 2_000,
@@ -90,10 +94,14 @@ impl NeuroSketchConfig {
             return Err(SketchError::BadConfig("depth must be at least 2".into()));
         }
         if self.l_first == 0 || self.l_rest == 0 {
-            return Err(SketchError::BadConfig("layer widths must be positive".into()));
+            return Err(SketchError::BadConfig(
+                "layer widths must be positive".into(),
+            ));
         }
         if self.target_partitions == 0 {
-            return Err(SketchError::BadConfig("target_partitions must be positive".into()));
+            return Err(SketchError::BadConfig(
+                "target_partitions must be positive".into(),
+            ));
         }
         if n_queries == 0 {
             return Err(SketchError::BadWorkload("no training queries".into()));
@@ -218,25 +226,23 @@ impl NeuroSketch {
             .collect();
         let mut results: Vec<Option<(usize, LeafModel, TrainReport)>> = vec![None; jobs.len()];
         let threads = cfg.threads.max(1);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let chunk = jobs.len().div_ceil(threads);
             for (jchunk, rchunk) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 let sizes = sizes.clone();
                 let train_cfg = cfg.train.clone();
                 let seed = cfg.seed;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for ((leaf, qids), slot) in jchunk.iter().zip(rchunk.iter_mut()) {
-                        let xs: Vec<Vec<f64>> =
-                            qids.iter().map(|&i| queries[i].clone()).collect();
+                        let xs: Vec<Vec<f64>> = qids.iter().map(|&i| queries[i].clone()).collect();
                         let ys_raw: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
                         let n = ys_raw.len() as f64;
                         let y_mean = ys_raw.iter().sum::<f64>() / n;
-                        let var =
-                            ys_raw.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
+                        let var = ys_raw.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
                         let y_std = var.sqrt().max(1e-12);
-                        let ys: Vec<f64> =
-                            ys_raw.iter().map(|y| (y - y_mean) / y_std).collect();
-                        let mut mlp = Mlp::new(&sizes, seed ^ (*leaf as u64).wrapping_mul(0x9E37_79B9));
+                        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - y_mean) / y_std).collect();
+                        let mut mlp =
+                            Mlp::new(&sizes, seed ^ (*leaf as u64).wrapping_mul(0x9E37_79B9));
                         let mut leaf_train = train_cfg.clone();
                         leaf_train.seed = seed.wrapping_add(*leaf as u64);
                         let report = train(&mut mlp, &xs, &ys, &leaf_train);
@@ -244,8 +250,7 @@ impl NeuroSketch {
                     }
                 });
             }
-        })
-        .expect("training worker panicked");
+        });
         let training = t1.elapsed();
 
         let mut models = BTreeMap::new();
@@ -257,7 +262,11 @@ impl NeuroSketch {
         }
 
         Ok((
-            NeuroSketch { tree, models, query_dim },
+            NeuroSketch {
+                tree,
+                models,
+                query_dim,
+            },
             BuildReport {
                 labeling: Duration::ZERO,
                 partitioning,
@@ -293,7 +302,10 @@ impl NeuroSketch {
     /// Checked variant of [`NeuroSketch::answer`].
     pub fn try_answer(&self, q: &[f64]) -> Result<f64, SketchError> {
         if q.len() != self.query_dim {
-            return Err(SketchError::BadQueryDim { expected: self.query_dim, got: q.len() });
+            return Err(SketchError::BadQueryDim {
+                expected: self.query_dim,
+                got: q.len(),
+            });
         }
         Ok(self.answer(q))
     }
@@ -328,7 +340,11 @@ impl NeuroSketch {
     /// disk) plus 12 bytes per kd-tree node (split dim + value), matching
     /// the paper's model-size accounting.
     pub fn storage_bytes(&self) -> usize {
-        let models: usize = self.models.values().map(|m| m.mlp.storage_bytes() + 16).sum();
+        let models: usize = self
+            .models
+            .values()
+            .map(|m| m.mlp.storage_bytes() + 16)
+            .sum();
         models + 12 * (2 * self.partitions()).saturating_sub(1)
     }
 
@@ -350,10 +366,7 @@ mod tests {
     use query::predicate::Range;
     use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
 
-    fn count_setup(
-        n_data: usize,
-        n_queries: usize,
-    ) -> (datagen::Dataset, Workload) {
+    fn count_setup(n_data: usize, n_queries: usize) -> (datagen::Dataset, Workload) {
         let data = uniform(n_data, 2, 0);
         let wl = Workload::generate(&WorkloadConfig {
             dims: 2,

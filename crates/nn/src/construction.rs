@@ -80,7 +80,9 @@ impl GridNet {
         slope: SlopeMode,
     ) -> Result<Self, NnError> {
         if d == 0 || t == 0 {
-            return Err(NnError::BadArchitecture(format!("d={d}, t={t} must be positive")));
+            return Err(NnError::BadArchitecture(format!(
+                "d={d}, t={t} must be positive"
+            )));
         }
         let k = (t + 1).pow(d as u32);
         let m = match slope {
@@ -100,7 +102,14 @@ impl GridNet {
         let tf = t as f64;
         let zero = vec![0.0; d];
         let bias = f(&zero);
-        let mut net = GridNet { d, t, m, bias, coeffs: Vec::with_capacity(k - 1), anchors: Vec::with_capacity((k - 1) * d) };
+        let mut net = GridNet {
+            d,
+            t,
+            m,
+            bias,
+            coeffs: Vec::with_capacity(k - 1),
+            anchors: Vec::with_capacity((k - 1) * d),
+        };
         let mut point = vec![0.0; d];
         for i in 1..k {
             let digits = vertex_digits(i, t, d);
@@ -195,9 +204,21 @@ impl GridNet {
         }
 
         Mlp::from_layers(vec![
-            Dense { weights: w1, biases: b1, activation: Activation::Relu },
-            Dense { weights: w2, biases: b2, activation: Activation::Relu },
-            Dense { weights: w3, biases: vec![self.bias], activation: Activation::Identity },
+            Dense {
+                weights: w1,
+                biases: b1,
+                activation: Activation::Relu,
+            },
+            Dense {
+                weights: w2,
+                biases: b2,
+                activation: Activation::Relu,
+            },
+            Dense {
+                weights: w3,
+                biases: vec![self.bias],
+                activation: Activation::Identity,
+            },
         ])
         .expect("construction dimensions are consistent by construction")
     }
@@ -255,7 +276,10 @@ mod tests {
         let mut acc = 0.0;
         for i in 0..steps {
             for j in 0..steps {
-                let p = [(i as f64 + 0.5) / steps as f64, (j as f64 + 0.5) / steps as f64];
+                let p = [
+                    (i as f64 + 0.5) / steps as f64,
+                    (j as f64 + 0.5) / steps as f64,
+                ];
                 acc += (net.forward(&p) - lipschitz_2d(&p)).abs();
             }
         }

@@ -54,12 +54,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let fan_in = 64;
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| Init::HeNormal.sample(&mut rng, fan_in, 32)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| Init::HeNormal.sample(&mut rng, fan_in, 32))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let expected_var = 2.0 / fan_in as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - expected_var).abs() / expected_var < 0.1, "var {var} vs {expected_var}");
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.1,
+            "var {var} vs {expected_var}"
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Mean absolute error.
@@ -17,14 +21,22 @@ pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Normalized MAE as defined in Sec. 5.1 of the paper: the mean absolute
 /// error divided by the mean *magnitude* of the true answers. Returns
 /// `f64::INFINITY` when the mean magnitude is zero but errors are not.
 pub fn normalized_mae(pred: &[f64], target: &[f64]) -> f64 {
-    assert_eq!(pred.len(), target.len(), "normalized_mae inputs must pair up");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "normalized_mae inputs must pair up"
+    );
     if pred.is_empty() {
         return 0.0;
     }

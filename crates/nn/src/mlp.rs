@@ -77,7 +77,9 @@ impl Mlp {
             )));
         }
         if sizes.contains(&0) {
-            return Err(NnError::BadArchitecture(format!("zero-width layer in {sizes:?}")));
+            return Err(NnError::BadArchitecture(format!(
+                "zero-width layer in {sizes:?}"
+            )));
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(sizes.len() - 1);
@@ -91,7 +93,11 @@ impl Mlp {
             layers.push(Dense {
                 weights: m,
                 biases: vec![0.0; fan_out],
-                activation: if is_last { Activation::Identity } else { Activation::Relu },
+                activation: if is_last {
+                    Activation::Identity
+                } else {
+                    Activation::Relu
+                },
             });
         }
         Ok(Mlp { layers })
@@ -137,7 +143,10 @@ impl Mlp {
 
     /// Total number of trainable parameters (weights + biases).
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
     }
 
     /// Storage footprint in bytes, counting each parameter as an `f32`
@@ -180,8 +189,14 @@ impl Mlp {
         let mut in_a = true;
         for layer in &self.layers {
             let out_len = layer.out_dim();
-            let (src, dst) = if in_a { (&ws.a, &mut ws.b) } else { (&ws.b, &mut ws.a) };
-            layer.weights.matvec_into(&src[..cur_len], &mut dst[..out_len]);
+            let (src, dst) = if in_a {
+                (&ws.a, &mut ws.b)
+            } else {
+                (&ws.b, &mut ws.a)
+            };
+            layer
+                .weights
+                .matvec_into(&src[..cur_len], &mut dst[..out_len]);
             for (d, b) in dst[..out_len].iter_mut().zip(&layer.biases) {
                 *d += b;
             }
@@ -252,7 +267,12 @@ impl Gradients {
             layers: mlp
                 .layers()
                 .iter()
-                .map(|l| (Matrix::zeros(l.out_dim(), l.in_dim()), vec![0.0; l.out_dim()]))
+                .map(|l| {
+                    (
+                        Matrix::zeros(l.out_dim(), l.in_dim()),
+                        vec![0.0; l.out_dim()],
+                    )
+                })
                 .collect(),
         }
     }

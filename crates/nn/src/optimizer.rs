@@ -1,8 +1,8 @@
 //! First-order optimizers. The paper trains with Adam (Kingma & Ba, 2014);
 //! plain SGD is included for the construction-vs-SGD study (Fig. 19).
 
-use crate::mlp::{Gradients, Mlp};
 use crate::linalg::Matrix;
+use crate::mlp::{Gradients, Mlp};
 
 /// A stateful optimizer that applies [`Gradients`] to an [`Mlp`].
 pub trait Optimizer {
@@ -50,7 +50,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyperparameters and the given learning rate.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: None, v: None }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: None,
+            v: None,
+        }
     }
 
     fn ensure_state(&mut self, grads: &Gradients) {
@@ -94,8 +102,12 @@ impl Optimizer for Adam {
                 let vhat = *vi / bc2;
                 *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
-            for (((bi, gi), mi), vi) in
-                layer.biases.iter_mut().zip(db).zip(mb.iter_mut()).zip(vb.iter_mut())
+            for (((bi, gi), mi), vi) in layer
+                .biases
+                .iter_mut()
+                .zip(db)
+                .zip(mb.iter_mut())
+                .zip(vb.iter_mut())
             {
                 *mi = b1 * *mi + (1.0 - b1) * gi;
                 *vi = b2 * *vi + (1.0 - b2) * gi * gi;

@@ -33,15 +33,22 @@ pub fn prune_magnitude(mlp: &mut Mlp, fraction: f64) -> PruneReport {
         .filter(|m| *m > 0.0)
         .collect();
     if mags.is_empty() {
-        return PruneReport { zeroed: 0, remaining: 0, threshold: 0.0 };
+        return PruneReport {
+            zeroed: 0,
+            remaining: 0,
+            threshold: 0.0,
+        };
     }
     let k = ((mags.len() as f64) * fraction) as usize;
     if k == 0 {
-        return PruneReport { zeroed: 0, remaining: mags.len(), threshold: 0.0 };
+        return PruneReport {
+            zeroed: 0,
+            remaining: mags.len(),
+            threshold: 0.0,
+        };
     }
     let idx = (k - 1).min(mags.len() - 1);
-    let (_, thr, _) =
-        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("no NaN"));
+    let (_, thr, _) = mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("no NaN"));
     let threshold = *thr;
     let mut zeroed = 0usize;
     let mut remaining = 0usize;
@@ -55,7 +62,11 @@ pub fn prune_magnitude(mlp: &mut Mlp, fraction: f64) -> PruneReport {
             }
         }
     }
-    PruneReport { zeroed, remaining, threshold }
+    PruneReport {
+        zeroed,
+        remaining,
+        threshold,
+    }
 }
 
 /// Count nonzero weights (biases excluded).
@@ -85,7 +96,15 @@ mod tests {
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 0.7 - x[1] * 0.2).collect();
         let mut mlp = Mlp::new(&[2, 24, 24, 1], 3);
-        train(&mut mlp, &xs, &ys, &TrainConfig { epochs: 200, ..TrainConfig::default() });
+        train(
+            &mut mlp,
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 200,
+                ..TrainConfig::default()
+            },
+        );
         (mlp, xs, ys)
     }
 

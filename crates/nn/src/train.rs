@@ -113,7 +113,12 @@ pub fn train(mlp: &mut Mlp, xs: &[Vec<f64>], ys: &[f64], cfg: &TrainConfig) -> T
     }
 
     let final_loss = *curve.last().expect("at least one epoch");
-    TrainReport { epochs_run, final_loss, loss_curve: curve, elapsed: start.elapsed() }
+    TrainReport {
+        epochs_run,
+        final_loss,
+        loss_curve: curve,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Evaluate mean squared error of `mlp` on a supervised set without
@@ -148,7 +153,11 @@ mod tests {
     fn learns_linear_function() {
         let (xs, ys) = make_linear_set(100);
         let mut mlp = Mlp::new(&[2, 16, 1], 5);
-        let cfg = TrainConfig { epochs: 600, lr: 5e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 600,
+            lr: 5e-3,
+            ..Default::default()
+        };
         let report = train(&mut mlp, &xs, &ys, &cfg);
         assert!(report.final_loss < 1e-3, "loss {}", report.final_loss);
         assert!(report.epochs_run <= 600);
@@ -159,7 +168,11 @@ mod tests {
         let (xs, ys) = make_linear_set(50);
         let run = || {
             let mut mlp = Mlp::new(&[2, 8, 1], 11);
-            let cfg = TrainConfig { epochs: 30, patience: 0, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 30,
+                patience: 0,
+                ..Default::default()
+            };
             train(&mut mlp, &xs, &ys, &cfg);
             mlp.predict(&[0.3, 0.3])
         };
@@ -172,7 +185,11 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
         let ys = vec![0.0; 20];
         let mut mlp = Mlp::with_init(&[1, 4, 1], crate::init::Init::Zeros, 0).unwrap();
-        let cfg = TrainConfig { epochs: 500, patience: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 500,
+            patience: 3,
+            ..Default::default()
+        };
         let report = train(&mut mlp, &xs, &ys, &cfg);
         assert!(report.epochs_run < 500, "stopped at {}", report.epochs_run);
     }
@@ -181,7 +198,11 @@ mod tests {
     fn loss_curve_has_one_entry_per_epoch() {
         let (xs, ys) = make_linear_set(30);
         let mut mlp = Mlp::new(&[2, 4, 1], 1);
-        let cfg = TrainConfig { epochs: 7, patience: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 7,
+            patience: 0,
+            ..Default::default()
+        };
         let report = train(&mut mlp, &xs, &ys, &cfg);
         assert_eq!(report.loss_curve.len(), 7);
     }
@@ -191,8 +212,12 @@ mod tests {
         let (xs, ys) = make_linear_set(30);
         let mlp = Mlp::new(&[2, 4, 1], 2);
         let e = evaluate_mse(&mlp, &xs, &ys);
-        let manual: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (mlp.predict(x) - y).powi(2)).sum::<f64>() / 30.0;
+        let manual: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (mlp.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / 30.0;
         assert!((e - manual).abs() < 1e-12);
     }
 }

@@ -25,8 +25,13 @@ pub enum Aggregate {
 
 impl Aggregate {
     /// All aggregates, in the order of Fig. 9 plus MEDIAN.
-    pub const ALL: [Aggregate; 5] =
-        [Aggregate::Avg, Aggregate::Sum, Aggregate::Std, Aggregate::Count, Aggregate::Median];
+    pub const ALL: [Aggregate; 5] = [
+        Aggregate::Avg,
+        Aggregate::Sum,
+        Aggregate::Std,
+        Aggregate::Count,
+        Aggregate::Median,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -63,8 +68,8 @@ impl Aggregate {
             }
             Aggregate::Median => {
                 let mid = (values.len() - 1) / 2;
-                let (_, m, _) = values
-                    .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN"));
+                let (_, m, _) =
+                    values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN"));
                 *m
             }
         }
@@ -140,12 +145,19 @@ mod tests {
     #[test]
     fn streaming_matches_materialized() {
         let v = [1.0, 5.0, 2.0, 8.0, 3.5];
-        for agg in [Aggregate::Count, Aggregate::Sum, Aggregate::Avg, Aggregate::Std] {
+        for agg in [
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Std,
+        ] {
             let a = apply(agg, &v);
             let b = agg.apply_streaming(v.iter().copied()).unwrap();
             assert!((a - b).abs() < 1e-12, "{}", agg.name());
         }
-        assert!(Aggregate::Median.apply_streaming(v.iter().copied()).is_none());
+        assert!(Aggregate::Median
+            .apply_streaming(v.iter().copied())
+            .is_none());
     }
 
     #[test]

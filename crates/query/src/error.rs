@@ -10,8 +10,12 @@ pub fn normalized_mae(truth: &[f64], pred: &[f64]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let err: f64 =
-        truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64;
+    let err: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64;
     let scale: f64 = truth.iter().map(|t| t.abs()).sum::<f64>() / truth.len() as f64;
     if scale == 0.0 {
         if err == 0.0 {
@@ -55,8 +59,11 @@ pub fn relative_error_quantile(truth: &[f64], pred: &[f64], p: f64, eps: f64) ->
     if truth.is_empty() {
         return 0.0;
     }
-    let mut errs: Vec<f64> =
-        truth.iter().zip(pred).map(|(t, q)| (t - q).abs() / (t.abs() + eps)).collect();
+    let mut errs: Vec<f64> = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, q)| (t - q).abs() / (t.abs() + eps))
+        .collect();
     errs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let idx = ((errs.len() - 1) as f64 * p).round() as usize;
     errs[idx]

@@ -4,8 +4,8 @@
 //! `f_D(q) = AGG({x ∈ D : P_f(q,x) = 1})` by a full scan, exactly as the
 //! paper's training-set generation does ("the queries are answered by
 //! scanning all the database records per query", Sec. 5.6). Batch labeling
-//! is parallelized with crossbeam, mirroring the paper's GPU-parallel
-//! label generation.
+//! is parallelized with scoped threads, mirroring the paper's
+//! GPU-parallel label generation.
 
 use crate::aggregate::Aggregate;
 use crate::predicate::PredicateFn;
@@ -25,7 +25,10 @@ impl<'a> QueryEngine<'a> {
     /// Panics if `measure` is out of range — this is a programming error,
     /// not user input.
     pub fn new(data: &'a Dataset, measure: usize) -> Self {
-        assert!(measure < data.dims(), "measure column {measure} out of range");
+        assert!(
+            measure < data.dims(),
+            "measure column {measure} out of range"
+        );
         QueryEngine { data, measure }
     }
 
@@ -78,16 +81,15 @@ impl<'a> QueryEngine<'a> {
         }
         let chunk = queries.len().div_ceil(threads);
         let mut out = vec![0.0; queries.len()];
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (q, o) in qchunk.iter().zip(ochunk.iter_mut()) {
                         *o = self.answer(pred, agg, q);
                     }
                 });
             }
-        })
-        .expect("labeling worker panicked");
+        });
         out
     }
 }
@@ -133,8 +135,7 @@ mod tests {
         let d = grid_data();
         let eng = QueryEngine::new(&d, 1);
         let pred = Range::new(vec![0], 2).unwrap();
-        let queries: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![i as f64 / 50.0, 0.3]).collect();
+        let queries: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 50.0, 0.3]).collect();
         let seq = eng.label_batch(&pred, Aggregate::Sum, &queries, 1);
         let par = eng.label_batch(&pred, Aggregate::Sum, &queries, 4);
         assert_eq!(seq, par);

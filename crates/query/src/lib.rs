@@ -28,8 +28,7 @@ pub mod workload;
 pub use aggregate::Aggregate;
 pub use exec::QueryEngine;
 pub use predicate::{
-    DisjunctiveThresholds, FixedWidthRange, HalfSpace, HyperSphere, PredicateFn, Range,
-    RotatedRect,
+    DisjunctiveThresholds, FixedWidthRange, HalfSpace, HyperSphere, PredicateFn, Range, RotatedRect,
 };
 pub use workload::{ActiveMode, Workload, WorkloadConfig};
 

@@ -61,7 +61,9 @@ impl Range {
     /// Constrain every attribute of a `dims`-wide dataset (the paper's
     /// full `(c, r)` query function with `d = 2·d̄`).
     pub fn all(dims: usize) -> Self {
-        Range { attrs: (0..dims).collect() }
+        Range {
+            attrs: (0..dims).collect(),
+        }
     }
 
     /// The active attribute indices.
@@ -111,7 +113,9 @@ impl FixedWidthRange {
     /// Constrain `attrs[i]` to `[c_i, c_i + widths[i])`.
     pub fn new(attrs: Vec<usize>, widths: Vec<f64>, dims: usize) -> Result<Self, QueryError> {
         if attrs.len() != widths.len() || attrs.is_empty() {
-            return Err(QueryError::BadConfig("attrs/widths must pair up and be nonempty".into()));
+            return Err(QueryError::BadConfig(
+                "attrs/widths must pair up and be nonempty".into(),
+            ));
         }
         for &a in &attrs {
             if a >= dims {
@@ -180,7 +184,9 @@ impl RotatedRect {
             }
         }
         if x_attr == y_attr {
-            return Err(QueryError::BadConfig("x and y attributes must differ".into()));
+            return Err(QueryError::BadConfig(
+                "x and y attributes must differ".into(),
+            ));
         }
         Ok(RotatedRect { x_attr, y_attr })
     }

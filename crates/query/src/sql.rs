@@ -106,8 +106,9 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>, ParseError> {
                     i += 1;
                 }
                 let s: String = chars[start..i].iter().collect();
-                let v: f64 =
-                    s.parse().map_err(|_| ParseError(format!("bad number `{s}`")))?;
+                let v: f64 = s
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad number `{s}`")))?;
                 out.push(Tok::Num(v));
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -198,9 +199,7 @@ pub fn parse(sql: &str) -> Result<ParsedQuery, ParseError> {
                         Tok::Le | Tok::Lt => (col, v, f64::INFINITY),
                         // lit >= col / lit > col: upper bound.
                         Tok::Ge | Tok::Gt => (col, f64::NEG_INFINITY, v),
-                        other => {
-                            return Err(ParseError(format!("bad operator {other:?}")))
-                        }
+                        other => return Err(ParseError(format!("bad operator {other:?}"))),
                     }
                 }
                 Some(Tok::Ident(_)) => {
@@ -223,16 +222,15 @@ pub fn parse(sql: &str) -> Result<ParsedQuery, ParseError> {
                             let v = num(&mut i, &toks)?;
                             (col, v, f64::INFINITY)
                         }
-                        other => {
-                            return Err(ParseError(format!("bad constraint at {other:?}")))
-                        }
+                        other => return Err(ParseError(format!("bad constraint at {other:?}"))),
                     }
                 }
                 other => return Err(ParseError(format!("bad constraint at {other:?}"))),
             };
             // Merge with any existing constraint on the same column.
-            if let Some(existing) =
-                constraints.iter_mut().find(|(n, _, _)| n.eq_ignore_ascii_case(&name))
+            if let Some(existing) = constraints
+                .iter_mut()
+                .find(|(n, _, _)| n.eq_ignore_ascii_case(&name))
             {
                 existing.1 = existing.1.max(lo);
                 existing.2 = existing.2.min(hi);
@@ -246,7 +244,12 @@ pub fn parse(sql: &str) -> Result<ParsedQuery, ParseError> {
             }
         }
     }
-    Ok(ParsedQuery { agg, measure, table, constraints })
+    Ok(ParsedQuery {
+        agg,
+        measure,
+        table,
+        constraints,
+    })
 }
 
 impl ParsedQuery {

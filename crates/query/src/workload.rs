@@ -80,7 +80,9 @@ impl Workload {
     /// Generate a workload per the configuration.
     pub fn generate(cfg: &WorkloadConfig) -> Result<Workload, QueryError> {
         if cfg.dims == 0 || cfg.count == 0 {
-            return Err(QueryError::BadConfig("dims and count must be positive".into()));
+            return Err(QueryError::BadConfig(
+                "dims and count must be positive".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         match &cfg.active {
@@ -171,7 +173,11 @@ fn draw_range(rng: &mut StdRng, mode: RangeMode) -> (f64, f64) {
             let c: f64 = rng.random_range(0.0..(1.0 - w).max(f64::MIN_POSITIVE));
             (c, w)
         }
-        RangeMode::Hotspot { width, center, sigma } => {
+        RangeMode::Hotspot {
+            width,
+            center,
+            sigma,
+        } => {
             let w = width.clamp(0.0, 1.0);
             // Box–Muller normal, truncated into the feasible corner range.
             let u1: f64 = 1.0 - rng.random::<f64>();
@@ -256,12 +262,20 @@ mod tests {
         let cfg = WorkloadConfig {
             dims: 1,
             active: ActiveMode::Fixed(vec![0]),
-            range: RangeMode::Hotspot { width: 0.1, center: 0.3, sigma: 0.05 },
+            range: RangeMode::Hotspot {
+                width: 0.1,
+                center: 0.3,
+                sigma: 0.05,
+            },
             count: 2000,
             seed: 5,
         };
         let w = Workload::generate(&cfg).unwrap();
-        let near = w.queries.iter().filter(|q| (q[0] - 0.3).abs() < 0.15).count();
+        let near = w
+            .queries
+            .iter()
+            .filter(|q| (q[0] - 0.3).abs() < 0.15)
+            .count();
         assert!(near > 1800, "only {near} of 2000 near the hotspot");
         for q in &w.queries {
             assert_eq!(q[1], 0.1);

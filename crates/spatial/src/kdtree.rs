@@ -30,8 +30,15 @@ struct Node {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum NodeKind {
-    Internal { dim: usize, val: f64, left: usize, right: usize },
-    Leaf { queries: Vec<usize> },
+    Internal {
+        dim: usize,
+        val: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        queries: Vec<usize>,
+    },
 }
 
 impl KdTree {
@@ -43,8 +50,15 @@ impl KdTree {
     pub fn build(queries: &[Vec<f64>], height: usize) -> KdTree {
         assert!(!queries.is_empty(), "cannot partition an empty query set");
         let dims = queries[0].len();
-        assert!(queries.iter().all(|q| q.len() == dims), "ragged query vectors");
-        let mut tree = KdTree { nodes: Vec::new(), root: 0, dims };
+        assert!(
+            queries.iter().all(|q| q.len() == dims),
+            "ragged query vectors"
+        );
+        let mut tree = KdTree {
+            nodes: Vec::new(),
+            root: 0,
+            dims,
+        };
         let all: Vec<usize> = (0..queries.len()).collect();
         tree.root = tree.split_node(queries, all, height, 0, None);
         tree
@@ -64,7 +78,10 @@ impl KdTree {
         // separate queries (degenerate duplicates).
         if height == 0 || subset.len() < 2 {
             let id = self.nodes.len();
-            self.nodes.push(Node { parent, kind: NodeKind::Leaf { queries: subset } });
+            self.nodes.push(Node {
+                parent,
+                kind: NodeKind::Leaf { queries: subset },
+            });
             return id;
         }
         // Median of the subset along `dim` (paper: N.val <- median of
@@ -90,7 +107,10 @@ impl KdTree {
         let Some((dim, median, left_q, right_q)) = chosen else {
             // Identical queries along every dimension.
             let id = self.nodes.len();
-            self.nodes.push(Node { parent, kind: NodeKind::Leaf { queries: subset } });
+            self.nodes.push(Node {
+                parent,
+                kind: NodeKind::Leaf { queries: subset },
+            });
             return id;
         };
 
@@ -98,12 +118,20 @@ impl KdTree {
         // Placeholder; children are patched in below.
         self.nodes.push(Node {
             parent,
-            kind: NodeKind::Internal { dim, val: median, left: usize::MAX, right: usize::MAX },
+            kind: NodeKind::Internal {
+                dim,
+                val: median,
+                left: usize::MAX,
+                right: usize::MAX,
+            },
         });
         let next_dim = (dim + 1) % self.dims;
         let left = self.split_node(queries, left_q, height - 1, next_dim, Some(id));
         let right = self.split_node(queries, right_q, height - 1, next_dim, Some(id));
-        if let NodeKind::Internal { left: l, right: r, .. } = &mut self.nodes[id].kind {
+        if let NodeKind::Internal {
+            left: l, right: r, ..
+        } = &mut self.nodes[id].kind
+        {
             *l = left;
             *r = right;
         }
@@ -122,7 +150,12 @@ impl KdTree {
         let mut cur = self.root;
         loop {
             match &self.nodes[cur].kind {
-                NodeKind::Internal { dim, val, left, right } => {
+                NodeKind::Internal {
+                    dim,
+                    val,
+                    left,
+                    right,
+                } => {
                     cur = if q[*dim] <= *val { *left } else { *right };
                 }
                 NodeKind::Leaf { .. } => return cur,
@@ -196,7 +229,9 @@ impl KdTree {
                 if !marked[l] {
                     continue;
                 }
-                let Some(parent) = self.nodes[l].parent else { continue };
+                let Some(parent) = self.nodes[l].parent else {
+                    continue;
+                };
                 let NodeKind::Internal { left, right, .. } = self.nodes[parent].kind else {
                     continue;
                 };
@@ -305,26 +340,25 @@ mod tests {
 
     #[test]
     fn merging_prefers_low_scores() {
-        let qs = queries(64);
-        let mut t = KdTree::build(&qs, 2); // 4 leaves
-        // Give the first two (depth-first) leaves low scores: they should
-        // merge first.
-        let leaves_before = t.leaf_ids();
-        let cheap: Vec<usize> = leaves_before[..2].to_vec();
+        // Diagonal queries: every median split keeps query ids
+        // contiguous, so a height-2 tree has 4 leaves holding ids
+        // [0,16), [16,32), [32,48), [48,64) — and the two low-id
+        // leaves are siblings.
+        let qs: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![i as f64 / 64.0, i as f64 / 64.0])
+            .collect();
+        let mut t = KdTree::build(&qs, 2);
+        assert_eq!(t.leaf_count(), 4);
+        // Score each leaf by its mean query id: the two low-id sibling
+        // leaves are cheapest and must be the ones merged.
         t.merge_leaves(
-            move |qids| {
-                // Identify the leaf by its first query id.
-                let first = qids[0];
-                if cheap.iter().any(|&l| l == first || true) {
-                    // score by mean query id: lower ids live in earlier leaves
-                    qids.iter().sum::<usize>() as f64 / qids.len() as f64
-                } else {
-                    f64::MAX
-                }
-            },
+            |qids| qids.iter().sum::<usize>() as f64 / qids.len() as f64,
             3,
         );
         assert_eq!(t.leaf_count(), 3);
+        let merged = t.leaf_queries(t.locate(&qs[0]));
+        assert_eq!(merged.len(), 32, "low-score siblings should have merged");
+        assert!(merged.contains(&0) && merged.contains(&31));
     }
 
     #[test]
@@ -335,7 +369,10 @@ mod tests {
         assert_eq!(t.leaf_count(), 5);
         for (i, q) in qs.iter().enumerate() {
             let leaf = t.locate(q);
-            assert!(t.leaf_queries(leaf).contains(&i), "query {i} lost after merge");
+            assert!(
+                t.leaf_queries(leaf).contains(&i),
+                "query {i} lost after merge"
+            );
         }
     }
 

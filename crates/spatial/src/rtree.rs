@@ -58,7 +58,12 @@ impl RTree {
         assert!(dims > 0, "dims must be positive");
         assert_eq!(points.len() % dims, 0, "buffer not a multiple of dims");
         let n = points.len() / dims;
-        let mut tree = RTree { dims, points, nodes: Vec::new(), root: None };
+        let mut tree = RTree {
+            dims,
+            points,
+            nodes: Vec::new(),
+            root: None,
+        };
         if n > 0 {
             let mut ids: Vec<usize> = (0..n).collect();
             let root = tree.build(&mut ids);
@@ -91,7 +96,11 @@ impl RTree {
         if ids.len() <= FANOUT {
             let (lo, hi) = self.mbr_of_points(ids);
             let id = self.nodes.len();
-            self.nodes.push(Node { mbr_lo: lo, mbr_hi: hi, kind: NodeKind::Leaf(ids.to_vec()) });
+            self.nodes.push(Node {
+                mbr_lo: lo,
+                mbr_hi: hi,
+                kind: NodeKind::Leaf(ids.to_vec()),
+            });
             return id;
         }
         // Split along the widest axis into FANOUT slabs.
@@ -113,7 +122,11 @@ impl RTree {
         }
         let (lo, hi) = self.mbr_of_children(&children);
         let id = self.nodes.len();
-        self.nodes.push(Node { mbr_lo: lo, mbr_hi: hi, kind: NodeKind::Internal(children) });
+        self.nodes.push(Node {
+            mbr_lo: lo,
+            mbr_hi: hi,
+            kind: NodeKind::Internal(children),
+        });
         id
     }
 
@@ -121,7 +134,9 @@ impl RTree {
         let (lo, hi) = self.mbr_of_points(ids);
         (0..self.dims)
             .max_by(|&a, &b| {
-                (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).expect("no NaN")
+                (hi[a] - lo[a])
+                    .partial_cmp(&(hi[b] - lo[b]))
+                    .expect("no NaN")
             })
             .unwrap_or(0)
     }
@@ -154,7 +169,10 @@ impl RTree {
     /// Visit every point id whose coordinates satisfy all half-open
     /// bounds `(attr, lo, hi)`: `lo ≤ x[attr] < hi`.
     pub fn search(&self, bounds: &[(usize, f64, f64)], mut visit: impl FnMut(usize)) {
-        debug_assert!(bounds.iter().all(|&(a, _, _)| a < self.dims), "bad bound attr");
+        debug_assert!(
+            bounds.iter().all(|&(a, _, _)| a < self.dims),
+            "bad bound attr"
+        );
         let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(nid) = stack.pop() {
@@ -196,7 +214,9 @@ mod tests {
 
     fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (0..dims).map(|_| rng.random::<f64>()).collect()).collect()
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.random::<f64>()).collect())
+            .collect()
     }
 
     fn brute_force(rows: &[Vec<f64>], bounds: &[(usize, f64, f64)]) -> Vec<usize> {

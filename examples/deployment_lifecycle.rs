@@ -39,7 +39,10 @@ fn main() {
 
     // Wrap it in a router: ranges narrower than 2% of the domain go to
     // the exact engine (Lemma 3.6: tiny ranges have large sampling error).
-    let policy = RoutingPolicy { min_range_volume: 0.02, max_leaf_aqc: f64::INFINITY };
+    let policy = RoutingPolicy {
+        min_range_volume: 0.02,
+        max_leaf_aqc: f64::INFINITY,
+    };
     let router = DqdRouter::new(sketch, report.leaf_aqcs.clone(), policy);
 
     let mut to_sketch = 0;
@@ -60,24 +63,41 @@ fn main() {
     let drifted = gaussian(20_000, 2, 0.25, 0.08, 9);
     let drifted_engine = QueryEngine::new(&drifted, 1);
     let monitor = DriftMonitor::new(wl.queries[..200].to_vec(), 0.15);
-    let check =
-        monitor.check(router.sketch(), &drifted_engine, &wl.predicate, Aggregate::Count);
+    let check = monitor.check(
+        router.sketch(),
+        &drifted_engine,
+        &wl.predicate,
+        Aggregate::Count,
+    );
     println!(
         "drift check: normalized MAE {:.3} -> {}",
         check.nmae,
-        if check.stale { "STALE, retraining" } else { "healthy" }
+        if check.stale {
+            "STALE, retraining"
+        } else {
+            "healthy"
+        }
     );
 
     // Retrain against the new data with the same configuration.
     if check.stale {
-        let (fresh, _) =
-            refresh(&drifted_engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
-                .expect("refresh");
+        let (fresh, _) = refresh(
+            &drifted_engine,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .expect("refresh");
         let after = monitor.check(&fresh, &drifted_engine, &wl.predicate, Aggregate::Count);
         println!(
             "after retraining: normalized MAE {:.3} ({})",
             after.nmae,
-            if after.stale { "still stale" } else { "healthy again" }
+            if after.stale {
+                "still stale"
+            } else {
+                "healthy again"
+            }
         );
     }
 }

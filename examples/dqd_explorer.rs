@@ -19,7 +19,10 @@ fn main() {
     println!("== LDQ: the paper's complexity measure (Sec. 3.1.3) ==");
     println!("uniform COUNT:            rho = {:.2}", ldq_uniform_count());
     for sigma in [0.3, 0.15, 0.05] {
-        println!("gaussian(sigma={sigma:.2}) COUNT: rho = {:.2}", ldq_gaussian_count(sigma));
+        println!(
+            "gaussian(sigma={sigma:.2}) COUNT: rho = {:.2}",
+            ldq_gaussian_count(sigma)
+        );
     }
     println!(
         "2-GMM(sigma=0.05) COUNT:  rho = {:.2}",
@@ -40,7 +43,10 @@ fn main() {
     println!("\n== Theorem 3.5: sampling error vs data size ==");
     println!("(probability that normalized COUNT error exceeds eps2 = 0.05, d = 2)");
     for n in [10_000usize, 100_000, 1_000_000, 10_000_000] {
-        println!("  n = {n:>9}: failure prob <= {:.3e}", sampling_confidence(2, n, 0.05));
+        println!(
+            "  n = {n:>9}: failure prob <= {:.3e}",
+            sampling_confidence(2, n, 0.05)
+        );
     }
 
     println!("\n== 'Faster on larger databases' (Sec. 3.1.2) ==");
@@ -65,7 +71,11 @@ fn main() {
     let f = |x: &[f64]| 0.5 * x[0] + 0.5 * (1.0 - x[1]); // 1-Lipschitz
     let t = 8;
     let net = GridNet::construct(&f, 2, t, SlopeMode::LemmaA3).expect("construct");
-    println!("grid t = {t}: {} g-units, slope M = {:.2}", net.units(), net.slope());
+    println!(
+        "grid t = {t}: {} g-units, slope M = {:.2}",
+        net.units(),
+        net.slope()
+    );
     // Check the memorization guarantee at a few vertices.
     let mut worst: f64 = 0.0;
     for i in 0..=t {
@@ -74,13 +84,19 @@ fn main() {
             worst = worst.max((net.forward(&p) - f(&p)).abs());
         }
     }
-    println!("max error over all {} grid vertices: {worst:.2e} (Lemma A.1: exactly 0)", (t + 1) * (t + 1));
+    println!(
+        "max error over all {} grid vertices: {worst:.2e} (Lemma A.1: exactly 0)",
+        (t + 1) * (t + 1)
+    );
     // Empirical 1-norm error vs the 3*rho*d/t bound of Theorem 3.4(a).
     let steps = 50;
     let mut acc = 0.0;
     for i in 0..steps {
         for j in 0..steps {
-            let p = [(i as f64 + 0.5) / steps as f64, (j as f64 + 0.5) / steps as f64];
+            let p = [
+                (i as f64 + 0.5) / steps as f64,
+                (j as f64 + 0.5) / steps as f64,
+            ];
             acc += (net.forward(&p) - f(&p)).abs();
         }
     }

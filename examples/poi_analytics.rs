@@ -33,13 +33,18 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(3);
     let queries: Vec<Vec<f64>> = (0..6_500)
-        .map(|_| vec![rng.random_range(0.0..1.0 - window), rng.random_range(0.0..1.0 - window)])
+        .map(|_| {
+            vec![
+                rng.random_range(0.0..1.0 - window),
+                rng.random_range(0.0..1.0 - window),
+            ]
+        })
         .collect();
     let (train, test) = queries.split_at(6_000);
 
     let cfg = NeuroSketchConfig::default();
-    let (sketch, _) = NeuroSketch::build(&engine, &pred, Aggregate::Avg, train, &cfg)
-        .expect("build succeeds");
+    let (sketch, _) =
+        NeuroSketch::build(&engine, &pred, Aggregate::Avg, train, &cfg).expect("build succeeds");
 
     // Publish: serialize the model instead of the data.
     let blob = sketch.to_json().expect("serialize");
@@ -51,10 +56,15 @@ fn main() {
 
     // A consumer loads the model and asks about a POI.
     let loaded = NeuroSketch::from_json(&blob).expect("load");
-    let truth: Vec<f64> =
-        test.iter().map(|q| engine.answer(&pred, Aggregate::Avg, q)).collect();
+    let truth: Vec<f64> = test
+        .iter()
+        .map(|q| engine.answer(&pred, Aggregate::Avg, q))
+        .collect();
     let preds: Vec<f64> = test.iter().map(|q| loaded.answer(q)).collect();
-    println!("held-out normalized MAE: {:.4}", normalized_mae(&truth, &preds));
+    println!(
+        "held-out normalized MAE: {:.4}",
+        normalized_mae(&truth, &preds)
+    );
 
     // Map one answer back to physical units via the normalizer.
     let q = &test[0];
@@ -81,14 +91,22 @@ fn main() {
             let py = rng.random_range(0.1..0.6);
             let phi = rng.random_range(0.0..std::f64::consts::FRAC_PI_2);
             let (dx, dy) = (rng.random_range(0.15..0.45), rng.random_range(0.15..0.45));
-            vec![px, py, px + dx * phi.cos() - dy * phi.sin(), py + dx * phi.sin() + dy * phi.cos(), phi]
+            vec![
+                px,
+                py,
+                px + dx * phi.cos() - dy * phi.sin(),
+                py + dx * phi.sin() + dy * phi.cos(),
+                phi,
+            ]
         })
         .collect();
     let (rtrain, rtest) = rect_queries.split_at(4_000);
     let (median_sketch, _) =
         NeuroSketch::build(&engine, &rect, Aggregate::Median, rtrain, &cfg).expect("build");
-    let rtruth: Vec<f64> =
-        rtest.iter().map(|q| engine.answer(&rect, Aggregate::Median, q)).collect();
+    let rtruth: Vec<f64> = rtest
+        .iter()
+        .map(|q| engine.answer(&rect, Aggregate::Median, q))
+        .collect();
     let rpreds: Vec<f64> = rtest.iter().map(|q| median_sketch.answer(q)).collect();
     println!(
         "\nrotated-rectangle MEDIAN (Table 2 query): normalized MAE {:.4}",

@@ -32,9 +32,8 @@ fn main() {
     // 3. Build the sketch (labels computed once by exact scan).
     let cfg = NeuroSketchConfig::default();
     let t0 = std::time::Instant::now();
-    let (sketch, report) =
-        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &train, &cfg)
-            .expect("build succeeds");
+    let (sketch, report) = NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &train, &cfg)
+        .expect("build succeeds");
     println!(
         "built {} partitions in {:.1}s (labeling {:.1}s, training {:.1}s)",
         sketch.partitions(),
@@ -50,13 +49,19 @@ fn main() {
     );
 
     // 4. Answer queries without touching the data.
-    let truth: Vec<f64> =
-        test.iter().map(|q| engine.answer(&wl.predicate, Aggregate::Avg, q)).collect();
+    let truth: Vec<f64> = test
+        .iter()
+        .map(|q| engine.answer(&wl.predicate, Aggregate::Avg, q))
+        .collect();
     let t1 = std::time::Instant::now();
     let preds: Vec<f64> = test.iter().map(|q| sketch.answer(q)).collect();
     let per_query_us = t1.elapsed().as_secs_f64() * 1e6 / test.len() as f64;
 
-    println!("normalized MAE on {} held-out queries: {:.4}", test.len(), normalized_mae(&truth, &preds));
+    println!(
+        "normalized MAE on {} held-out queries: {:.4}",
+        test.len(),
+        normalized_mae(&truth, &preds)
+    );
     println!("per-query latency: {per_query_us:.1} us (exact scan touches all 20k rows)");
 
     let q = &test[0];

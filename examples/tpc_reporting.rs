@@ -47,11 +47,17 @@ fn main() {
     let verdict = StratifiedSampler::build(&data, measure, data.rows() / 10, 32, 0);
     let spn = Spn::build(&data, measure, &SpnConfig::default());
 
-    println!("{:<13} {:>10} {:>13} {:>12}", "engine", "nMAE", "query time", "storage");
+    println!(
+        "{:<13} {:>10} {:>13} {:>12}",
+        "engine", "nMAE", "query time", "storage"
+    );
     // NeuroSketch row.
     let mut ws = nn::mlp::Workspace::default();
     let t = std::time::Instant::now();
-    let preds: Vec<f64> = test.iter().map(|q| sketch.answer_with(&mut ws, q)).collect();
+    let preds: Vec<f64> = test
+        .iter()
+        .map(|q| sketch.answer_with(&mut ws, q))
+        .collect();
     let us = t.elapsed().as_secs_f64() * 1e6 / test.len() as f64;
     println!(
         "{:<13} {:>10.4} {:>10.1} us {:>8.0} KiB",
@@ -65,7 +71,11 @@ fn main() {
         let t = std::time::Instant::now();
         let preds: Vec<f64> = test
             .iter()
-            .map(|q| engine_ref.answer(&wl.predicate, Aggregate::Avg, q).unwrap_or(0.0))
+            .map(|q| {
+                engine_ref
+                    .answer(&wl.predicate, Aggregate::Avg, q)
+                    .unwrap_or(0.0)
+            })
             .collect();
         let us = t.elapsed().as_secs_f64() * 1e6 / test.len() as f64;
         println!(

@@ -1,0 +1,21 @@
+//! # neurosketch-repro — workspace umbrella crate
+//!
+//! This package exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable walkthroughs (`examples/`) of the
+//! NeuroSketch reproduction. The actual implementation lives in the
+//! workspace crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | `nn` | from-scratch MLP: linalg, init, training, pruning, codecs |
+//! | `spatial` | kd-tree query partitioning + R-tree data index |
+//! | `datagen` | synthetic paper datasets (GMM, TPC, PM, Veraset-like) |
+//! | `query` | exact range-aggregate engine, predicates, workloads |
+//! | `neurosketch` | the paper's system: partition, merge, train, answer |
+//! | `baselines` | TREE-AGG, VerdictDB-, DeepDB-, DBEst-like engines |
+//! | `bench` | experiment harness + `repro` binary for tables/figures |
+//!
+//! See the repository `README.md` for the end-to-end walkthrough and
+//! the `repro` command matrix.
+
+// Intentionally empty: all functionality lives in the member crates.

@@ -18,7 +18,11 @@ fn small_cfg() -> NeuroSketchConfig {
         depth: 4,
         l_first: 32,
         l_rest: 16,
-        train: TrainConfig { epochs: 80, patience: 10, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 80,
+            patience: 10,
+            ..TrainConfig::default()
+        },
         threads: 2,
         seed: 7,
         aqc_max_pairs: 3_000,
@@ -44,13 +48,14 @@ fn pipeline_on_pm_dataset() {
     .unwrap();
     let (train, test) = wl.split(150);
     let (sketch, report) =
-        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &train, &small_cfg())
-            .unwrap();
+        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &train, &small_cfg()).unwrap();
     assert_eq!(sketch.partitions(), 3);
     assert_eq!(report.leaf_sizes.iter().sum::<usize>(), train.len());
 
-    let truth: Vec<f64> =
-        test.iter().map(|q| engine.answer(&wl.predicate, Aggregate::Avg, q)).collect();
+    let truth: Vec<f64> = test
+        .iter()
+        .map(|q| engine.answer(&wl.predicate, Aggregate::Avg, q))
+        .collect();
     let preds: Vec<f64> = test.iter().map(|q| sketch.answer(q)).collect();
     let err = normalized_mae(&truth, &preds);
 
@@ -59,7 +64,10 @@ fn pipeline_on_pm_dataset() {
     let mean = labels.iter().sum::<f64>() / labels.len() as f64;
     let const_preds = vec![mean; test.len()];
     let const_err = normalized_mae(&truth, &const_preds);
-    assert!(err < const_err, "sketch {err} must beat constant {const_err}");
+    assert!(
+        err < const_err,
+        "sketch {err} must beat constant {const_err}"
+    );
 
     // Serialization round trip.
     let loaded = NeuroSketch::from_json(&sketch.to_json().unwrap()).unwrap();
@@ -83,9 +91,14 @@ fn engines_agree_on_easy_count() {
     })
     .unwrap();
     let (train, test) = wl.split(100);
-    let (sketch, _) =
-        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &train, &small_cfg())
-            .unwrap();
+    let (sketch, _) = NeuroSketch::build(
+        &engine,
+        &wl.predicate,
+        Aggregate::Count,
+        &train,
+        &small_cfg(),
+    )
+    .unwrap();
     let ta = TreeAgg::build(&data, 1, 2_000, 3);
 
     for q in test.iter().take(30) {
@@ -123,8 +136,7 @@ fn merge_preserves_query_coverage() {
     cfg.tree_height = 4;
     cfg.target_partitions = 5;
     let (sketch, report) =
-        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
-            .unwrap();
+        NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg).unwrap();
     assert_eq!(sketch.partitions(), 5);
     assert_eq!(report.leaf_aqcs.len(), 5);
     // Every query (train or new) must route to some model without panic.
@@ -143,7 +155,11 @@ fn kdtree_adapts_to_hotspot_workloads() {
     let wl = Workload::generate(&WorkloadConfig {
         dims: 1,
         active: ActiveMode::Fixed(vec![0]),
-        range: RangeMode::Hotspot { width: 0.05, center: 0.25, sigma: 0.04 },
+        range: RangeMode::Hotspot {
+            width: 0.05,
+            center: 0.25,
+            sigma: 0.04,
+        },
         count: 1024,
         seed: 8,
     })
@@ -158,8 +174,14 @@ fn kdtree_adapts_to_hotspot_workloads() {
     // space than the leaf containing the far tail.
     let width_of = |leaf: usize| {
         let qs = tree.leaf_queries(leaf);
-        let lo = qs.iter().map(|&i| wl.queries[i][0]).fold(f64::INFINITY, f64::min);
-        let hi = qs.iter().map(|&i| wl.queries[i][0]).fold(f64::NEG_INFINITY, f64::max);
+        let lo = qs
+            .iter()
+            .map(|&i| wl.queries[i][0])
+            .fold(f64::INFINITY, f64::min);
+        let hi = qs
+            .iter()
+            .map(|&i| wl.queries[i][0])
+            .fold(f64::NEG_INFINITY, f64::max);
         hi - lo
     };
     let hot_leaf = tree.locate(&[0.25, 0.05]);

@@ -191,7 +191,7 @@ proptest! {
         let wide = spn
             .answer(&pred, Aggregate::Count, &[lo, (w + grow).min(1.0 - lo)])
             .unwrap();
-        prop_assert!(narrow >= -1e-9 && narrow <= 600.0 + 1e-6);
+        prop_assert!((-1e-9..=600.0 + 1e-6).contains(&narrow));
         prop_assert!(wide + 1e-9 >= narrow, "count not monotone: {narrow} > {wide}");
         let all = spn.answer(&pred, Aggregate::Count, &[0.0, 1.0]).unwrap();
         prop_assert!((all - 600.0).abs() < 6.0, "full-domain count {all}");

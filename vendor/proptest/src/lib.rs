@@ -1,0 +1,101 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/).
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! - [`strategy::Strategy`] with ranges, tuples, [`prop::collection::vec`],
+//!   and [`strategy::Strategy::prop_map`];
+//! - the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest, deliberately accepted for an
+//! offline stub: inputs are drawn from a fixed deterministic seed
+//! (reproducible, but not configurable via `PROPTEST_*` env vars), and
+//! failing cases are **not shrunk** — the panic message reports the
+//! case number and the generated inputs' `Debug` form is up to the
+//! assertion message.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[test]
+//!     fn addition_commutes(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+//!         prop_assert!((a + b - (b + a)).abs() < 1e-15);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+// The crate-level doc example necessarily shows `#[test]` inside
+// `proptest!` — that is the macro's real usage.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod config;
+pub mod prop;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a regular `#[test]` that draws `cases` inputs from the
+/// strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::config::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @expand ($crate::config::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -1,0 +1,16 @@
+//! The `prop::` namespace re-exported by the prelude, mirroring
+//! `proptest::prelude::prop`.
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element`, with length drawn
+    /// from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The deterministic RNG driving input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wrapper around the vendored [`StdRng`], seeded from the test's
+/// fully qualified name so each property gets an independent but
+/// reproducible stream.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test identifier (FNV-1a over the name).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

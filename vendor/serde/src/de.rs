@@ -1,0 +1,259 @@
+//! The JSON pull-parser used by [`crate::Deserialize`] impls.
+
+use std::fmt;
+
+/// A deserialization error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A cursor over JSON text. All `parse_*`/`expect_*` methods skip
+/// leading whitespace first.
+pub struct Deserializer<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Deserializer<'a> {
+    /// Start parsing `input`.
+    pub fn new(input: &'a str) -> Self {
+        Deserializer {
+            s: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Build an [`Error`] at the current position.
+    pub fn error(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            pos: self.pos,
+        }
+    }
+
+    /// An [`Error`] for a struct field absent from the input.
+    pub fn missing_field(&self, name: &str) -> Error {
+        self.error(&format!("missing field `{name}`"))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.s.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte, without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    /// Consume `c` if it is next; report whether it was.
+    pub fn eat_char(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require `c` next.
+    pub fn expect_char(&mut self, c: char) -> Result<(), Error> {
+        if self.eat_char(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{c}`")))
+        }
+    }
+
+    /// Consume the literal `kw` (e.g. `null`) if it is next.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require the input to be fully consumed (modulo whitespace).
+    pub fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.s.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters after JSON value"))
+        }
+    }
+
+    /// Parse a JSON string (with escapes) into an owned `String`.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .s
+                .get(self.pos)
+                .ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's data; reject them explicitly.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.error("unsupported \\u escape"))?;
+                            out.push(ch);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at c.
+                    let start = self.pos - 1;
+                    let width = utf8_width(c);
+                    let end = start + width;
+                    let bytes = self
+                        .s
+                        .get(start..end)
+                        .ok_or_else(|| self.error("truncated UTF-8"))?;
+                    let st = std::str::from_utf8(bytes).map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(st);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number_slice(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&c) = self.s.get(self.pos) {
+            if c.is_ascii_digit() || c == b'-' || c == b'+' || c == b'.' || c == b'e' || c == b'E' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected number"));
+        }
+        std::str::from_utf8(&self.s[start..self.pos]).map_err(|_| self.error("invalid UTF-8"))
+    }
+
+    /// Parse a JSON number as `f64`.
+    pub fn parse_f64(&mut self) -> Result<f64, Error> {
+        let txt = self.number_slice()?;
+        txt.parse().map_err(|_| self.error("malformed number"))
+    }
+
+    /// Parse a JSON number as a signed 128-bit integer (the common
+    /// denominator for every integer impl).
+    pub fn parse_i128(&mut self) -> Result<i128, Error> {
+        let txt = self.number_slice()?;
+        txt.parse().map_err(|_| self.error("malformed integer"))
+    }
+
+    /// Skip one complete JSON value of any kind (used for unknown
+    /// object keys).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'"' => {
+                self.parse_string()?;
+            }
+            b'{' => {
+                self.expect_char('{')?;
+                if self.eat_char('}') {
+                    return Ok(());
+                }
+                loop {
+                    self.parse_string()?;
+                    self.expect_char(':')?;
+                    self.skip_value()?;
+                    if self.eat_char(',') {
+                        continue;
+                    }
+                    self.expect_char('}')?;
+                    break;
+                }
+            }
+            b'[' => {
+                self.expect_char('[')?;
+                if self.eat_char(']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if self.eat_char(',') {
+                        continue;
+                    }
+                    self.expect_char(']')?;
+                    break;
+                }
+            }
+            b't' | b'f' | b'n' => {
+                if !(self.eat_keyword("true")
+                    || self.eat_keyword("false")
+                    || self.eat_keyword("null"))
+                {
+                    return Err(self.error("bad literal"));
+                }
+            }
+            _ => {
+                self.parse_f64()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

@@ -1,0 +1,22 @@
+//! JSON entry points; `serde_json` re-exports these.
+
+use crate::de::{Deserializer, Error};
+use crate::{Deserialize, Serialize};
+
+/// Serialize `value` to a compact JSON string.
+///
+/// Infallible for the types in this workspace, but kept `Result` for
+/// source compatibility with `serde_json::to_string`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json_serialize(&mut out);
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text. Rejects trailing garbage.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut de = Deserializer::new(s);
+    let v = T::json_deserialize(&mut de)?;
+    de.finish()?;
+    Ok(v)
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for [`serde`](https://serde.rs), specialised to the
+//! one data format this workspace uses: JSON.
+//!
+//! Real serde separates data model from format; this stub collapses the
+//! two, which keeps the vendored code small while remaining source- and
+//! wire-compatible for the workspace's usage:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on structs with named fields
+//!   and on enums (unit, newtype, and struct variants), provided by the
+//!   vendored `serde_derive` proc-macro.
+//! - The JSON encoding matches `serde_json`'s defaults: structs as
+//!   objects, unit enum variants as strings, data-carrying variants as
+//!   externally tagged one-key objects, maps with stringified keys.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct P { x: f64, tags: Vec<String> }
+//!
+//! let p = P { x: 0.5, tags: vec!["a".into()] };
+//! let s = serde::json::to_string(&p).unwrap();
+//! assert_eq!(s, r#"{"x":0.5,"tags":["a"]}"#);
+//! let back: P = serde::json::from_str(&s).unwrap();
+//! assert_eq!(back, p);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod json;
+pub mod ser;
+
+use std::collections::BTreeMap;
+
+/// JSON serialization. Implementors append their encoding to `out`.
+pub trait Serialize {
+    /// Append `self` as JSON.
+    fn json_serialize(&self, out: &mut String);
+}
+
+/// JSON deserialization from a [`de::Deserializer`].
+pub trait Deserialize: Sized {
+    /// Parse one JSON value.
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+                let v = de.parse_i128()?;
+                <$t>::try_from(v).map_err(|_| de.error("integer out of range"))
+            }
+        }
+    )*};
+}
+
+int_impls!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_serialize(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // serde_json emits null for non-finite floats.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+                if de.eat_keyword("null") {
+                    return Ok(<$t>::NAN);
+                }
+                de.parse_f64().map(|v| v as $t)
+            }
+        }
+    )*};
+}
+
+float_impls!(f64, f32);
+
+impl Serialize for bool {
+    fn json_serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+        if de.eat_keyword("true") {
+            Ok(true)
+        } else if de.eat_keyword("false") {
+            Ok(false)
+        } else {
+            Err(de.error("expected boolean"))
+        }
+    }
+}
+
+impl Serialize for String {
+    fn json_serialize(&self, out: &mut String) {
+        ser::write_string(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn json_serialize(&self, out: &mut String) {
+        ser::write_string(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+        de.parse_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_serialize(&self, out: &mut String) {
+        self.as_slice().json_serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+        de.expect_char('[')?;
+        let mut out = Vec::new();
+        if de.eat_char(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::json_deserialize(de)?);
+            if de.eat_char(',') {
+                continue;
+            }
+            de.expect_char(']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+        if de.eat_keyword("null") {
+            Ok(None)
+        } else {
+            T::json_deserialize(de).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_serialize(&self, out: &mut String) {
+        (**self).json_serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+        T::json_deserialize(de).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_serialize(&self, out: &mut String) {
+        (**self).json_serialize(out);
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_serialize(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json_serialize(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+                de.expect_char('[')?;
+                let mut first = true;
+                let value = ($(
+                    {
+                        if !first { de.expect_char(',')?; }
+                        first = false;
+                        $t::json_deserialize(de)?
+                    },
+                )+);
+                let _ = first;
+                de.expect_char(']')?;
+                Ok(value)
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Types usable as JSON object keys (JSON keys are always strings, so
+/// integer keys are stringified, matching serde_json).
+pub trait MapKey: Sized {
+    /// Render as the raw (unquoted) key text.
+    fn to_json_key(&self) -> String;
+    /// Parse back from the raw key text.
+    fn from_json_key(s: &str) -> Option<Self>;
+}
+
+macro_rules! mapkey_ints {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_json_key(&self) -> String { self.to_string() }
+            fn from_json_key(s: &str) -> Option<Self> { s.parse().ok() }
+        }
+    )*};
+}
+
+mapkey_ints!(usize, u64, u32, i64, i32);
+
+impl MapKey for String {
+    fn to_json_key(&self) -> String {
+        self.clone()
+    }
+    fn from_json_key(s: &str) -> Option<Self> {
+        Some(s.to_string())
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn json_serialize(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser::write_string(out, &k.to_json_key());
+            out.push(':');
+            v.json_serialize(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn json_deserialize(de: &mut de::Deserializer<'_>) -> Result<Self, de::Error> {
+        de.expect_char('{')?;
+        let mut out = BTreeMap::new();
+        if de.eat_char('}') {
+            return Ok(out);
+        }
+        loop {
+            let key = de.parse_string()?;
+            let key = K::from_json_key(&key).ok_or_else(|| de.error("bad map key"))?;
+            de.expect_char(':')?;
+            out.insert(key, V::json_deserialize(de)?);
+            if de.eat_char(',') {
+                continue;
+            }
+            de.expect_char('}')?;
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [0.0f64, 1.5, -2.25, 1e-9, 12_345.678_901_234] {
+            let mut s = String::new();
+            v.json_serialize(&mut s);
+            let back: f64 = json::from_str(&s).unwrap();
+            assert_eq!(back, v, "via {s}");
+        }
+        let mut s = String::new();
+        f64::NAN.json_serialize(&mut s);
+        assert_eq!(s, "null");
+        let back: f64 = json::from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(f64, f64)> = vec![(0.0, 1.0), (-3.5, 7.25)];
+        let s = json::to_string(&v).unwrap();
+        assert_eq!(s, "[[0,1],[-3.5,7.25]]");
+        let back: Vec<(f64, f64)> = json::from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert(3usize, vec![1u32, 2]);
+        let s = json::to_string(&m).unwrap();
+        assert_eq!(s, r#"{"3":[1,2]}"#);
+        let back: BTreeMap<usize, Vec<u32>> = json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+
+        let o: Option<usize> = None;
+        assert_eq!(json::to_string(&o).unwrap(), "null");
+        let back: Option<usize> = json::from_str("null").unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\t\u{1}".to_string();
+        let enc = json::to_string(&s).unwrap();
+        let back: String = json::from_str(&enc).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(json::from_str::<f64>("not json").is_err());
+        assert!(json::from_str::<Vec<f64>>("[1,2").is_err());
+        assert!(json::from_str::<f64>("1 trailing").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Serialization helpers shared by derived and hand-written
+//! [`crate::Serialize`] impls.
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a quoted object key followed by `:`.
+pub fn write_key(out: &mut String, key: &str) {
+    write_string(out, key);
+    out.push(':');
+}

@@ -1,0 +1,468 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored JSON-only
+//! `serde` stub.
+//!
+//! Supported item shapes (everything the workspace derives on):
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums whose variants are unit, newtype (one unnamed field), or
+//!   struct-like (named fields); multi-field tuple variants encode as
+//!   arrays.
+//!
+//! Generics and `where` clauses are rejected with a compile error —
+//! none of the workspace types need them, and supporting them without
+//! `syn` is not worth the complexity.
+//!
+//! The wire format matches `serde_json` defaults: structs are objects
+//! keyed by field name, unit variants are bare strings, data-carrying
+//! variants are externally tagged one-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Derive `serde::Serialize` (JSON-only stub).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` (JSON-only stub).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected struct/enum, found {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected type name, found {t}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                t => panic!("serde_derive: unsupported struct body: {t:?}"),
+            };
+            Input {
+                name,
+                body: Body::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                t => panic!("serde_derive: unsupported enum body: {t:?}"),
+            };
+            Input { name, body }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and any
+/// `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Names of the fields in `{ a: T, b: U }`. Commas inside generic
+/// argument lists (`BTreeMap<usize, V>`) are not separators, so track
+/// angle-bracket depth while scanning types.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected field name, found {t}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("serde_derive: expected `:` after field `{name}`, found {t}"),
+        }
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Arity of a tuple struct/variant body `(T, U, ...)`.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Body {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected variant name, found {t}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any discriminant (`= expr`) up to the separating comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Body::Enum(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_named_fields(out: &mut String, fields: &[String], access_prefix: &str) {
+    out.push_str("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!("::serde::ser::write_key(out, \"{f}\");\n"));
+        out.push_str(&format!(
+            "::serde::Serialize::json_serialize(&{access_prefix}{f}, out);\n"
+        ));
+    }
+    out.push_str("out.push('}');\n");
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) => ser_named_fields(&mut body, fields, "self."),
+        Body::Struct(Fields::Tuple(1)) => {
+            body.push_str("::serde::Serialize::json_serialize(&self.0, out);\n");
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            body.push_str("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::json_serialize(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');\n");
+        }
+        Body::Struct(Fields::Unit) => {
+            body.push_str("out.push_str(\"null\");\n");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::ser::write_string(out, \"{vn}\"),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        body.push_str(&format!("{name}::{vn} {{ {binds} }} => {{\n"));
+                        body.push_str("out.push('{');\n");
+                        body.push_str(&format!("::serde::ser::write_key(out, \"{vn}\");\n"));
+                        ser_named_fields(&mut body, fields, "");
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        body.push_str(&format!("{name}::{vn}({}) => {{\n", binds.join(", ")));
+                        body.push_str("out.push('{');\n");
+                        body.push_str(&format!("::serde::ser::write_key(out, \"{vn}\");\n"));
+                        if *n == 1 {
+                            body.push_str("::serde::Serialize::json_serialize(__v0, out);\n");
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::json_serialize({b}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn json_serialize(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Emit the field-loop that parses `{{\"f\": v, ...}}` into local
+/// `__f_*` options, then the struct/variant construction expression.
+fn de_named_fields(out: &mut String, fields: &[String], constructor: &str) {
+    out.push_str("de.expect_char('{')?;\n");
+    for f in fields {
+        out.push_str(&format!(
+            "let mut __f_{f} = ::core::option::Option::None;\n"
+        ));
+    }
+    out.push_str("if !de.eat_char('}') {\nloop {\n");
+    out.push_str("let __key = de.parse_string()?;\nde.expect_char(':')?;\n");
+    out.push_str("match __key.as_str() {\n");
+    for f in fields {
+        out.push_str(&format!(
+            "\"{f}\" => {{ __f_{f} = ::core::option::Option::Some(\
+             ::serde::Deserialize::json_deserialize(de)?); }}\n"
+        ));
+    }
+    out.push_str("_ => { de.skip_value()?; }\n}\n");
+    out.push_str("if de.eat_char(',') { continue; }\nde.expect_char('}')?;\nbreak;\n}\n}\n");
+    out.push_str(&format!("{constructor} {{\n"));
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: match __f_{f} {{ ::core::option::Option::Some(v) => v, \
+             ::core::option::Option::None => \
+             return ::core::result::Result::Err(de.missing_field(\"{f}\")) }},\n"
+        ));
+    }
+    out.push_str("}\n");
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut inner = String::new();
+            de_named_fields(&mut inner, fields, name);
+            body.push_str(&format!("::core::result::Result::Ok({{\n{inner}\n}})\n"));
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            body.push_str(&format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::json_deserialize(de)?))\n"
+            ));
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            body.push_str("de.expect_char('[')?;\n");
+            let mut parts = Vec::new();
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("de.expect_char(',')?;\n");
+                }
+                body.push_str(&format!(
+                    "let __v{i} = ::serde::Deserialize::json_deserialize(de)?;\n"
+                ));
+                parts.push(format!("__v{i}"));
+            }
+            body.push_str("de.expect_char(']')?;\n");
+            body.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))\n",
+                parts.join(", ")
+            ));
+        }
+        Body::Struct(Fields::Unit) => {
+            body.push_str(
+                "if !de.eat_keyword(\"null\") { \
+                 return ::core::result::Result::Err(de.error(\"expected null\")); }\n",
+            );
+            body.push_str(&format!("::core::result::Result::Ok({name})\n"));
+        }
+        Body::Enum(variants) => {
+            let has_data = variants.iter().any(|v| !matches!(v.fields, Fields::Unit));
+            body.push_str("match de.peek() {\n");
+            // Unit variants arrive as bare strings.
+            body.push_str(
+                "::core::option::Option::Some(b'\"') => {\nlet __tag = de.parse_string()?;\n\
+                 match __tag.as_str() {\n",
+            );
+            for v in variants.iter().filter(|v| matches!(v.fields, Fields::Unit)) {
+                let vn = &v.name;
+                body.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            body.push_str(
+                "__other => ::core::result::Result::Err(\
+                 de.error(&::std::format!(\"unknown variant `{}`\", __other))),\n}\n}\n",
+            );
+            if has_data {
+                body.push_str(
+                    "::core::option::Option::Some(b'{') => {\nde.expect_char('{')?;\n\
+                     let __tag = de.parse_string()?;\nde.expect_char(':')?;\n\
+                     let __value = match __tag.as_str() {\n",
+                );
+                for v in variants
+                    .iter()
+                    .filter(|v| !matches!(v.fields, Fields::Unit))
+                {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Named(fields) => {
+                            let mut inner = String::new();
+                            de_named_fields(&mut inner, fields, &format!("{name}::{vn}"));
+                            body.push_str(&format!("\"{vn}\" => {{\n{inner}\n}}\n"));
+                        }
+                        Fields::Tuple(1) => {
+                            body.push_str(&format!(
+                                "\"{vn}\" => {name}::{vn}(\
+                                 ::serde::Deserialize::json_deserialize(de)?),\n"
+                            ));
+                        }
+                        Fields::Tuple(n) => {
+                            let mut inner = String::from("{\nde.expect_char('[')?;\n");
+                            let mut parts = Vec::new();
+                            for i in 0..*n {
+                                if i > 0 {
+                                    inner.push_str("de.expect_char(',')?;\n");
+                                }
+                                inner.push_str(&format!(
+                                    "let __v{i} = ::serde::Deserialize::json_deserialize(de)?;\n"
+                                ));
+                                parts.push(format!("__v{i}"));
+                            }
+                            inner.push_str("de.expect_char(']')?;\n");
+                            inner.push_str(&format!("{name}::{vn}({})\n}}", parts.join(", ")));
+                            body.push_str(&format!("\"{vn}\" => {inner},\n"));
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                }
+                body.push_str(
+                    "__other => return ::core::result::Result::Err(\
+                     de.error(&::std::format!(\"unknown variant `{}`\", __other))),\n};\n\
+                     de.expect_char('}')?;\n::core::result::Result::Ok(__value)\n}\n",
+                );
+            }
+            body.push_str(
+                "_ => ::core::result::Result::Err(de.error(\"expected enum value\")),\n}\n",
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn json_deserialize(de: &mut ::serde::de::Deserializer<'_>) \
+         -> ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

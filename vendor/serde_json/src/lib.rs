@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde_json`: `to_string` / `from_str` over
+//! the vendored `serde` stub's JSON engine.
+//!
+//! ```
+//! let s = serde_json::to_string(&vec![1u32, 2, 3]).unwrap();
+//! assert_eq!(s, "[1,2,3]");
+//! let v: Vec<u32> = serde_json::from_str(&s).unwrap();
+//! assert_eq!(v, [1, 2, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Deserialization/serialization error (re-exported from the `serde`
+/// stub's JSON engine).
+pub use serde::de::Error;
+pub use serde::json::{from_str, to_string};
