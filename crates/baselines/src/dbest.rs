@@ -186,7 +186,9 @@ impl DbEst {
         pred: &dyn PredicateFn,
         q: &[f64],
     ) -> Result<(f64, f64), Unsupported> {
-        let Some(bounds) = pred.axis_bounds(q) else {
+        // The bounds must fully define the predicate here — bounding-box
+        // pruning hints (rotated rectangles, spheres) are not enough.
+        let Some(bounds) = pred.exact_axis_bounds(q) else {
             return Err(Unsupported::Predicate("non-axis-aligned predicate".into()));
         };
         // A bound is "active" if it actually constrains [0,1].

@@ -113,7 +113,9 @@ impl AqpEngine for AviHistogram {
         if !matches!(agg, Aggregate::Count | Aggregate::Sum | Aggregate::Avg) {
             return Err(Unsupported::Aggregate(agg));
         }
-        let Some(bounds) = pred.axis_bounds(q) else {
+        // The bounds must fully define the predicate here — bounding-box
+        // pruning hints (rotated rectangles, spheres) are not enough.
+        let Some(bounds) = pred.exact_axis_bounds(q) else {
             return Err(Unsupported::Predicate("non-axis-aligned predicate".into()));
         };
         // AVI: selectivity = product over constrained attrs; AVG from the

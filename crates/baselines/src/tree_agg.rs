@@ -61,10 +61,18 @@ impl TreeAgg {
 
     /// Collect the measure values of samples matching the predicate,
     /// using the R-tree when axis bounds exist and a sample scan
-    /// otherwise (e.g. rotated rectangles).
+    /// otherwise (e.g. half-spaces).
     fn matching_values(&self, pred: &dyn PredicateFn, q: &[f64]) -> Vec<f64> {
         let mut vals = Vec::new();
-        if let Some(bounds) = pred.axis_bounds(q) {
+        if let Some(mut bounds) = pred.axis_bounds(q) {
+            // `axis_bounds` is a necessary condition with endpoints
+            // included (a rotated rectangle matches points exactly on
+            // its bounding box), while `RTree::search` is half-open —
+            // nudge every upper bound one ulp up so the candidate set
+            // stays a superset; `pred.matches` below is the exact test.
+            for (_, _, hi) in &mut bounds {
+                *hi = hi.next_up();
+            }
             self.tree.search(&bounds, |id| {
                 let row = self.tree.point(id);
                 if pred.matches(q, row) {
@@ -134,6 +142,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A sampled point lying exactly on a rotated rectangle's bounding-box
+    /// upper edge matches the predicate (inclusive endpoints) and must be
+    /// counted even though the R-tree candidate search is half-open.
+    #[test]
+    fn rotated_rect_counts_points_on_bbox_edge() {
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.6, 0.6, 1.0], // exactly the bbox max corner
+            vec![0.4, 0.4, 1.0], // interior
+            vec![0.9, 0.9, 1.0], // outside
+        ];
+        let data =
+            datagen::Dataset::from_rows(vec!["x".into(), "y".into(), "m".into()], &rows).unwrap();
+        let ta = TreeAgg::build(&data, 2, 3, 0);
+        let pred = RotatedRect::new(0, 1, 3).unwrap();
+        // Axis-aligned rectangle (phi = 0) spanning [0.2,0.6] x [0.2,0.6].
+        let q = [0.2, 0.2, 0.6, 0.6, 0.0];
+        assert_eq!(ta.answer(&pred, Aggregate::Count, &q).unwrap(), 2.0);
     }
 
     #[test]

@@ -2,46 +2,37 @@
 //! engine on the same workload. The paper's headline — NeuroSketch
 //! answers in microseconds, orders of magnitude below the model-of-data
 //! baselines — shows up directly in these numbers.
+//!
+//! The dataset/workload is [`bench::perf::scenarios::query_scenario`] —
+//! the same fixture `perfbench` times into `BENCH_query.json`.
 
 use baselines::dbest::{DbEst, DbEstConfig};
 use baselines::deepdb::{Spn, SpnConfig};
 use baselines::tree_agg::TreeAgg;
 use baselines::verdict::StratifiedSampler;
 use baselines::AqpEngine;
+use bench::perf::scenarios::query_scenario;
 use criterion::{criterion_group, criterion_main, Criterion};
-use datagen::simple::uniform;
 use neurosketch::{NeuroSketch, NeuroSketchConfig};
 use query::aggregate::Aggregate;
 use query::exec::QueryEngine;
-use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
 use std::hint::black_box;
 
 fn bench_query_time(c: &mut Criterion) {
-    // Fixed scenario: 20k rows, 3 attrs, AVG over one active attribute.
-    let data = uniform(20_000, 3, 7);
-    let measure = 2;
-    let engine = QueryEngine::new(&data, measure);
-    let wl = Workload::generate(&WorkloadConfig {
-        dims: 3,
-        active: ActiveMode::Fixed(vec![0]),
-        range: RangeMode::Uniform,
-        count: 1_200,
-        seed: 1,
-    })
-    .expect("workload");
-    let (train, test) = wl.split(200);
-    let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &train, 4);
+    let sc = query_scenario(false);
+    let engine = QueryEngine::new(&sc.data, sc.measure);
 
     let mut ns_cfg = NeuroSketchConfig::default();
     ns_cfg.train.epochs = 60;
-    let (sketch, _) = NeuroSketch::build_from_labeled(&train, &labels, &ns_cfg).expect("build");
-    let tree_agg = TreeAgg::build(&data, measure, 2_000, 0);
-    let verdict = StratifiedSampler::build(&data, measure, 2_000, 32, 0);
-    let spn = Spn::build(&data, measure, &SpnConfig::default());
+    let (sketch, _) =
+        NeuroSketch::build_from_labeled(&sc.train, &sc.labels, &ns_cfg).expect("build");
+    let tree_agg = TreeAgg::build(&sc.data, sc.measure, 2_000, 0);
+    let verdict = StratifiedSampler::build(&sc.data, sc.measure, 2_000, 32, 0);
+    let spn = Spn::build(&sc.data, sc.measure, &SpnConfig::default());
     let dbest = DbEst::build(
-        &data,
+        &sc.data,
         0,
-        measure,
+        sc.measure,
         &DbEstConfig {
             reg_samples: 1_000,
             ..DbEstConfig::default()
@@ -49,13 +40,13 @@ fn bench_query_time(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig6b_query_time");
-    let n_test = test.len();
+    let n_test = sc.test.len();
     let mut i = 0usize;
     let mut next = move || {
         i = (i + 1) % n_test;
         i
     };
-    let test_ref = &test;
+    let test_ref = &sc.test;
 
     let mut ws = nn::mlp::Workspace::default();
     group.bench_function("neurosketch", |b| {
@@ -67,31 +58,35 @@ fn bench_query_time(c: &mut Criterion) {
     group.bench_function("tree_agg", |b| {
         b.iter(|| {
             let q = &test_ref[next()];
-            black_box(tree_agg.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+            black_box(
+                tree_agg
+                    .answer(&sc.wl.predicate, Aggregate::Avg, q)
+                    .unwrap(),
+            )
         })
     });
     group.bench_function("verdictdb", |b| {
         b.iter(|| {
             let q = &test_ref[next()];
-            black_box(verdict.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+            black_box(verdict.answer(&sc.wl.predicate, Aggregate::Avg, q).unwrap())
         })
     });
     group.bench_function("deepdb_spn", |b| {
         b.iter(|| {
             let q = &test_ref[next()];
-            black_box(spn.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+            black_box(spn.answer(&sc.wl.predicate, Aggregate::Avg, q).unwrap())
         })
     });
     group.bench_function("dbest", |b| {
         b.iter(|| {
             let q = &test_ref[next()];
-            black_box(dbest.answer(&wl.predicate, Aggregate::Avg, q).unwrap())
+            black_box(dbest.answer(&sc.wl.predicate, Aggregate::Avg, q).unwrap())
         })
     });
     group.bench_function("exact_scan", |b| {
         b.iter(|| {
             let q = &test_ref[next()];
-            black_box(engine.answer(&wl.predicate, Aggregate::Avg, q))
+            black_box(engine.answer(&sc.wl.predicate, Aggregate::Avg, q))
         })
     });
     group.finish();

@@ -21,7 +21,7 @@ use query::exec::QueryEngine;
 use spatial::KdTree;
 
 /// A boxed leaf-scoring closure used by the merge ablation.
-type ScoreFn = Box<dyn FnMut(&[usize]) -> f64>;
+type ScoreFn = Box<dyn Fn(&[usize]) -> f64 + Sync>;
 
 /// One merge-strategy measurement.
 #[derive(Debug, Clone)]
@@ -89,10 +89,10 @@ pub fn run(ctx: &ExperimentContext) -> AblationResult {
         ("leaf size", Box::new(|ids: &[usize]| ids.len() as f64)),
         ("constant", Box::new(|_: &[usize]| 1.0)),
     ];
-    for (name, mut score) in strategies {
+    for (name, score) in strategies {
         // Merge a fresh tree with this score.
         let mut tree = KdTree::build(&train_q, 4);
-        tree.merge_leaves(&mut score, 6);
+        tree.merge_leaves(&score, 6, ctx.ns_config().threads);
         // Train one model per merged leaf via build_from_labeled on each
         // leaf's queries, emulating the per-partition training.
         let mut cfg = ctx.ns_config();

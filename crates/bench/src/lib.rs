@@ -18,5 +18,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod perf;
 
 pub use common::{EngineRow, ExperimentContext};
+pub use perf::{PerfEntry, PerfReport};

@@ -1,0 +1,469 @@
+//! Machine-readable performance tracking: `BENCH_build.json` /
+//! `BENCH_query.json`.
+//!
+//! Every entry is a named scenario timed over `reps` repetitions with
+//! median and p95 wall-clock recorded. The committed files in the repo
+//! root are the baseline; the `perfbench` binary re-runs the suites and
+//! (with `--check`) fails when any median regresses more than 2x, so the
+//! perf trajectory of the build and query paths is tracked from PR to PR.
+//!
+//! The scenarios deliberately mirror the criterion benches in
+//! `crates/bench/benches/` (which reuse [`scenarios`]): exact labeling,
+//! partition+merge, per-leaf training (batched **and** the per-example
+//! reference, so the batched-kernel speedup is recorded as data), the
+//! full sketch build, and per-query answer latency.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timed scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Scenario name, stable across PRs.
+    pub name: String,
+    /// Median wall-clock per repetition, milliseconds. One repetition
+    /// executes the scenario `iters` times, so fast scenarios still
+    /// produce medians comfortably above timer noise.
+    pub median_ms: f64,
+    /// 95th-percentile wall-clock per repetition, milliseconds.
+    pub p95_ms: f64,
+    /// Repetitions timed.
+    pub reps: usize,
+    /// Scenario executions per repetition.
+    pub iters: usize,
+}
+
+/// A suite of timed scenarios, serialized as `BENCH_<suite>.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Suite name ("build" or "query").
+    pub suite: String,
+    /// Whether the suite ran at `--fast` scale.
+    pub fast: bool,
+    /// The timed scenarios.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Parse a report written by [`PerfReport::to_json`].
+    pub fn from_json(s: &str) -> Result<PerfReport, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad perf report: {e}"))
+    }
+
+    /// Median of the named entry, if present.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.median_ms)
+    }
+
+    /// Whether `baseline` was produced at the same scale: comparing a
+    /// `--fast` run against a full-scale baseline (or vice versa)
+    /// measures the scale difference, not the code.
+    pub fn comparable_to(&self, baseline: &PerfReport) -> bool {
+        self.suite == baseline.suite && self.fast == baseline.fast
+    }
+
+    /// Compare against a baseline: every scenario present in both whose
+    /// median regressed by more than `factor` is reported. Skipped as
+    /// incomparable: sub-millisecond baseline medians (at that scale the
+    /// comparison measures timer noise, not the code — the suites size
+    /// `iters` so no tracked scenario lands under the floor in practice)
+    /// and entries whose per-repetition `iters` changed (the medians then
+    /// measure different amounts of work).
+    pub fn regressions_vs(&self, baseline: &PerfReport, factor: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        for base in &baseline.entries {
+            if base.median_ms < 1.0 {
+                continue;
+            }
+            let Some(cur) = self.entries.iter().find(|e| e.name == base.name) else {
+                continue;
+            };
+            if cur.iters != base.iters {
+                continue;
+            }
+            if cur.median_ms > base.median_ms * factor {
+                out.push(format!(
+                    "{}: {:.2} ms vs baseline {:.2} ms ({:.1}x)",
+                    base.name,
+                    cur.median_ms,
+                    base.median_ms,
+                    cur.median_ms / base.median_ms
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Time `f` over `reps` repetitions; returns `(median_ms, p95_ms)`.
+pub fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    // One untimed warm-up so first-touch effects (page faults, lazy
+    // allocations) don't land in the median.
+    f();
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    let p95 = samples[((samples.len() as f64 * 0.95).ceil() as usize - 1).min(samples.len() - 1)];
+    (median, p95)
+}
+
+/// The fixed workloads the perf suites and the criterion benches share.
+pub mod scenarios {
+    use datagen::simple::uniform;
+    use datagen::Dataset;
+    use query::aggregate::Aggregate;
+    use query::exec::QueryEngine;
+    use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+    /// The build-side scenario: a 2-d uniform table, an AVG workload,
+    /// and its exact labels.
+    pub struct BuildScenario {
+        /// The dataset (measure = column 1).
+        pub data: Dataset,
+        /// The training workload.
+        pub wl: Workload,
+        /// Exact labels for `wl.queries`.
+        pub labels: Vec<f64>,
+    }
+
+    /// Build the scenario behind `BENCH_build.json` and
+    /// `benches/build_time.rs`. `fast` shrinks it to CI-smoke size.
+    pub fn build_scenario(fast: bool) -> BuildScenario {
+        let (rows, queries) = if fast { (2_000, 300) } else { (5_000, 600) };
+        let data = uniform(rows, 2, 3);
+        let engine = QueryEngine::new(&data, 1);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: queries,
+            seed: 2,
+        })
+        .expect("workload");
+        let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &wl.queries, 4);
+        BuildScenario { data, wl, labels }
+    }
+
+    /// The query-side scenario: a 3-d uniform table and an AVG workload
+    /// split into train/test.
+    pub struct QueryScenario {
+        /// The dataset.
+        pub data: Dataset,
+        /// Measure column.
+        pub measure: usize,
+        /// The workload.
+        pub wl: Workload,
+        /// Train split.
+        pub train: Vec<Vec<f64>>,
+        /// Labels for the train split.
+        pub labels: Vec<f64>,
+        /// Test split.
+        pub test: Vec<Vec<f64>>,
+    }
+
+    /// Build the scenario behind `BENCH_query.json` and
+    /// `benches/query_time.rs`.
+    pub fn query_scenario(fast: bool) -> QueryScenario {
+        let (rows, queries) = if fast { (5_000, 500) } else { (20_000, 1_200) };
+        let data = uniform(rows, 3, 7);
+        let measure = 2;
+        let engine = QueryEngine::new(&data, measure);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 3,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: queries,
+            seed: 1,
+        })
+        .expect("workload");
+        let (train, test) = wl.split(queries / 6);
+        let labels = engine.label_batch(&wl.predicate, Aggregate::Avg, &train, 4);
+        QueryScenario {
+            data,
+            measure,
+            wl,
+            train,
+            labels,
+            test,
+        }
+    }
+}
+
+/// Run the build-side suite: labeling, partitioning+merging, per-leaf
+/// training on both paths, and the full sketch build.
+pub fn run_build_suite(fast: bool, reps: usize) -> PerfReport {
+    use neurosketch::aqc::aqc_sampled;
+    use neurosketch::{NeuroSketch, NeuroSketchConfig};
+    use nn::train::{train, train_per_example, TrainConfig};
+    use nn::Mlp;
+    use query::aggregate::Aggregate;
+    use query::exec::QueryEngine;
+    use spatial::KdTree;
+
+    let sc = scenarios::build_scenario(fast);
+    let engine = QueryEngine::new(&sc.data, 1);
+    let mut entries = Vec::new();
+    let mut push = |name: &str, iters: usize, (median_ms, p95_ms): (f64, f64)| {
+        entries.push(PerfEntry {
+            name: name.into(),
+            median_ms,
+            p95_ms,
+            reps,
+            iters,
+        });
+    };
+
+    // Fast scenarios run many iterations per repetition so every tracked
+    // median lands in the 5-15 ms range — far above both the regression
+    // check's 1 ms noise floor and CI-runner scheduling jitter.
+    let iters = 60;
+    push(
+        "label_queries_exact",
+        iters,
+        time_reps(reps, || {
+            for _ in 0..iters {
+                std::hint::black_box(engine.label_batch(
+                    &sc.wl.predicate,
+                    Aggregate::Avg,
+                    &sc.wl.queries,
+                    4,
+                ));
+            }
+        }),
+    );
+
+    let iters = 24;
+    push(
+        "partition_merge_aqc",
+        iters,
+        time_reps(reps, || {
+            for _ in 0..iters {
+                let mut tree = KdTree::build(&sc.wl.queries, 4);
+                tree.merge_leaves(
+                    |qids| {
+                        let qs: Vec<Vec<f64>> =
+                            qids.iter().map(|&i| sc.wl.queries[i].clone()).collect();
+                        let vs: Vec<f64> = qids.iter().map(|&i| sc.labels[i]).collect();
+                        aqc_sampled(&qs, &vs, 2_000)
+                    },
+                    8,
+                    4,
+                );
+                std::hint::black_box(tree.leaf_count());
+            }
+        }),
+    );
+
+    // Per-leaf training at the paper's architecture, batched vs the
+    // per-example reference — the recorded ratio IS the batched-kernel
+    // speedup this PR's tentpole delivers.
+    let train_cfg = TrainConfig {
+        epochs: if fast { 15 } else { 40 },
+        patience: 0,
+        ..TrainConfig::default()
+    };
+    let sizes = [2usize, 60, 30, 30, 1];
+    push(
+        "train_leaf_batched",
+        1,
+        time_reps(reps, || {
+            let mut mlp = Mlp::new(&sizes, 9);
+            std::hint::black_box(train(&mut mlp, &sc.wl.queries, &sc.labels, &train_cfg));
+        }),
+    );
+    push(
+        "train_leaf_per_example",
+        1,
+        time_reps(reps, || {
+            let mut mlp = Mlp::new(&sizes, 9);
+            std::hint::black_box(train_per_example(
+                &mut mlp,
+                &sc.wl.queries,
+                &sc.labels,
+                &train_cfg,
+            ));
+        }),
+    );
+
+    let iters = 6;
+    push(
+        "build_sketch_h2",
+        iters,
+        time_reps(reps, || {
+            for _ in 0..iters {
+                let mut cfg = NeuroSketchConfig::small();
+                cfg.tree_height = 2;
+                cfg.target_partitions = 4;
+                cfg.train.epochs = 15;
+                std::hint::black_box(
+                    NeuroSketch::build_from_labeled(&sc.wl.queries, &sc.labels, &cfg).unwrap(),
+                );
+            }
+        }),
+    );
+
+    PerfReport {
+        suite: "build".into(),
+        fast,
+        entries,
+    }
+}
+
+/// Run the query-side suite: per-query latency of the sketch's hot path
+/// and of the exact engine it is sketching.
+pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
+    use neurosketch::{NeuroSketch, NeuroSketchConfig};
+    use query::aggregate::Aggregate;
+    use query::exec::QueryEngine;
+
+    let sc = scenarios::query_scenario(fast);
+    let engine = QueryEngine::new(&sc.data, sc.measure);
+    let mut ns_cfg = NeuroSketchConfig::default();
+    ns_cfg.train.epochs = if fast { 20 } else { 60 };
+    let (sketch, _) = NeuroSketch::build_from_labeled(&sc.train, &sc.labels, &ns_cfg)
+        .expect("sketch build for query suite");
+
+    let mut entries = Vec::new();
+    let mut push = |name: &str, iters: usize, (median_ms, p95_ms): (f64, f64)| {
+        entries.push(PerfEntry {
+            name: name.into(),
+            median_ms,
+            p95_ms,
+            reps,
+            iters,
+        });
+    };
+
+    let mut ws = nn::mlp::Workspace::default();
+    let iters = 40;
+    push(
+        "neurosketch_answer_testset",
+        iters,
+        time_reps(reps, || {
+            for _ in 0..iters {
+                for q in &sc.test {
+                    std::hint::black_box(sketch.answer_with(&mut ws, q));
+                }
+            }
+        }),
+    );
+
+    let mut scratch = Vec::new();
+    let iters = 1200;
+    push(
+        "exact_answer_testset",
+        iters,
+        time_reps(reps, || {
+            for _ in 0..iters {
+                for q in &sc.test {
+                    std::hint::black_box(engine.answer_with(
+                        &mut scratch,
+                        &sc.wl.predicate,
+                        Aggregate::Avg,
+                        q,
+                    ));
+                }
+            }
+        }),
+    );
+
+    PerfReport {
+        suite: "query".into(),
+        fast,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = PerfReport {
+            suite: "build".into(),
+            fast: true,
+            entries: vec![PerfEntry {
+                name: "x".into(),
+                median_ms: 1.5,
+                p95_ms: 2.0,
+                reps: 5,
+                iters: 1,
+            }],
+        };
+        let r2 = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r2.suite, "build");
+        assert_eq!(r2.entries.len(), 1);
+        assert_eq!(r2.median_of("x"), Some(1.5));
+        assert_eq!(r2.median_of("y"), None);
+    }
+
+    #[test]
+    fn regressions_flag_slowdowns_only() {
+        let base = PerfReport {
+            suite: "build".into(),
+            fast: true,
+            entries: vec![
+                PerfEntry {
+                    name: "a".into(),
+                    median_ms: 10.0,
+                    p95_ms: 12.0,
+                    reps: 5,
+                    iters: 1,
+                },
+                PerfEntry {
+                    name: "tiny".into(),
+                    median_ms: 0.01,
+                    p95_ms: 0.02,
+                    reps: 5,
+                    iters: 1,
+                },
+            ],
+        };
+        let mut cur = base.clone();
+        cur.entries[0].median_ms = 15.0; // 1.5x: fine
+        assert!(cur.regressions_vs(&base, 2.0).is_empty());
+        cur.entries[0].median_ms = 25.0; // 2.5x: flagged
+        assert_eq!(cur.regressions_vs(&base, 2.0).len(), 1);
+        // Sub-ms baselines are never flagged (noise).
+        cur.entries[1].median_ms = 9.0;
+        assert_eq!(cur.regressions_vs(&base, 2.0).len(), 1);
+        // A retuned iters count makes the medians incomparable.
+        cur.entries[0].iters = 2;
+        assert!(cur.regressions_vs(&base, 2.0).is_empty());
+    }
+
+    #[test]
+    fn comparability_requires_matching_suite_and_scale() {
+        let mk = |suite: &str, fast: bool| PerfReport {
+            suite: suite.into(),
+            fast,
+            entries: vec![],
+        };
+        assert!(mk("build", true).comparable_to(&mk("build", true)));
+        assert!(!mk("build", true).comparable_to(&mk("build", false)));
+        assert!(!mk("build", true).comparable_to(&mk("query", true)));
+    }
+
+    #[test]
+    fn time_reps_returns_ordered_stats() {
+        let (median, p95) = time_reps(9, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(median >= 0.0 && p95 >= median);
+    }
+}

@@ -189,7 +189,8 @@ impl NeuroSketch {
             return Err(SketchError::BadWorkload("ragged query vectors".into()));
         }
 
-        // Partition (Alg. 2) and merge (Alg. 3) with AQC as the score.
+        // Partition (Alg. 2) and merge (Alg. 3) with AQC as the score;
+        // the per-leaf AQC evaluations run on the shared worker pool.
         let t0 = Instant::now();
         let mut tree = KdTree::build(queries, cfg.tree_height);
         if cfg.target_partitions < tree.leaf_count() {
@@ -201,62 +202,51 @@ impl NeuroSketch {
                     aqc_sampled(&qs, &vs, max_pairs)
                 },
                 cfg.target_partitions,
+                cfg.threads,
             );
         }
         let partitioning = t0.elapsed();
 
-        // Final leaf diagnostics.
+        // Final leaf diagnostics, one worker task per leaf.
         let leaf_ids = tree.leaf_ids();
-        let mut leaf_aqcs = Vec::with_capacity(leaf_ids.len());
-        let mut leaf_sizes = Vec::with_capacity(leaf_ids.len());
-        for &l in &leaf_ids {
+        let leaf_aqcs: Vec<f64> = par::par_map(&leaf_ids, cfg.threads, |_, &l| {
             let qids = tree.leaf_queries(l);
             let qs: Vec<Vec<f64>> = qids.iter().map(|&i| queries[i].clone()).collect();
             let vs: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
-            leaf_aqcs.push(aqc_sampled(&qs, &vs, cfg.aqc_max_pairs));
-            leaf_sizes.push(qids.len());
-        }
+            aqc_sampled(&qs, &vs, cfg.aqc_max_pairs)
+        });
+        let leaf_sizes: Vec<usize> = leaf_ids
+            .iter()
+            .map(|&l| tree.leaf_queries(l).len())
+            .collect();
 
-        // Train one model per leaf (Alg. 4), in parallel.
+        // Train one model per leaf (Alg. 4) on the shared worker pool.
+        // Scheduling is dynamic — merged leaves can hold many times more
+        // queries than untouched ones, so static chunking would serialize
+        // behind the unluckiest worker.
         let t1 = Instant::now();
         let sizes = cfg.layer_sizes(query_dim);
-        let jobs: Vec<(usize, Vec<usize>)> = leaf_ids
-            .iter()
-            .map(|&l| (l, tree.leaf_queries(l).to_vec()))
-            .collect();
-        let mut results: Vec<Option<(usize, LeafModel, TrainReport)>> = vec![None; jobs.len()];
-        let threads = cfg.threads.max(1);
-        std::thread::scope(|s| {
-            let chunk = jobs.len().div_ceil(threads);
-            for (jchunk, rchunk) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                let sizes = sizes.clone();
-                let train_cfg = cfg.train.clone();
-                let seed = cfg.seed;
-                s.spawn(move || {
-                    for ((leaf, qids), slot) in jchunk.iter().zip(rchunk.iter_mut()) {
-                        let xs: Vec<Vec<f64>> = qids.iter().map(|&i| queries[i].clone()).collect();
-                        let ys_raw: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
-                        let n = ys_raw.len() as f64;
-                        let y_mean = ys_raw.iter().sum::<f64>() / n;
-                        let var = ys_raw.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
-                        let y_std = var.sqrt().max(1e-12);
-                        let ys: Vec<f64> = ys_raw.iter().map(|y| (y - y_mean) / y_std).collect();
-                        let mut mlp =
-                            Mlp::new(&sizes, seed ^ (*leaf as u64).wrapping_mul(0x9E37_79B9));
-                        let mut leaf_train = train_cfg.clone();
-                        leaf_train.seed = seed.wrapping_add(*leaf as u64);
-                        let report = train(&mut mlp, &xs, &ys, &leaf_train);
-                        *slot = Some((*leaf, LeafModel { mlp, y_mean, y_std }, report));
-                    }
-                });
-            }
-        });
+        let results: Vec<(usize, LeafModel, TrainReport)> =
+            par::par_map(&leaf_ids, cfg.threads, |_, &leaf| {
+                let qids = tree.leaf_queries(leaf);
+                let xs: Vec<Vec<f64>> = qids.iter().map(|&i| queries[i].clone()).collect();
+                let ys_raw: Vec<f64> = qids.iter().map(|&i| labels[i]).collect();
+                let n = ys_raw.len() as f64;
+                let y_mean = ys_raw.iter().sum::<f64>() / n;
+                let var = ys_raw.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
+                let y_std = var.sqrt().max(1e-12);
+                let ys: Vec<f64> = ys_raw.iter().map(|y| (y - y_mean) / y_std).collect();
+                let mut mlp = Mlp::new(&sizes, cfg.seed ^ (leaf as u64).wrapping_mul(0x9E37_79B9));
+                let mut leaf_train = cfg.train.clone();
+                leaf_train.seed = cfg.seed.wrapping_add(leaf as u64);
+                let report = train(&mut mlp, &xs, &ys, &leaf_train);
+                (leaf, LeafModel { mlp, y_mean, y_std }, report)
+            });
         let training = t1.elapsed();
 
         let mut models = BTreeMap::new();
         let mut train_reports = Vec::with_capacity(results.len());
-        for r in results.into_iter().flatten() {
-            let (leaf, model, report) = r;
+        for (leaf, model, report) in results {
             models.insert(leaf, model);
             train_reports.push(report);
         }

@@ -45,6 +45,27 @@ impl Activation {
             Activation::Identity => 1.0,
         }
     }
+
+    /// Derivative recovered from the *post-activation* value `a = act(z)`.
+    ///
+    /// For the activations in this crate the derivative is a function of
+    /// the output: ReLU has `a > 0 ⟺ z > 0` (with the `relu'(0) = 0`
+    /// convention), and the identity is constant. This is what lets the
+    /// batched backward pass keep only activations — no pre-activation
+    /// storage — while matching [`Activation::derivative`] exactly.
+    #[inline]
+    pub fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +92,20 @@ mod tests {
         assert_eq!(Activation::Relu.derivative(0.0), 0.0);
         assert_eq!(Activation::Relu.derivative(0.5), 1.0);
         assert_eq!(Activation::Identity.derivative(-7.0), 1.0);
+    }
+
+    #[test]
+    fn output_derivative_agrees_with_preactivation_derivative() {
+        for act in [Activation::Relu, Activation::Identity] {
+            for z in [-2.0, -0.5, 0.0, 0.5, 3.0] {
+                let mut a = [z];
+                act.apply(&mut a);
+                assert_eq!(
+                    act.derivative(z),
+                    act.derivative_from_output(a[0]),
+                    "{act:?} at z={z}"
+                );
+            }
+        }
     }
 }

@@ -4,8 +4,13 @@
 //! the NeuroSketch reproduction. It provides exactly what the paper needs:
 //!
 //! * dense [`Mlp`] models with ReLU hidden layers and a linear output,
+//!   with allocation-free inference via [`Mlp::infer_with`] and a reused
+//!   [`mlp::Workspace`],
 //! * mini-batch training with MSE loss and the [`optimizer::Adam`] optimizer
-//!   (Alg. 4 of the paper),
+//!   (Alg. 4 of the paper), executed as whole-batch GEMMs
+//!   ([`Mlp::forward_batch`] / [`Mlp::backward_batch`] over the blocked
+//!   kernels in [`linalg`]) with a bit-compatible per-example reference
+//!   path ([`train::train_per_example`]) for verification and baselining,
 //! * the explicit **memorization construction** of Theorem 3.4 / Algorithm 1
 //!   ([`construction`]), usable directly ("CS") or as an initialization for
 //!   SGD ("CS+SGD", Sec. A.5),

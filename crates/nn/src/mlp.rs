@@ -7,7 +7,7 @@
 
 use crate::activation::Activation;
 use crate::init::Init;
-use crate::linalg::Matrix;
+use crate::linalg::{bias_add_rows, bias_relu_rows, col_sums_into, matmul, matmul_at_b, Matrix};
 use crate::NnError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +50,37 @@ pub struct Mlp {
 pub struct Workspace {
     a: Vec<f64>,
     b: Vec<f64>,
+}
+
+/// Reusable scratch for the batched training hot path: one activation
+/// matrix per layer plus two ping-pong delta matrices.
+///
+/// Buffers grow on first use and are then reused across mini-batches,
+/// epochs, and even across models of the same architecture, so steady-
+/// state training performs **zero per-example allocation**. Construct
+/// once per worker thread and pass to [`Mlp::forward_batch`] /
+/// [`Mlp::backward_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace {
+    /// `acts[l]` holds layer `l`'s activations, `batch x out_dim(l)`.
+    acts: Vec<Matrix>,
+    /// Transposed weight copies (`in_dim x out_dim` per layer), refreshed
+    /// each forward pass so the layer GEMM runs in axpy form.
+    wt: Vec<Matrix>,
+    /// Delta ping-pong buffers, `batch x width`.
+    delta: Matrix,
+    delta_prev: Matrix,
+}
+
+impl BatchWorkspace {
+    /// Activations of the final layer from the last
+    /// [`Mlp::forward_batch`] call (`batch x output_dim`).
+    ///
+    /// # Panics
+    /// Panics if no forward pass has been run yet.
+    pub fn output(&self) -> &Matrix {
+        self.acts.last().expect("forward_batch has been run")
+    }
 }
 
 impl Mlp {
@@ -240,6 +271,160 @@ impl Mlp {
             acts.push(z);
         }
         (pre, acts)
+    }
+
+    /// Inference with caller-provided scratch space — the public
+    /// allocation-free entry point for answering queries.
+    ///
+    /// Identical to [`Mlp::forward_with`]; the name exists so call sites
+    /// that *serve* rather than *train* read naturally. Reuse one
+    /// [`Workspace`] across calls (e.g. one per worker thread) and no
+    /// allocation happens after the first call:
+    ///
+    /// ```
+    /// use nn::mlp::Workspace;
+    /// use nn::Mlp;
+    ///
+    /// let mlp = Mlp::new(&[2, 8, 1], 7);
+    /// let mut ws = Workspace::default();
+    /// for q in [[0.1, 0.2], [0.3, 0.4]] {
+    ///     let y = mlp.infer_with(&mut ws, &q)[0];
+    ///     assert!(y.is_finite());
+    /// }
+    /// ```
+    pub fn infer_with<'w>(&self, ws: &'w mut Workspace, x: &[f64]) -> &'w [f64] {
+        self.forward_with(ws, x)
+    }
+
+    /// Batched forward pass: compute activations for a whole
+    /// `batch x input_dim` matrix (one example per row), reusing `ws`.
+    ///
+    /// Each layer is one [`matmul`] against a transposed weight copy
+    /// kept in the workspace, followed by a fused bias+activation
+    /// epilogue — a single pass over the weights per *mini-batch*
+    /// instead of one per example.
+    /// All per-layer activations are retained in `ws` for
+    /// [`Mlp::backward_batch`]; the returned reference is the final
+    /// layer's output (`batch x output_dim`).
+    ///
+    /// The floating-point result is bitwise identical to running
+    /// [`Mlp::forward_with`] on every row.
+    ///
+    /// # Panics
+    /// Panics if `x.cols()` does not match the network's input
+    /// dimensionality.
+    pub fn forward_batch<'w>(&self, ws: &'w mut BatchWorkspace, x: &Matrix) -> &'w Matrix {
+        assert_eq!(
+            x.cols(),
+            self.input_dim(),
+            "input dim {} does not match network {}",
+            x.cols(),
+            self.input_dim()
+        );
+        let bsz = x.rows();
+        ws.acts.resize(self.layers.len(), Matrix::zeros(0, 0));
+        ws.wt.resize(self.layers.len(), Matrix::zeros(0, 0));
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.acts.split_at_mut(li);
+            let act = &mut rest[0];
+            let input = if li == 0 { x } else { &done[li - 1] };
+            act.resize(bsz, layer.out_dim());
+            // Z = X · Wᵀ, computed as `matmul` against a transposed weight
+            // copy: the axpy-form inner loop vectorizes across output
+            // units and skips ReLU-zero inputs, and still accumulates
+            // each entry in ascending contraction order (bitwise equal to
+            // the per-example matvec).
+            layer.weights.transpose_into(&mut ws.wt[li]);
+            matmul(act, input, &ws.wt[li]);
+            match layer.activation {
+                Activation::Relu => bias_relu_rows(act, &layer.biases),
+                Activation::Identity => bias_add_rows(act, &layer.biases),
+            }
+        }
+        ws.output()
+    }
+
+    /// Batched backward pass for the MSE loss `Σ_e Σ_o (f(x_e)_o − y_eo)²`.
+    ///
+    /// Requires that [`Mlp::forward_batch`] was just called on `ws` with
+    /// the same `x`. Overwrites `grads` with the **summed** (not
+    /// averaged) gradients of the batch — fold the `1/batch` factor into
+    /// the optimizer step via
+    /// [`Optimizer::step_scaled`](crate::optimizer::Optimizer::step_scaled).
+    /// Returns the summed batch loss.
+    ///
+    /// The weight gradient of each layer is one [`matmul_at_b`]
+    /// (`deltaᵀ · input`), the bias gradient one column reduction, and
+    /// the delta propagation one [`matmul`] against the weights with a
+    /// fused ReLU mask — all into reused buffers, with an accumulation
+    /// order bitwise identical to summing
+    /// [`accumulate_example_gradient`] over the batch.
+    ///
+    /// # Panics
+    /// Panics if `y`'s shape does not match `(x.rows(), output_dim)` or
+    /// if the workspace does not hold activations for `x`.
+    pub fn backward_batch(
+        &self,
+        ws: &mut BatchWorkspace,
+        x: &Matrix,
+        y: &Matrix,
+        grads: &mut Gradients,
+    ) -> f64 {
+        let bsz = x.rows();
+        let out_dim = self.output_dim();
+        assert_eq!(
+            (y.rows(), y.cols()),
+            (bsz, out_dim),
+            "target shape {}x{} does not match batch {}x{}",
+            y.rows(),
+            y.cols(),
+            bsz,
+            out_dim
+        );
+        assert_eq!(ws.acts.len(), self.layers.len(), "run forward_batch first");
+        assert_eq!(ws.output().rows(), bsz, "workspace batch size mismatch");
+
+        // Output delta: dL/dz = 2 (a − y) · act'(z), and the summed loss.
+        let last = self.layers.len() - 1;
+        let last_act = self.layers[last].activation;
+        ws.delta.resize(bsz, out_dim);
+        let mut loss = 0.0;
+        {
+            let out = &ws.acts[last];
+            for e in 0..bsz {
+                let (orow, yrow) = (out.row(e), y.row(e));
+                let drow = ws.delta.row_mut(e);
+                for ((d, a), t) in drow.iter_mut().zip(orow).zip(yrow) {
+                    let diff = a - t;
+                    loss += diff * diff;
+                    *d = 2.0 * diff * last_act.derivative_from_output(*a);
+                }
+            }
+        }
+
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let (dw, db) = &mut grads.layers[li];
+            let input = if li == 0 { x } else { &ws.acts[li - 1] };
+            // dW = deltaᵀ · input ; db = column sums of delta.
+            matmul_at_b(dw, &ws.delta, input);
+            col_sums_into(&ws.delta, db);
+            if li > 0 {
+                // delta_prev = (delta · W) .* act'(a_prev).
+                ws.delta_prev.resize(bsz, layer.in_dim());
+                matmul(&mut ws.delta_prev, &ws.delta, &layer.weights);
+                let prev_act = self.layers[li - 1].activation;
+                let prev = &ws.acts[li - 1];
+                for e in 0..bsz {
+                    let arow = prev.row(e);
+                    for (d, a) in ws.delta_prev.row_mut(e).iter_mut().zip(arow) {
+                        *d *= prev_act.derivative_from_output(*a);
+                    }
+                }
+                std::mem::swap(&mut ws.delta, &mut ws.delta_prev);
+            }
+        }
+        loss
     }
 
     /// Serialize to a JSON string.
@@ -448,5 +633,116 @@ mod tests {
     fn forward_panics_on_wrong_dim() {
         let m = tiny();
         let _ = m.forward(&[0.1, 0.2, 0.3]);
+    }
+
+    fn batch_inputs(n: usize, d: usize) -> Matrix {
+        let mut x = Matrix::zeros(n, d);
+        for e in 0..n {
+            for i in 0..d {
+                x.set(e, i, ((e * d + i) as f64 * 0.7133).sin());
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn forward_batch_matches_per_example_bitwise() {
+        let m = Mlp::new(&[3, 7, 5, 1], 13);
+        let x = batch_inputs(9, 3);
+        let mut bws = BatchWorkspace::default();
+        let out = m.forward_batch(&mut bws, &x);
+        let mut ws = Workspace::default();
+        for e in 0..x.rows() {
+            let want = m.forward_with(&mut ws, x.row(e)).to_vec();
+            assert_eq!(out.row(e), &want[..], "row {e}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_workspace_reuse_across_batch_sizes() {
+        let m = Mlp::new(&[2, 6, 1], 3);
+        let mut bws = BatchWorkspace::default();
+        // A big batch then a small one: stale buffer contents must not leak.
+        let big = batch_inputs(16, 2);
+        let _ = m.forward_batch(&mut bws, &big);
+        let small = batch_inputs(3, 2);
+        let out = m.forward_batch(&mut bws, &small).clone();
+        assert_eq!(out.rows(), 3);
+        for e in 0..3 {
+            assert_eq!(out.row(e)[0], m.predict(small.row(e)), "row {e}");
+        }
+    }
+
+    #[test]
+    fn backward_batch_matches_accumulated_per_example_gradients() {
+        let m = Mlp::new(&[3, 8, 4, 1], 21);
+        let n = 11;
+        let x = batch_inputs(n, 3);
+        let mut y = Matrix::zeros(n, 1);
+        for e in 0..n {
+            y.set(e, 0, (e as f64 * 0.31).cos());
+        }
+
+        // Reference: per-example accumulation in batch order.
+        let mut ref_grads = Gradients::zeros_like(&m);
+        let mut ref_loss = 0.0;
+        for e in 0..n {
+            ref_loss += accumulate_example_gradient(&m, x.row(e), y.row(e), &mut ref_grads);
+        }
+
+        let mut bws = BatchWorkspace::default();
+        let mut grads = Gradients::zeros_like(&m);
+        m.forward_batch(&mut bws, &x);
+        let loss = m.backward_batch(&mut bws, &x, &y, &mut grads);
+
+        assert_eq!(loss, ref_loss);
+        for (li, ((dw, db), (rw, rb))) in grads.layers.iter().zip(&ref_grads.layers).enumerate() {
+            assert_eq!(dw.as_slice(), rw.as_slice(), "layer {li} weights");
+            assert_eq!(&db[..], &rb[..], "layer {li} biases");
+        }
+    }
+
+    #[test]
+    fn backward_batch_overwrites_stale_gradients() {
+        let m = tiny();
+        let x = batch_inputs(4, 2);
+        let y = Matrix::zeros(4, 1);
+        let mut bws = BatchWorkspace::default();
+        let mut grads = Gradients::zeros_like(&m);
+        // Poison the gradient buffers; backward_batch must overwrite.
+        for (w, b) in &mut grads.layers {
+            w.as_mut_slice().fill(1234.5);
+            b.fill(-9.0);
+        }
+        m.forward_batch(&mut bws, &x);
+        m.backward_batch(&mut bws, &x, &y, &mut grads);
+        let mut fresh = Gradients::zeros_like(&m);
+        let mut bws2 = BatchWorkspace::default();
+        m.forward_batch(&mut bws2, &x);
+        m.backward_batch(&mut bws2, &x, &y, &mut fresh);
+        for ((dw, db), (fw, fb)) in grads.layers.iter().zip(&fresh.layers) {
+            assert_eq!(dw.as_slice(), fw.as_slice());
+            assert_eq!(&db[..], &fb[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target shape")]
+    fn backward_batch_checks_target_shape() {
+        let m = tiny();
+        let x = batch_inputs(4, 2);
+        let y = Matrix::zeros(3, 1);
+        let mut bws = BatchWorkspace::default();
+        m.forward_batch(&mut bws, &x);
+        let mut grads = Gradients::zeros_like(&m);
+        m.backward_batch(&mut bws, &x, &y, &mut grads);
+    }
+
+    #[test]
+    fn infer_with_matches_forward() {
+        let m = tiny();
+        let mut ws = Workspace::default();
+        let x = [0.4, 0.6];
+        assert_eq!(m.infer_with(&mut ws, &x).to_vec(), m.forward(&x));
     }
 }

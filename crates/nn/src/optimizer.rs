@@ -6,8 +6,20 @@ use crate::mlp::{Gradients, Mlp};
 
 /// A stateful optimizer that applies [`Gradients`] to an [`Mlp`].
 pub trait Optimizer {
+    /// Apply one update step using `scale * grads`. `grads` must be
+    /// shaped like `mlp`.
+    ///
+    /// The batched training loop hands the optimizer **summed** batch
+    /// gradients with `scale = 1/batch_size`; folding the average into
+    /// the update avoids a whole extra pass over the gradient buffers
+    /// per step, and multiplies in the same order the scale-then-step
+    /// path did, so results are bit-identical.
+    fn step_scaled(&mut self, mlp: &mut Mlp, grads: &Gradients, scale: f64);
+
     /// Apply one update step. `grads` must be shaped like `mlp`.
-    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients);
+    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+        self.step_scaled(mlp, grads, 1.0);
+    }
 }
 
 /// Plain stochastic gradient descent with a fixed learning rate.
@@ -18,14 +30,14 @@ pub struct Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+    fn step_scaled(&mut self, mlp: &mut Mlp, grads: &Gradients, scale: f64) {
         for (layer, (dw, db)) in mlp.layers_mut().iter_mut().zip(&grads.layers) {
             let w = layer.weights.as_mut_slice();
             for (wi, gi) in w.iter_mut().zip(dw.as_slice()) {
-                *wi -= self.lr * gi;
+                *wi -= self.lr * (gi * scale);
             }
             for (bi, gi) in layer.biases.iter_mut().zip(db) {
-                *bi -= self.lr * gi;
+                *bi -= self.lr * (gi * scale);
             }
         }
     }
@@ -77,7 +89,7 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
+    fn step_scaled(&mut self, mlp: &mut Mlp, grads: &Gradients, scale: f64) {
         self.ensure_state(grads);
         self.t += 1;
         let (b1, b2) = (self.beta1, self.beta2);
@@ -96,8 +108,9 @@ impl Optimizer for Adam {
                 .zip(mw.as_mut_slice())
                 .zip(vw.as_mut_slice())
             {
-                *mi = b1 * *mi + (1.0 - b1) * gi;
-                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let g = gi * scale;
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
                 let mhat = *mi / bc1;
                 let vhat = *vi / bc2;
                 *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
@@ -109,8 +122,9 @@ impl Optimizer for Adam {
                 .zip(mb.iter_mut())
                 .zip(vb.iter_mut())
             {
-                *mi = b1 * *mi + (1.0 - b1) * gi;
-                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let g = gi * scale;
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
                 let mhat = *mi / bc1;
                 let vhat = *vi / bc2;
                 *bi -= self.lr * mhat / (vhat.sqrt() + self.eps);
@@ -154,6 +168,29 @@ mod tests {
     #[test]
     fn adam_decreases_loss() {
         loss_decreases_with(Adam::new(0.01));
+    }
+
+    #[test]
+    fn step_scaled_matches_scale_then_step() {
+        // step_scaled(g, s) must equal the two-pass grads.scale(s); step(g)
+        // bit for bit — the batched training loop relies on this.
+        let mut a = Mlp::new(&[2, 6, 1], 8);
+        let mut b = a.clone();
+        let x = [0.3, -0.4];
+        let y = [0.7];
+        let mut adam_a = Adam::new(0.01);
+        let mut adam_b = Adam::new(0.01);
+        for _ in 0..5 {
+            let mut g = Gradients::zeros_like(&a);
+            accumulate_example_gradient(&a, &x, &y, &mut g);
+            adam_a.step_scaled(&mut a, &g, 0.25);
+
+            let mut g2 = Gradients::zeros_like(&b);
+            accumulate_example_gradient(&b, &x, &y, &mut g2);
+            g2.scale(0.25);
+            adam_b.step(&mut b, &g2);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -4,8 +4,19 @@
 //! node's query set and descending the MSE gradient with Adam until
 //! convergence. We add a small patience-based stopping rule so "until
 //! convergence" is well defined and deterministic.
+//!
+//! [`train`] runs the batched hot path: each mini-batch is two GEMMs per
+//! layer into a reused [`BatchWorkspace`] — zero per-example allocation —
+//! and the Adam step consumes the summed batch gradients directly.
+//! [`train_per_example`] is the original one-example-at-a-time loop, kept
+//! as the bit-compatible reference that the property tests and the
+//! `BENCH_build.json` before/after numbers are measured against: both
+//! paths consume the shuffle RNG identically and accumulate gradients in
+//! the same floating-point order, so for the same seed they produce the
+//! same weights bit for bit.
 
-use crate::mlp::{accumulate_example_gradient, Gradients, Mlp};
+use crate::linalg::Matrix;
+use crate::mlp::{accumulate_example_gradient, BatchWorkspace, Gradients, Mlp};
 use crate::optimizer::{Adam, Optimizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -29,6 +40,10 @@ pub struct TrainConfig {
     /// RNG seed for shuffling.
     pub seed: u64,
     /// Optional hard cap on training wall-clock; `None` means unlimited.
+    ///
+    /// The budget is checked after every *mini-batch*, not every epoch,
+    /// so a single long epoch over a large training set cannot blow
+    /// through the cap unnoticed.
     pub time_budget: Option<std::time::Duration>,
 }
 
@@ -59,12 +74,105 @@ pub struct TrainReport {
     pub elapsed: std::time::Duration,
 }
 
-/// Train `mlp` on `(xs, ys)` with MSE + Adam. `ys` are scalar targets.
+/// Train `mlp` on `(xs, ys)` with MSE + Adam — the batched hot path.
+///
+/// Each mini-batch is gathered into a `batch x d` matrix and pushed
+/// through [`Mlp::forward_batch`] / [`Mlp::backward_batch`]; the Adam
+/// step consumes the summed batch gradients directly via
+/// [`Optimizer::step_scaled`]. All scratch lives in buffers grown once
+/// and reused for the whole run.
+///
+/// Produces bitwise the same model as [`train_per_example`] for the same
+/// configuration and seed.
 ///
 /// # Panics
-/// Panics if `xs` and `ys` differ in length or `xs` is empty: callers must
-/// provide a nonempty supervised set.
+/// Panics if `xs` and `ys` differ in length, `xs` is empty, or any
+/// feature vector's length differs from the network's input
+/// dimensionality.
 pub fn train(mlp: &mut Mlp, xs: &[Vec<f64>], ys: &[f64], cfg: &TrainConfig) -> TrainReport {
+    assert_eq!(xs.len(), ys.len(), "features/targets must pair up");
+    assert!(!xs.is_empty(), "training set must be nonempty");
+    let d = mlp.input_dim();
+    assert!(
+        xs.iter().all(|x| x.len() == d),
+        "feature dim does not match network input dim {d}"
+    );
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    let mut adam = Adam::new(cfg.lr);
+    let mut grads = Gradients::zeros_like(mlp);
+    let mut ws = BatchWorkspace::default();
+    let mut xb = Matrix::zeros(0, 0);
+    let mut yb = Matrix::zeros(0, 0);
+    let mut curve = Vec::with_capacity(cfg.epochs);
+    let mut best = f64::INFINITY;
+    let mut stale = 0usize;
+    let mut epochs_run = 0usize;
+
+    'outer: for _ in 0..cfg.epochs {
+        epochs_run += 1;
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            xb.resize(chunk.len(), d);
+            yb.resize(chunk.len(), 1);
+            for (r, &i) in chunk.iter().enumerate() {
+                xb.row_mut(r).copy_from_slice(&xs[i]);
+                yb.set(r, 0, ys[i]);
+            }
+            mlp.forward_batch(&mut ws, &xb);
+            let batch_loss = mlp.backward_batch(&mut ws, &xb, &yb, &mut grads);
+            adam.step_scaled(mlp, &grads, 1.0 / chunk.len() as f64);
+            epoch_loss += batch_loss;
+            if let Some(budget) = cfg.time_budget {
+                if start.elapsed() > budget {
+                    curve.push(epoch_loss / xs.len() as f64);
+                    break 'outer;
+                }
+            }
+        }
+        epoch_loss /= xs.len() as f64;
+        curve.push(epoch_loss);
+        if cfg.patience > 0 {
+            if epoch_loss < best * (1.0 - cfg.min_delta) {
+                best = epoch_loss;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= cfg.patience {
+                    break;
+                }
+            }
+        }
+    }
+
+    let final_loss = *curve.last().expect("at least one epoch");
+    TrainReport {
+        epochs_run,
+        final_loss,
+        loss_curve: curve,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The original one-example-at-a-time training loop, kept as the
+/// reference implementation.
+///
+/// It exists for two jobs: the property tests assert [`train`] matches
+/// it to floating-point exactness, and the perf harness measures the
+/// batched speedup against it (the `train_leaf_per_example` entry in
+/// `BENCH_build.json`). It consumes the shuffle RNG identically to
+/// [`train`], so both paths see the same batches in the same order.
+///
+/// # Panics
+/// Panics if `xs` and `ys` differ in length or `xs` is empty.
+pub fn train_per_example(
+    mlp: &mut Mlp,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    cfg: &TrainConfig,
+) -> TrainReport {
     assert_eq!(xs.len(), ys.len(), "features/targets must pair up");
     assert!(!xs.is_empty(), "training set must be nonempty");
     let start = std::time::Instant::now();
@@ -87,8 +195,7 @@ pub fn train(mlp: &mut Mlp, xs: &[Vec<f64>], ys: &[f64], cfg: &TrainConfig) -> T
             for &i in chunk {
                 batch_loss += accumulate_example_gradient(mlp, &xs[i], &[ys[i]], &mut grads);
             }
-            grads.scale(1.0 / chunk.len() as f64);
-            adam.step(mlp, &grads);
+            adam.step_scaled(mlp, &grads, 1.0 / chunk.len() as f64);
             epoch_loss += batch_loss;
             if let Some(budget) = cfg.time_budget {
                 if start.elapsed() > budget {
@@ -205,6 +312,51 @@ mod tests {
         };
         let report = train(&mut mlp, &xs, &ys, &cfg);
         assert_eq!(report.loss_curve.len(), 7);
+    }
+
+    #[test]
+    fn batched_and_per_example_paths_agree_bitwise() {
+        let (xs, ys) = make_linear_set(83); // odd size: ragged final batch
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            patience: 5,
+            ..Default::default()
+        };
+        let mut batched = Mlp::new(&[2, 12, 6, 1], 77);
+        let mut reference = batched.clone();
+        let rb = train(&mut batched, &xs, &ys, &cfg);
+        let rr = train_per_example(&mut reference, &xs, &ys, &cfg);
+        assert_eq!(rb.epochs_run, rr.epochs_run);
+        assert_eq!(rb.loss_curve, rr.loss_curve);
+        assert_eq!(batched, reference, "weights must match bit for bit");
+    }
+
+    #[test]
+    fn time_budget_is_checked_per_batch_not_per_epoch() {
+        // With a zero budget the loop must stop after the FIRST mini-batch
+        // of the first epoch. A per-epoch check would run all batches and
+        // land on the same weights as an unbudgeted 1-epoch run — so the
+        // two runs differing proves the check fires mid-epoch.
+        let (xs, ys) = make_linear_set(10);
+        let base = TrainConfig {
+            epochs: 1,
+            batch_size: 1,
+            patience: 0,
+            ..Default::default()
+        };
+        let mut budgeted = Mlp::new(&[2, 8, 1], 4);
+        let mut unbudgeted = budgeted.clone();
+        let mut cfg = base.clone();
+        cfg.time_budget = Some(std::time::Duration::ZERO);
+        let report = train(&mut budgeted, &xs, &ys, &cfg);
+        train(&mut unbudgeted, &xs, &ys, &base);
+        assert_eq!(report.epochs_run, 1);
+        assert_eq!(report.loss_curve.len(), 1);
+        assert_ne!(
+            budgeted, unbudgeted,
+            "budgeted run must have stopped before finishing the epoch"
+        );
     }
 
     #[test]

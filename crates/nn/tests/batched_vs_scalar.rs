@@ -1,0 +1,208 @@
+//! Property tests for the batched training hot path: the GEMM kernels
+//! must match naive triple loops on random matrices, and the batched
+//! forward/backward passes must match the per-example path to 1e-9 on
+//! random shapes. (The implementation promises bitwise equality; the
+//! properties assert the contract the rest of the system relies on.)
+
+use nn::linalg::{matmul, matmul_a_bt, matmul_at_b, Matrix};
+use nn::mlp::{accumulate_example_gradient, BatchWorkspace, Gradients, Workspace};
+use nn::train::{train, train_per_example, TrainConfig};
+use nn::Mlp;
+use proptest::prelude::*;
+
+/// Strategy: a pool of `(gate, value)` cells that [`mk`] slices matrices
+/// out of. The gate zeroes ~30% of entries so the kernels' skip paths
+/// are exercised.
+fn cells(len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..1.0, -2.0f64..2.0), len)
+}
+
+/// Cut a `rows x cols` matrix from the cell pool, starting at `offset`
+/// (wrapping), zeroing gated entries.
+fn mk(rows: usize, cols: usize, pool: &[(f64, f64)], offset: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|i| {
+            let (gate, v) = pool[(offset + i) % pool.len()];
+            if gate < 0.3 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+fn transpose(m: &Matrix) -> Matrix {
+    let mut t = Matrix::zeros(m.cols(), m.rows());
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            t.set(c, r, m.get(r, c));
+        }
+    }
+    t
+}
+
+fn assert_close(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        assert!(
+            (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+            "{what}: {g} vs {w}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul` matches the naive triple loop on random shapes/content.
+    #[test]
+    fn matmul_matches_naive(
+        m in 1usize..10,
+        k in 1usize..12,
+        n in 1usize..10,
+        pool in cells(256),
+    ) {
+        let a = mk(m, k, &pool, 0);
+        let b = mk(k, n, &pool, 97);
+        let mut c = Matrix::zeros(m, n);
+        matmul(&mut c, &a, &b);
+        assert_close(&c, &naive_matmul(&a, &b), "matmul");
+    }
+
+    /// `matmul_at_b` equals naive `Aᵀ·B`, `matmul_a_bt` equals naive `A·Bᵀ`.
+    #[test]
+    fn transpose_kernels_match_naive(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        pool in cells(256),
+    ) {
+        let a = mk(m, k, &pool, 11);
+        let b = mk(m, n, &pool, 59);
+        let mut c = Matrix::zeros(k, n);
+        matmul_at_b(&mut c, &a, &b);
+        assert_close(&c, &naive_matmul(&transpose(&a), &b), "matmul_at_b");
+
+        let b2 = mk(n, k, &pool, 131);
+        let mut c2 = Matrix::zeros(m, n);
+        matmul_a_bt(&mut c2, &a, &b2);
+        assert_close(&c2, &naive_matmul(&a, &transpose(&b2)), "matmul_a_bt");
+    }
+
+    /// Batched forward matches the per-example forward to 1e-9 on random
+    /// architectures and inputs.
+    #[test]
+    fn forward_batch_matches_per_example(
+        bsz in 1usize..17,
+        d in 1usize..5,
+        h1 in 1usize..12,
+        h2 in 1usize..8,
+        seed in 0u64..1000,
+        pool in cells(128),
+    ) {
+        let mlp = Mlp::new(&[d, h1, h2, 1], seed);
+        let x = mk(bsz, d, &pool, 0);
+        let mut bws = BatchWorkspace::default();
+        let out = mlp.forward_batch(&mut bws, &x).clone();
+        let mut ws = Workspace::default();
+        for e in 0..bsz {
+            let want = mlp.forward_with(&mut ws, x.row(e));
+            prop_assert!(
+                (out.get(e, 0) - want[0]).abs() <= 1e-9 * (1.0 + want[0].abs()),
+                "row {}: {} vs {}",
+                e,
+                out.get(e, 0),
+                want[0]
+            );
+        }
+    }
+
+    /// Batched backward matches per-example gradient accumulation to 1e-9.
+    #[test]
+    fn backward_batch_matches_per_example(
+        bsz in 1usize..17,
+        d in 1usize..5,
+        h in 1usize..12,
+        seed in 0u64..1000,
+        pool in cells(128),
+    ) {
+        let mlp = Mlp::new(&[d, h, 1], seed);
+        let x = mk(bsz, d, &pool, 0);
+        let y = mk(bsz, 1, &pool, 63);
+
+        let mut ref_grads = Gradients::zeros_like(&mlp);
+        let mut ref_loss = 0.0;
+        for e in 0..bsz {
+            ref_loss += accumulate_example_gradient(&mlp, x.row(e), y.row(e), &mut ref_grads);
+        }
+
+        let mut bws = BatchWorkspace::default();
+        let mut grads = Gradients::zeros_like(&mlp);
+        mlp.forward_batch(&mut bws, &x);
+        let loss = mlp.backward_batch(&mut bws, &x, &y, &mut grads);
+
+        prop_assert!((loss - ref_loss).abs() <= 1e-9 * (1.0 + ref_loss.abs()));
+        for (li, ((dw, db), (rw, rb))) in grads.layers.iter().zip(&ref_grads.layers).enumerate() {
+            for (g, w) in dw.as_slice().iter().zip(rw.as_slice()) {
+                prop_assert!(
+                    (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                    "layer {} dW: {} vs {}", li, g, w
+                );
+            }
+            for (g, w) in db.iter().zip(rb) {
+                prop_assert!(
+                    (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                    "layer {} db: {} vs {}", li, g, w
+                );
+            }
+        }
+    }
+
+    /// Full training runs agree between the batched and per-example
+    /// loops: same epochs, same loss curve, same weights.
+    #[test]
+    fn training_paths_agree(
+        n in 4usize..40,
+        batch in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 * 0.7) % 1.0, (i as f64 * 0.37) % 1.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] - 0.5 * x[1]).collect();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: batch,
+            patience: 0,
+            seed,
+            ..TrainConfig::default()
+        };
+        let mut a = Mlp::new(&[2, 6, 1], seed ^ 1);
+        let mut b = a.clone();
+        let ra = train(&mut a, &xs, &ys, &cfg);
+        let rb = train_per_example(&mut b, &xs, &ys, &cfg);
+        prop_assert_eq!(ra.epochs_run, rb.epochs_run);
+        prop_assert!((ra.final_loss - rb.final_loss).abs() <= 1e-9 * (1.0 + rb.final_loss.abs()));
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            for (wa, wb) in la.weights.as_slice().iter().zip(lb.weights.as_slice()) {
+                prop_assert!((wa - wb).abs() <= 1e-9 * (1.0 + wb.abs()));
+            }
+        }
+    }
+}

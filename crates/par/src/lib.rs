@@ -1,0 +1,169 @@
+//! # par — the workspace's shared worker pool
+//!
+//! Every parallel fan-out in the repository (query labeling, per-leaf
+//! model training, AQC scoring during kd-tree merging) used to be an
+//! ad-hoc `std::thread::scope` with static chunking. This crate replaces
+//! them with one small, dependency-free helper built on scoped threads:
+//!
+//! * results come back **in input order**, so callers stay deterministic
+//!   regardless of how work was scheduled;
+//! * scheduling is **dynamic** (workers pull the next index from a shared
+//!   atomic counter), so uneven jobs — leaf models whose training sets
+//!   differ by 10x — no longer serialize behind the unluckiest worker;
+//! * worker panics propagate to the caller instead of being swallowed.
+//!
+//! ```
+//! let squares = par::par_map(&[1, 2, 3, 4], 2, |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on up to `threads` workers, returning results in
+/// input order. `f` receives `(index, &item)`.
+///
+/// With `threads <= 1`, few items, or a zero-length input this degrades
+/// to a plain sequential map with no thread spawned at all, so it is safe
+/// to call unconditionally from code whose workloads are sometimes tiny.
+///
+/// # Panics
+/// Re-raises the panic of any worker.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_init(items, threads, || (), |(), i, x| f(i, x))
+}
+
+/// Like [`par_map`], but each worker first builds private scratch state
+/// with `init` and threads it through every call. This is how hot loops
+/// reuse allocation-heavy workspaces (e.g. one `nn` batch workspace per
+/// worker) without any synchronization.
+///
+/// # Panics
+/// Re-raises the panic of any worker.
+pub fn par_map_init<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(&mut state, i, x))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index scheduled exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, 8, |i, x| {
+            assert_eq!(i, *x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 / 7.0).collect();
+        let seq = par_map(&items, 1, |_, x| x.sin());
+        let par = par_map(&items, 5, |_, x| x.sin());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn init_state_is_per_worker_and_reused() {
+        // Each worker counts how many items it processed through its
+        // private state; the counts must sum to the item count.
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_init(
+            &items,
+            4,
+            || 0usize,
+            |seen, _, x| {
+                *seen += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+                *x
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "par worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        let _ = par_map(&items, 4, |_, x| {
+            if *x == 9 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map(&[1, 2, 3], 64, |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

@@ -87,21 +87,35 @@ impl Aggregate {
                     s += v;
                     s2 += v * v;
                 }
-                if n == 0.0 {
-                    return Some(0.0);
-                }
-                Some(match self {
-                    Aggregate::Count => n,
-                    Aggregate::Sum => s,
-                    Aggregate::Avg => s / n,
-                    Aggregate::Std => {
-                        let mean = s / n;
-                        (s2 / n - mean * mean).max(0.0).sqrt()
-                    }
-                    Aggregate::Median => unreachable!(),
-                })
+                Some(self.from_moments(n, s, s2).expect("non-median"))
             }
         }
+    }
+
+    /// Compute the aggregate from the first three moments of the matching
+    /// measure values — `n` (count), `s` (sum), `s2` (sum of squares).
+    /// Returns `None` for MEDIAN, which is not a function of moments.
+    ///
+    /// This is the closed form behind [`Aggregate::apply_streaming`], and
+    /// what lets the query engine's sorted-column index answer range
+    /// aggregates from prefix-sum differences without touching rows.
+    pub fn from_moments(&self, n: f64, s: f64, s2: f64) -> Option<f64> {
+        if matches!(self, Aggregate::Median) {
+            return None;
+        }
+        if n == 0.0 {
+            return Some(0.0);
+        }
+        Some(match self {
+            Aggregate::Count => n,
+            Aggregate::Sum => s,
+            Aggregate::Avg => s / n,
+            Aggregate::Std => {
+                let mean = s / n;
+                (s2 / n - mean * mean).max(0.0).sqrt()
+            }
+            Aggregate::Median => unreachable!(),
+        })
     }
 }
 

@@ -26,10 +26,33 @@ pub trait PredicateFn: Send + Sync {
     fn matches(&self, q: &[f64], x: &[f64]) -> bool;
 
     /// If the predicate constrains axis-aligned per-attribute intervals,
-    /// return `(attr, lo, hi)` triples for index pruning (half-open
-    /// `[lo, hi)`). Default: no pruning possible.
+    /// return `(attr, lo, hi)` triples for index pruning. The intervals
+    /// are a *necessary* condition: any matching row lies inside all of
+    /// them (endpoints conservatively included by consumers). Default: no
+    /// pruning possible.
     fn axis_bounds(&self, _q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
         None
+    }
+
+    /// Whether [`PredicateFn::axis_bounds`] is also *sufficient*: a row
+    /// matches **iff** every listed attribute lies in its half-open
+    /// `[lo, hi)` interval. When true and a single attribute is
+    /// constrained, the query engine answers moment aggregates straight
+    /// from its sorted-column prefix sums without visiting any row.
+    fn axis_bounds_exact(&self) -> bool {
+        false
+    }
+
+    /// The axis bounds, but only when they fully define the predicate —
+    /// the support test used by engines (histograms, SPNs, regression
+    /// ensembles) that answer from the intervals alone and would return
+    /// silently wrong numbers for a mere bounding box.
+    fn exact_axis_bounds(&self, q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
+        if self.axis_bounds_exact() {
+            self.axis_bounds(q)
+        } else {
+            None
+        }
     }
 }
 
@@ -95,6 +118,10 @@ impl PredicateFn for Range {
                 .map(|(i, &a)| (a, q[i], q[i] + q[k + i]))
                 .collect(),
         )
+    }
+
+    fn axis_bounds_exact(&self) -> bool {
+        true
     }
 }
 
@@ -163,6 +190,10 @@ impl PredicateFn for FixedWidthRange {
                 .collect(),
         )
     }
+
+    fn axis_bounds_exact(&self) -> bool {
+        true
+    }
 }
 
 /// General rectangle predicate of Table 2: the query instance is
@@ -211,6 +242,42 @@ impl PredicateFn for RotatedRect {
         let (x0, x1) = if cx < 0.0 { (cx, 0.0) } else { (0.0, cx) };
         let (y0, y1) = if cy < 0.0 { (cy, 0.0) } else { (0.0, cy) };
         ux >= x0 && ux <= x1 && uy >= y0 && uy <= y1
+    }
+
+    fn axis_bounds(&self, q: &[f64]) -> Option<Vec<(usize, f64, f64)>> {
+        // Axis-aligned bounding box of the rectangle's four vertices:
+        // p, p', and the two corners p + cx·u and p + cy·v in the rotated
+        // frame (u = (cosφ, sinφ), v = (−sinφ, cosφ)).
+        let (px, py, qx, qy, phi) = (q[0], q[1], q[2], q[3], q[4]);
+        let (cos, sin) = (phi.cos(), phi.sin());
+        let (dx, dy) = (qx - px, qy - py);
+        let (cx, cy) = (dx * cos + dy * sin, -dx * sin + dy * cos);
+        let corners = [
+            (px, py),
+            (qx, qy),
+            (px + cx * cos, py + cx * sin),
+            (px - cy * sin, py + cy * cos),
+        ];
+        let fold = |f: fn(f64, f64) -> f64, pick: fn(&(f64, f64)) -> f64| {
+            corners[1..].iter().map(pick).fold(pick(&corners[0]), f)
+        };
+        // Widen each side by one ulp: `matches` computes the rotated
+        // coordinates with its own rounding, so a point within ulps of
+        // the rectangle edge can match while sitting marginally outside
+        // the independently-rounded bbox. The bounds are a pruning
+        // superset, never the exact test, so widening is free.
+        Some(vec![
+            (
+                self.x_attr,
+                fold(f64::min, |c| c.0).next_down(),
+                fold(f64::max, |c| c.0).next_up(),
+            ),
+            (
+                self.y_attr,
+                fold(f64::min, |c| c.1).next_down(),
+                fold(f64::max, |c| c.1).next_up(),
+            ),
+        ])
     }
 }
 
@@ -292,7 +359,7 @@ impl PredicateFn for HyperSphere {
             self.attrs
                 .iter()
                 .zip(q)
-                .map(|(&a, &c)| (a, c - radius, c + radius + f64::EPSILON))
+                .map(|(&a, &c)| (a, (c - radius).next_down(), (c + radius).next_up()))
                 .collect(),
         )
     }

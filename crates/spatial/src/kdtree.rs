@@ -203,9 +203,28 @@ impl KdTree {
     /// sibling leaves are both marked replace their parent with a merged
     /// (unmarked) leaf. Matches the paper's loop with the natural reading
     /// that marking skips already-marked leaves.
-    pub fn merge_leaves(&mut self, mut score: impl FnMut(&[usize]) -> f64, target_leaves: usize) {
+    ///
+    /// Scores are memoized per node and fresh leaves are scored in
+    /// parallel on up to `threads` workers, so an expensive scorer (AQC
+    /// over sampled query pairs) is paid once per node instead of once
+    /// per pass.
+    pub fn merge_leaves(
+        &mut self,
+        score: impl Fn(&[usize]) -> f64 + Sync,
+        target_leaves: usize,
+        threads: usize,
+    ) {
         let target = target_leaves.max(1);
+        // Merging never allocates nodes (a parent is converted to a leaf
+        // in place), so per-node state sized once here stays valid.
         let mut marked: Vec<bool> = vec![false; self.nodes.len()];
+        // Each node is scored at most once (a leaf's query set never
+        // changes while it remains a leaf; a merge turns the parent into
+        // a *new* leaf that gets scored on the next pass), and every
+        // pass's unscored leaves are scored together on the shared worker
+        // pool — the expensive part of AQC-guided merging scales with the
+        // build's thread budget.
+        let mut scores: Vec<Option<f64>> = vec![None; self.nodes.len()];
         // Bound iterations: each pass either marks one leaf or merges one
         // pair, and both can happen at most `nodes` times.
         let max_iters = 4 * self.nodes.len() + 16;
@@ -214,11 +233,23 @@ impl KdTree {
             if leaves.len() <= target {
                 return;
             }
+            let unscored: Vec<usize> = leaves
+                .iter()
+                .copied()
+                .filter(|&l| !marked[l] && scores[l].is_none())
+                .collect();
+            if !unscored.is_empty() {
+                let this = &*self;
+                let fresh = par::par_map(&unscored, threads, |_, &l| score(this.leaf_queries(l)));
+                for (&l, s) in unscored.iter().zip(fresh) {
+                    scores[l] = Some(s);
+                }
+            }
             // Mark the unmarked leaf with the smallest complexity.
             let candidate = leaves
                 .iter()
                 .filter(|&&l| !marked[l])
-                .map(|&l| (l, score(self.leaf_queries(l))))
+                .map(|&l| (l, scores[l].expect("scored above")))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
             if let Some((leaf, _)) = candidate {
                 marked[leaf] = true;
@@ -243,10 +274,8 @@ impl KdTree {
                 let mut qs = self.leaf_queries(left).to_vec();
                 qs.extend_from_slice(self.leaf_queries(right));
                 self.nodes[parent].kind = NodeKind::Leaf { queries: qs };
-                if parent >= marked.len() {
-                    marked.resize(parent + 1, false);
-                }
                 marked[parent] = false;
+                scores[parent] = None;
                 merged_any = true;
                 if self.leaf_count() <= target {
                     return;
@@ -334,7 +363,7 @@ mod tests {
         let mut t = KdTree::build(&qs, 4);
         assert_eq!(t.leaf_count(), 16);
         // Score: constant — merging order arbitrary but count must drop.
-        t.merge_leaves(|_| 1.0, 8);
+        t.merge_leaves(|_| 1.0, 8, 2);
         assert_eq!(t.leaf_count(), 8);
     }
 
@@ -354,6 +383,7 @@ mod tests {
         t.merge_leaves(
             |qids| qids.iter().sum::<usize>() as f64 / qids.len() as f64,
             3,
+            2,
         );
         assert_eq!(t.leaf_count(), 3);
         let merged = t.leaf_queries(t.locate(&qs[0]));
@@ -365,7 +395,7 @@ mod tests {
     fn locate_still_works_after_merge() {
         let qs = queries(200);
         let mut t = KdTree::build(&qs, 4);
-        t.merge_leaves(|qids| qids.len() as f64, 5);
+        t.merge_leaves(|qids| qids.len() as f64, 5, 1);
         assert_eq!(t.leaf_count(), 5);
         for (i, q) in qs.iter().enumerate() {
             let leaf = t.locate(q);
@@ -380,7 +410,7 @@ mod tests {
     fn merge_to_one_leaf() {
         let qs = queries(64);
         let mut t = KdTree::build(&qs, 3);
-        t.merge_leaves(|_| 0.0, 1);
+        t.merge_leaves(|_| 0.0, 1, 1);
         assert_eq!(t.leaf_count(), 1);
         let l = t.leaf_ids()[0];
         assert_eq!(t.leaf_queries(l).len(), 64);

@@ -125,7 +125,7 @@ proptest! {
     ) {
         let mut tree = KdTree::build(&qs, 3);
         let before = tree.leaf_count();
-        tree.merge_leaves(|ids| ids.len() as f64, target);
+        tree.merge_leaves(|ids| ids.len() as f64, target, 2);
         prop_assert!(tree.leaf_count() <= before);
         prop_assert!(tree.leaf_count() <= target.max(1).max(tree.leaf_count().min(target)));
         // Coverage is preserved.
