@@ -72,6 +72,23 @@ fn main() {
         ) {
             println!("  batched training speedup: {:.2}x", scalar / batched);
         }
+        // queries/sec falls out of the recorded median latency and the
+        // suite's fixed per-iteration stream length.
+        let qps = |e: &bench::PerfEntry| {
+            bench::perf::SERVE_STREAM_LEN as f64 * e.iters as f64 / (e.median_ms / 1e3)
+        };
+        let entry = |name: &str| report.entries.iter().find(|e| e.name == name);
+        if let (Some(single), Some(t2)) = (
+            entry("serve_single_query_loop"),
+            entry("serve_throughput_batched_t2"),
+        ) {
+            println!(
+                "  serve throughput: {:.0} qps single-query loop, {:.0} qps batched t2 ({:.2}x)",
+                qps(single),
+                qps(t2),
+                single.median_ms / t2.median_ms
+            );
+        }
 
         let path = format!("{out_dir}/{file}");
         if check {

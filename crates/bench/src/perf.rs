@@ -11,7 +11,10 @@
 //! `crates/bench/benches/` (which reuse [`scenarios`]): exact labeling,
 //! partition+merge, per-leaf training (batched **and** the per-example
 //! reference, so the batched-kernel speedup is recorded as data), the
-//! full sketch build, and per-query answer latency.
+//! full sketch build, per-query answer latency, and the serving
+//! engine's `serve_throughput` scenario (the same query stream through
+//! the single-query loop and the batched `SketchServer`, so the
+//! recorded ratio is the serving-throughput multiplier).
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -102,6 +105,11 @@ impl PerfReport {
         out
     }
 }
+
+/// Queries per iteration in the `serve_throughput` scenarios of
+/// [`run_query_suite`]. Shared with `perfbench`'s queries/sec math so
+/// the two can never drift apart.
+pub const SERVE_STREAM_LEN: usize = 2_000;
 
 /// Time `f` over `reps` repetitions; returns `(median_ms, p95_ms)`.
 pub fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
@@ -326,6 +334,8 @@ pub fn run_build_suite(fast: bool, reps: usize) -> PerfReport {
 /// Run the query-side suite: per-query latency of the sketch's hot path
 /// and of the exact engine it is sketching.
 pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
+    use neurosketch::router::{DqdRouter, RoutingPolicy};
+    use neurosketch::serve::{ServeOptions, SketchServer};
     use neurosketch::{NeuroSketch, NeuroSketchConfig};
     use query::aggregate::Aggregate;
     use query::exec::QueryEngine;
@@ -334,7 +344,7 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
     let engine = QueryEngine::new(&sc.data, sc.measure);
     let mut ns_cfg = NeuroSketchConfig::default();
     ns_cfg.train.epochs = if fast { 20 } else { 60 };
-    let (sketch, _) = NeuroSketch::build_from_labeled(&sc.train, &sc.labels, &ns_cfg)
+    let (sketch, build_report) = NeuroSketch::build_from_labeled(&sc.train, &sc.labels, &ns_cfg)
         .expect("sketch build for query suite");
 
     let mut entries = Vec::new();
@@ -361,6 +371,57 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
             }
         }),
     );
+
+    // Serving throughput (`serve_throughput`): a fixed [`SERVE_STREAM_LEN`]-query
+    // stream answered (a) one query at a time — the pre-serving
+    // deployment model — and (b) through the batched `SketchServer` at
+    // 1 and 2 worker threads. All three entries time the *same* total
+    // work, so throughput ratios are just inverse median ratios
+    // (qps = queries x iters / median); `perfbench` prints both.
+    let serve_queries: Vec<Vec<f64>> = sc
+        .wl
+        .queries
+        .iter()
+        .cycle()
+        .take(SERVE_STREAM_LEN)
+        .cloned()
+        .collect();
+    let iters = 4;
+    push(
+        "serve_single_query_loop",
+        iters,
+        time_reps(reps, || {
+            for _ in 0..iters {
+                for q in &serve_queries {
+                    std::hint::black_box(sketch.answer_with(&mut ws, q));
+                }
+            }
+        }),
+    );
+    for threads in [1usize, 2] {
+        let router = DqdRouter::new(
+            sketch.clone(),
+            build_report.leaf_aqcs.clone(),
+            RoutingPolicy::default(),
+        );
+        let server = SketchServer::new(
+            router,
+            ServeOptions {
+                threads,
+                max_shard: 1024,
+                active_attrs: None,
+            },
+        );
+        push(
+            &format!("serve_throughput_batched_t{threads}"),
+            iters,
+            time_reps(reps, || {
+                for _ in 0..iters {
+                    std::hint::black_box(server.answer_batch(&serve_queries));
+                }
+            }),
+        );
+    }
 
     let mut scratch = Vec::new();
     let iters = 1200;

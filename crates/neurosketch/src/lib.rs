@@ -43,16 +43,22 @@
 //! assert!((approx - exact).abs() / 2000.0 < 0.2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod aqc;
 pub mod arch_search;
 pub mod dqd;
 pub mod ldq;
 pub mod maintenance;
+pub mod persist;
 pub mod router;
+pub mod serve;
 pub mod sketch;
 
 pub use aqc::{aqc, normalized_aqc_std};
-pub use sketch::{BuildReport, NeuroSketch, NeuroSketchConfig};
+pub use persist::{Artifact, PersistError};
+pub use serve::{ServeOptions, ServeStats, SketchServer};
+pub use sketch::{BatchScratch, BuildReport, NeuroSketch, NeuroSketchConfig};
 
 /// Errors produced while building or using a NeuroSketch.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +68,12 @@ pub enum SketchError {
     /// Invalid hyperparameter combination.
     BadConfig(String),
     /// Query vector does not match the sketch's input dimensionality.
-    BadQueryDim { expected: usize, got: usize },
+    BadQueryDim {
+        /// Dimensionality the sketch was trained for.
+        expected: usize,
+        /// Dimensionality of the offending query vector.
+        got: usize,
+    },
     /// Model (de)serialization failed.
     Serde(String),
 }

@@ -1,0 +1,610 @@
+//! The NSK2 persistent sketch format ("models are saved after
+//! training", Sec. 5.1).
+//!
+//! [`nn::binary`] ships a *single* MLP (NSK1). A deployed NeuroSketch is
+//! more than one model: a kd-tree routing structure, one compact MLP per
+//! partition, the per-leaf output scalers, and — when it is served
+//! behind a [`DqdRouter`] — the per-partition AQC estimates and routing
+//! thresholds. NSK2 is the whole-sketch container: everything a serving
+//! process ([`crate::serve`]) needs, in one versioned blob whose size
+//! matches the paper's 4-bytes-per-parameter model-size accounting
+//! (parameters dominate; the tree and headers are a few dozen bytes per
+//! partition).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic      u32 = 0x4E53_4B32 ("NSK2")
+//! version    u32 = 1
+//! query_dim  u32
+//! node_count u32
+//! per node, preorder (root = 0):
+//!   tag u8: 0 = internal, 1 = leaf
+//!   internal only: dim u32, val f64, left u32, right u32
+//! model_count u32               (one per leaf, ascending node index)
+//! per model:
+//!   leaf u32                    (node-table index of its leaf)
+//!   y_mean f64, y_std f64       (output de-standardization)
+//!   blob_len u32, blob          (the MLP in NSK1 form, nn::binary)
+//! router u8: 0 = absent, 1 = present
+//! router only:
+//!   min_range_volume f64, max_leaf_aqc f64
+//!   aqc_count u32, aqc f64 per leaf (sketch leaf order)
+//! ```
+//!
+//! Parameters are stored as `f32` (the paper's storage model), so saving
+//! is lossy exactly once: a decoded sketch answers **bitwise
+//! identically** to [`NeuroSketch::quantized`] of the sketch it was
+//! saved from, and re-encoding a decoded sketch reproduces the byte
+//! stream exactly. Corrupt input — truncation, bad magic, an
+//! unsupported version, structural tree damage, or implausible layer
+//! dimensions — yields a typed [`PersistError`], never a panic.
+
+use crate::router::{DqdRouter, RoutingPolicy};
+use crate::sketch::{LeafModel, NeuroSketch};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spatial::kdtree::{FlatNode, FlatTreeError};
+use spatial::KdTree;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// NSK2 container magic ("NSK2" little-endian).
+pub const NSK2_MAGIC: u32 = 0x4E53_4B32;
+
+/// Newest container version this build reads and writes.
+pub const NSK2_VERSION: u32 = 1;
+
+/// Why a persisted sketch could not be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// The buffer ended before the named section was complete.
+    Truncated(&'static str),
+    /// The first four bytes were not the NSK2 magic.
+    BadMagic {
+        /// The magic actually found.
+        found: u32,
+    },
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The kd-tree section failed structural validation.
+    Tree(FlatTreeError),
+    /// An embedded NSK1 model blob failed to decode.
+    Model(String),
+    /// A cross-section invariant was violated (model/leaf mismatch,
+    /// non-finite scaler, wrong input dimensionality, ...).
+    Corrupt(String),
+    /// Reading or writing the backing file failed.
+    Io(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated(section) => write!(f, "truncated {section}"),
+            PersistError::BadMagic { found } => {
+                write!(f, "bad magic {found:#010x} (want {NSK2_MAGIC:#010x})")
+            }
+            PersistError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported NSK2 version {found} (newest known: {NSK2_VERSION})"
+                )
+            }
+            PersistError::Tree(e) => write!(f, "corrupt kd-tree section: {e}"),
+            PersistError::Model(e) => write!(f, "corrupt model blob: {e}"),
+            PersistError::Corrupt(e) => write!(f, "corrupt container: {e}"),
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<FlatTreeError> for PersistError {
+    fn from(e: FlatTreeError) -> Self {
+        PersistError::Tree(e)
+    }
+}
+
+/// A decoded NSK2 container: the sketch, plus the router metadata when
+/// the artifact was saved from a [`DqdRouter`].
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The sketch, ready to answer queries.
+    pub sketch: NeuroSketch,
+    /// Per-partition AQCs + routing thresholds, if persisted.
+    pub router: Option<RouterMeta>,
+}
+
+/// Router metadata persisted alongside a sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterMeta {
+    /// AQC per partition, in the sketch's leaf order.
+    pub leaf_aqcs: Vec<f64>,
+    /// The routing thresholds the sketch was deployed with.
+    pub policy: RoutingPolicy,
+}
+
+impl Artifact {
+    /// Reassemble a [`DqdRouter`]. Without persisted router metadata the
+    /// router is fully permissive (every query routes to the sketch).
+    pub fn into_router(self) -> DqdRouter {
+        match self.router {
+            Some(meta) => DqdRouter::new(self.sketch, meta.leaf_aqcs, meta.policy),
+            None => {
+                let aqcs = vec![0.0; self.sketch.partitions()];
+                DqdRouter::new(self.sketch, aqcs, RoutingPolicy::default())
+            }
+        }
+    }
+}
+
+/// Exact byte size [`encode_sketch`] produces for this sketch — the
+/// figure to compare against [`NeuroSketch::storage_bytes`] (the paper's
+/// accounting). Parameters dominate: the fixed overhead is 17 bytes of
+/// header/footer, 21 bytes per internal node, 1 per leaf, and 28 bytes +
+/// the NSK1 header per model.
+pub fn encoded_len(sketch: &NeuroSketch) -> usize {
+    let leaves = sketch.partitions();
+    let internals = leaves.saturating_sub(1);
+    let models: usize = sketch
+        .models()
+        .values()
+        .map(|m| 24 + nn::binary::encoded_len(&m.mlp))
+        .sum();
+    12 + 4 + internals * 21 + leaves + 4 + models + 1
+}
+
+/// Encode a sketch (no router section) into an NSK2 container.
+pub fn encode_sketch(sketch: &NeuroSketch) -> Bytes {
+    encode(sketch, None)
+}
+
+/// Encode a router — sketch + AQCs + policy — into an NSK2 container.
+pub fn encode_router(router: &DqdRouter) -> Bytes {
+    encode(
+        router.sketch(),
+        Some(&RouterMeta {
+            leaf_aqcs: router.leaf_aqcs().to_vec(),
+            policy: router.policy(),
+        }),
+    )
+}
+
+fn encode(sketch: &NeuroSketch, router: Option<&RouterMeta>) -> Bytes {
+    let flat = sketch.tree().to_flat();
+    let mut buf = BytesMut::with_capacity(
+        encoded_len(sketch) + router.map_or(0, |m| 20 + 8 * m.leaf_aqcs.len()),
+    );
+    buf.put_u32_le(NSK2_MAGIC);
+    buf.put_u32_le(NSK2_VERSION);
+    buf.put_u32_le(sketch.query_dim() as u32);
+
+    buf.put_u32_le(flat.len() as u32);
+    for node in &flat {
+        match *node {
+            FlatNode::Internal {
+                dim,
+                val,
+                left,
+                right,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(dim as u32);
+                buf.put_f64_le(val);
+                buf.put_u32_le(left as u32);
+                buf.put_u32_le(right as u32);
+            }
+            FlatNode::Leaf => buf.put_u8(1),
+        }
+    }
+
+    // The k-th leaf of the arena tree (leaf order) is the k-th Leaf slot
+    // of the preorder flat table: both walks are depth-first, left child
+    // first. Models are written in that shared order.
+    let flat_leaves: Vec<usize> = flat
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| matches!(n, FlatNode::Leaf).then_some(i))
+        .collect();
+    let arena_leaves = sketch.tree().leaf_ids();
+    debug_assert_eq!(flat_leaves.len(), arena_leaves.len());
+    buf.put_u32_le(flat_leaves.len() as u32);
+    for (&flat_leaf, arena_leaf) in flat_leaves.iter().zip(arena_leaves) {
+        let model = &sketch.models()[&arena_leaf];
+        buf.put_u32_le(flat_leaf as u32);
+        buf.put_f64_le(model.y_mean);
+        buf.put_f64_le(model.y_std);
+        let blob = nn::binary::encode(&model.mlp);
+        buf.put_u32_le(blob.len() as u32);
+        buf.put_slice(&blob);
+    }
+
+    match router {
+        None => buf.put_u8(0),
+        Some(meta) => {
+            buf.put_u8(1);
+            buf.put_f64_le(meta.policy.min_range_volume);
+            buf.put_f64_le(meta.policy.max_leaf_aqc);
+            buf.put_u32_le(meta.leaf_aqcs.len() as u32);
+            for &a in &meta.leaf_aqcs {
+                buf.put_f64_le(a);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode an NSK2 container produced by [`encode_sketch`] /
+/// [`encode_router`].
+pub fn decode(mut data: Bytes) -> Result<Artifact, PersistError> {
+    if data.remaining() < 12 {
+        return Err(PersistError::Truncated("header"));
+    }
+    let magic = data.get_u32_le();
+    if magic != NSK2_MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let version = data.get_u32_le();
+    if version != NSK2_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let query_dim = data.get_u32_le() as usize;
+
+    // kd-tree section.
+    if data.remaining() < 4 {
+        return Err(PersistError::Truncated("kd-tree section"));
+    }
+    let node_count = data.get_u32_le() as usize;
+    // Each node costs at least 1 byte; an implausible count is caught
+    // before any allocation is sized by it.
+    if node_count == 0 || node_count > data.remaining() {
+        return Err(PersistError::Corrupt(format!(
+            "implausible node count {node_count}"
+        )));
+    }
+    let mut flat = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        if data.remaining() < 1 {
+            return Err(PersistError::Truncated("kd-tree section"));
+        }
+        match data.get_u8() {
+            0 => {
+                if data.remaining() < 20 {
+                    return Err(PersistError::Truncated("kd-tree section"));
+                }
+                let dim = data.get_u32_le() as usize;
+                let val = data.get_f64_le();
+                let left = data.get_u32_le() as usize;
+                let right = data.get_u32_le() as usize;
+                flat.push(FlatNode::Internal {
+                    dim,
+                    val,
+                    left,
+                    right,
+                });
+            }
+            1 => flat.push(FlatNode::Leaf),
+            t => {
+                return Err(PersistError::Corrupt(format!("unknown node tag {t}")));
+            }
+        }
+    }
+    let tree = KdTree::from_flat(&flat, query_dim)?;
+    let leaves = tree.leaf_ids();
+
+    // Model section.
+    if data.remaining() < 4 {
+        return Err(PersistError::Truncated("model section"));
+    }
+    let model_count = data.get_u32_le() as usize;
+    if model_count != leaves.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{model_count} models for {} leaves",
+            leaves.len()
+        )));
+    }
+    let mut models = BTreeMap::new();
+    for _ in 0..model_count {
+        if data.remaining() < 24 {
+            return Err(PersistError::Truncated("model section"));
+        }
+        let leaf = data.get_u32_le() as usize;
+        let y_mean = data.get_f64_le();
+        let y_std = data.get_f64_le();
+        if !y_mean.is_finite() || !y_std.is_finite() || y_std <= 0.0 {
+            return Err(PersistError::Corrupt(format!(
+                "implausible output scaler (mean {y_mean}, std {y_std})"
+            )));
+        }
+        // from_flat keeps flat indices as node ids, so the stored index
+        // addresses the rebuilt arena directly; leaf_ids() of a preorder
+        // table is ascending, so membership is a binary search.
+        if leaves.binary_search(&leaf).is_err() {
+            return Err(PersistError::Corrupt(format!(
+                "model attached to non-leaf node {leaf}"
+            )));
+        }
+        let blob_len = data.get_u32_le() as usize;
+        if data.remaining() < blob_len {
+            return Err(PersistError::Truncated("model blob"));
+        }
+        let blob = data.split_to(blob_len);
+        let mlp = nn::binary::decode(blob).map_err(|e| PersistError::Model(e.to_string()))?;
+        if mlp.input_dim() != query_dim || mlp.output_dim() != 1 {
+            return Err(PersistError::Corrupt(format!(
+                "model shape {}→{} does not fit a {query_dim}-dim sketch",
+                mlp.input_dim(),
+                mlp.output_dim()
+            )));
+        }
+        if models
+            .insert(leaf, LeafModel { mlp, y_mean, y_std })
+            .is_some()
+        {
+            return Err(PersistError::Corrupt(format!("two models for leaf {leaf}")));
+        }
+    }
+
+    // Router section.
+    if data.remaining() < 1 {
+        return Err(PersistError::Truncated("router section"));
+    }
+    let router = match data.get_u8() {
+        0 => None,
+        1 => {
+            if data.remaining() < 20 {
+                return Err(PersistError::Truncated("router section"));
+            }
+            let min_range_volume = data.get_f64_le();
+            let max_leaf_aqc = data.get_f64_le();
+            // `+inf` is legitimate (the default "rule disabled" policy
+            // and unboundedly hard leaves), but NaN would make the
+            // router's threshold comparisons silently always-false.
+            if min_range_volume.is_nan() || max_leaf_aqc.is_nan() {
+                return Err(PersistError::Corrupt("NaN routing threshold".to_string()));
+            }
+            let aqc_count = data.get_u32_le() as usize;
+            if aqc_count != leaves.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "{aqc_count} AQCs for {} leaves",
+                    leaves.len()
+                )));
+            }
+            if data.remaining() < aqc_count * 8 {
+                return Err(PersistError::Truncated("router section"));
+            }
+            let leaf_aqcs: Vec<f64> = (0..aqc_count).map(|_| data.get_f64_le()).collect();
+            if leaf_aqcs.iter().any(|a| a.is_nan()) {
+                return Err(PersistError::Corrupt("NaN leaf AQC".to_string()));
+            }
+            Some(RouterMeta {
+                leaf_aqcs,
+                policy: RoutingPolicy {
+                    min_range_volume,
+                    max_leaf_aqc,
+                },
+            })
+        }
+        t => {
+            return Err(PersistError::Corrupt(format!("unknown router tag {t}")));
+        }
+    };
+
+    // A well-formed container ends exactly here; trailing bytes mean a
+    // concatenated/partially-overwritten artifact and must not be
+    // silently ignored (re-encoding would not reproduce the input).
+    if data.remaining() != 0 {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after the router section",
+            data.remaining()
+        )));
+    }
+
+    Ok(Artifact {
+        sketch: NeuroSketch::from_parts(tree, models, query_dim),
+        router,
+    })
+}
+
+/// Write a sketch to `path` in NSK2 form.
+pub fn save_sketch(path: impl AsRef<Path>, sketch: &NeuroSketch) -> Result<(), PersistError> {
+    std::fs::write(path, encode_sketch(sketch)).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Write a router (sketch + AQCs + policy) to `path` in NSK2 form.
+pub fn save_router(path: impl AsRef<Path>, router: &DqdRouter) -> Result<(), PersistError> {
+    std::fs::write(path, encode_router(router)).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Read an NSK2 container from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
+    let raw = std::fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    decode(Bytes::from(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::NeuroSketchConfig;
+
+    fn trained_sketch() -> (NeuroSketch, Vec<f64>) {
+        let qs: Vec<Vec<f64>> = (0..240)
+            .map(|i| vec![(i as f64 * 0.7548) % 1.0, (i as f64 * 0.5698) % 1.0])
+            .collect();
+        let labels: Vec<f64> = qs.iter().map(|q| 40.0 * q[0] + 11.0 * q[1]).collect();
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 3;
+        cfg.target_partitions = 5;
+        cfg.train.epochs = 15;
+        let (s, r) = NeuroSketch::build_from_labeled(&qs, &labels, &cfg).unwrap();
+        (s, r.leaf_aqcs)
+    }
+
+    #[test]
+    fn roundtrip_matches_quantized_sketch_bitwise() {
+        let (sketch, _) = trained_sketch();
+        let blob = encode_sketch(&sketch);
+        assert_eq!(blob.len(), encoded_len(&sketch));
+        let loaded = decode(blob).unwrap();
+        assert!(loaded.router.is_none());
+        let q = sketch.quantized();
+        assert_eq!(loaded.sketch.partitions(), sketch.partitions());
+        for i in 0..50 {
+            let query = vec![(i as f64 * 0.137) % 1.0, (i as f64 * 0.311) % 1.0];
+            assert_eq!(loaded.sketch.answer(&query), q.answer(&query));
+        }
+    }
+
+    #[test]
+    fn second_roundtrip_is_byte_identical() {
+        let (sketch, _) = trained_sketch();
+        let once = encode_sketch(&sketch);
+        let decoded = decode(once.clone()).unwrap();
+        let twice = encode_sketch(&decoded.sketch);
+        assert_eq!(&once[..], &twice[..]);
+    }
+
+    #[test]
+    fn router_metadata_roundtrips() {
+        let (sketch, aqcs) = trained_sketch();
+        let policy = RoutingPolicy {
+            min_range_volume: 0.015,
+            max_leaf_aqc: 42.5,
+        };
+        let router = DqdRouter::new(sketch, aqcs.clone(), policy);
+        let artifact = decode(encode_router(&router)).unwrap();
+        let meta = artifact.router.clone().expect("router section present");
+        assert_eq!(meta.leaf_aqcs, aqcs);
+        assert_eq!(meta.policy, policy);
+        let rebuilt = artifact.into_router();
+        assert_eq!(rebuilt.policy(), policy);
+        assert_eq!(rebuilt.leaf_aqcs(), &aqcs[..]);
+    }
+
+    #[test]
+    fn size_accounting_tracks_the_paper_model() {
+        let (sketch, _) = trained_sketch();
+        let len = encode_sketch(&sketch).len();
+        // Dominated by 4 bytes per parameter...
+        assert!(len >= sketch.param_count() * 4);
+        // ...with overhead well under the paper-accounted figure + a
+        // small per-partition constant.
+        assert!(
+            len <= sketch.storage_bytes() + 80 * sketch.partitions() + 64,
+            "len {len} vs accounted {}",
+            sketch.storage_bytes()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (sketch, aqcs) = trained_sketch();
+        let router = DqdRouter::new(sketch, aqcs, RoutingPolicy::default());
+        let path = std::env::temp_dir().join("nsk2_file_roundtrip_test.nsk2");
+        save_router(&path, &router).unwrap();
+        let artifact = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let query = [0.3, 0.8];
+        assert_eq!(
+            artifact.sketch.answer(&query),
+            router.sketch().quantized().answer(&query)
+        );
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load("/definitely/not/a/real/path.nsk2").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let (sketch, _) = trained_sketch();
+        let blob = encode_sketch(&sketch);
+
+        assert!(matches!(
+            decode(Bytes::from_static(b"shrt")),
+            Err(PersistError::Truncated(_))
+        ));
+
+        let mut bad_magic = blob.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode(Bytes::from(bad_magic)),
+            Err(PersistError::BadMagic { .. })
+        ));
+
+        let mut future = blob.to_vec();
+        future[4] = 0xEE; // version 0x..EE
+        assert!(matches!(
+            decode(Bytes::from(future)),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+
+        // Every strict prefix must fail with a typed error, never panic.
+        for cut in [12, 13, 20, blob.len() / 2, blob.len() - 1] {
+            let err = decode(blob.slice(0..cut)).unwrap_err();
+            assert!(
+                !matches!(err, PersistError::BadMagic { .. }),
+                "prefix of a valid blob keeps its magic"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let (sketch, _) = trained_sketch();
+        let mut blob = encode_sketch(&sketch).to_vec();
+        blob.extend_from_slice(b"leftover");
+        let err = decode(Bytes::from(blob)).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Corrupt(m) if m.contains("trailing")),
+            "expected trailing-bytes error, got {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_nan_router_metadata() {
+        let (sketch, aqcs) = trained_sketch();
+        let router = DqdRouter::new(sketch, aqcs, RoutingPolicy::default());
+        let blob = encode_router(&router).to_vec();
+        // The router section sits at the end: tag byte, two policy f64s,
+        // count u32, then the AQC array.
+        let n_aqcs = router.leaf_aqcs().len();
+        let aqc_array = blob.len() - 8 * n_aqcs;
+        let policy_floats = aqc_array - 4 - 16;
+        for offset in [policy_floats, policy_floats + 8, aqc_array] {
+            let mut bad = blob.clone();
+            bad[offset..offset + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+            let err = decode(Bytes::from(bad)).unwrap_err();
+            assert!(
+                matches!(&err, PersistError::Corrupt(m) if m.contains("NaN")),
+                "offset {offset}: expected NaN rejection, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_cross_section_corruption() {
+        let (sketch, _) = trained_sketch();
+        let blob = encode_sketch(&sketch).to_vec();
+
+        // Zero the node count: structurally empty tree.
+        let mut no_nodes = blob.clone();
+        no_nodes[12..16].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode(Bytes::from(no_nodes)).is_err());
+
+        // Corrupt the first internal node's left-child pointer.
+        let mut bad_child = blob.clone();
+        // header(12) + node_count(4) + tag(1) + dim(4) + val(8) = 29.
+        bad_child[29..33].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(bad_child)),
+            Err(PersistError::Tree(_))
+        ));
+    }
+}

@@ -12,6 +12,11 @@
 //!   range volume; below a volume threshold, route to the exact engine;
 //! * **complexity rule** — if the query lands in a partition whose AQC
 //!   exceeds a threshold, route to the exact engine.
+//!
+//! A router is the unit of deployment: [`crate::persist`] saves and
+//! loads it (sketch + AQCs + policy, the NSK2 router section) and
+//! [`crate::serve::SketchServer`] applies its rules to whole query
+//! batches on the worker pool.
 
 use crate::sketch::NeuroSketch;
 
@@ -27,7 +32,7 @@ pub enum Route {
 }
 
 /// Routing thresholds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoutingPolicy {
     /// Minimum fractional range volume (product of active widths) the
     /// sketch accepts. `0.0` disables the range rule.
@@ -76,6 +81,21 @@ impl DqdRouter {
     /// The wrapped sketch.
     pub fn sketch(&self) -> &NeuroSketch {
         &self.sketch
+    }
+
+    /// Per-partition AQC estimates, in the sketch's leaf order.
+    pub fn leaf_aqcs(&self) -> &[f64] {
+        &self.leaf_aqcs
+    }
+
+    /// The active routing thresholds.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Unwrap into the sketch, discarding AQCs and policy.
+    pub fn into_sketch(self) -> NeuroSketch {
+        self.sketch
     }
 
     /// Decide where a query should go. `range_volume` is the product of

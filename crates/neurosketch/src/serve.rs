@@ -1,0 +1,381 @@
+//! Throughput-oriented query serving.
+//!
+//! The paper's query-time story is a single forward pass; a production
+//! deployment answers *streams* of queries. [`SketchServer`] turns a
+//! loaded sketch (usually from an NSK2 artifact, [`crate::persist`])
+//! into a batch-serving engine:
+//!
+//! * each incoming batch is sharded across the `par` worker pool, one
+//!   reusable [`BatchScratch`]/exact-engine scratch per worker, so
+//!   steady-state serving performs no per-query allocation and
+//!   throughput scales with threads;
+//! * within a shard, sketch-routed queries are grouped by kd-tree leaf
+//!   and answered with [`Mlp::forward_batch`](nn::Mlp::forward_batch) —
+//!   one GEMM per (partition, layer) instead of one matvec per query,
+//!   so batching pays even on a single core;
+//! * every query first passes the wrapped [`DqdRouter`]'s DQD rules
+//!   (Sec. 4.3): too-small ranges and too-complex partitions go to the
+//!   configured exact engine instead of the sketch.
+//!
+//! Answers are **bitwise identical** to calling
+//! [`NeuroSketch::answer`](crate::NeuroSketch::answer) (or the exact
+//! engine) query-by-query, in input order, at any thread count — the
+//! sharding and leaf-grouping change scheduling, not arithmetic.
+//!
+//! ```
+//! use neurosketch::serve::{ServeOptions, SketchServer};
+//! use neurosketch::router::{DqdRouter, RoutingPolicy};
+//! use neurosketch::{NeuroSketch, NeuroSketchConfig};
+//!
+//! let queries: Vec<Vec<f64>> = (0..160)
+//!     .map(|i| vec![(i as f64 * 0.7548) % 1.0, (i as f64 * 0.5698) % 1.0])
+//!     .collect();
+//! let labels: Vec<f64> = queries.iter().map(|q| q[0] + q[1]).collect();
+//! let mut cfg = NeuroSketchConfig::small();
+//! cfg.train.epochs = 10;
+//! let (sketch, report) = NeuroSketch::build_from_labeled(&queries, &labels, &cfg).unwrap();
+//! let router = DqdRouter::new(sketch, report.leaf_aqcs, RoutingPolicy::default());
+//! let server = SketchServer::new(router, ServeOptions::default());
+//! let (answers, stats) = server.answer_batch(&queries);
+//! assert_eq!(answers.len(), queries.len());
+//! assert_eq!(stats.sketch, queries.len());
+//! ```
+
+use crate::router::{range_volume, DqdRouter, Route};
+use crate::sketch::{BatchScratch, NeuroSketch};
+use query::aggregate::Aggregate;
+use query::exec::QueryEngine;
+use query::predicate::PredicateFn;
+
+/// Tuning knobs for a [`SketchServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads a batch fans out across.
+    pub threads: usize,
+    /// Upper bound on the shard (sub-batch) a single worker processes at
+    /// once; bounds per-worker scratch memory on huge batches.
+    pub max_shard: usize,
+    /// Number of active attributes `k` whose `[c..., r...]` widths define
+    /// the range volume for the router's range rule (Lemma 3.6). `None`
+    /// skips the range rule (predicates without a meaningful volume).
+    pub active_attrs: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    /// Four workers, 1024-query shards, range rule off.
+    fn default() -> Self {
+        ServeOptions {
+            threads: 4,
+            max_shard: 1024,
+            active_attrs: None,
+        }
+    }
+}
+
+/// Where sketch-refused queries go: the exact engine plus the predicate
+/// and aggregate it should evaluate (the same triple that labeled the
+/// training workload).
+pub struct ExactBackend<'a> {
+    /// The exact oracle over the *current* data.
+    pub engine: &'a QueryEngine<'a>,
+    /// Predicate the served query vectors parameterize.
+    pub predicate: &'a dyn PredicateFn,
+    /// Aggregate function being served.
+    pub aggregate: Aggregate,
+}
+
+/// Per-batch routing tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered by the sketch's forward pass.
+    pub sketch: usize,
+    /// Queries sent to the exact engine by the range rule.
+    pub exact_small_range: usize,
+    /// Queries sent to the exact engine by the complexity rule.
+    pub exact_hard_leaf: usize,
+}
+
+impl ServeStats {
+    /// Total queries answered.
+    pub fn total(&self) -> usize {
+        self.sketch + self.exact_small_range + self.exact_hard_leaf
+    }
+
+    fn absorb(&mut self, other: ServeStats) {
+        self.sketch += other.sketch;
+        self.exact_small_range += other.exact_small_range;
+        self.exact_hard_leaf += other.exact_hard_leaf;
+    }
+}
+
+/// A loaded sketch behind a concurrent, batch-oriented serving front.
+pub struct SketchServer<'a> {
+    router: DqdRouter,
+    fallback: Option<ExactBackend<'a>>,
+    opts: ServeOptions,
+}
+
+impl<'a> SketchServer<'a> {
+    /// Serve a routed sketch with no exact backend. The router's policy
+    /// is ignored (there is nowhere to fall back to): every query goes
+    /// to the sketch.
+    pub fn new(router: DqdRouter, opts: ServeOptions) -> SketchServer<'static> {
+        SketchServer {
+            router,
+            fallback: None,
+            opts,
+        }
+    }
+
+    /// Serve with DQD routing live: queries the policy refuses are
+    /// answered by `fallback` instead of the sketch.
+    pub fn with_fallback(
+        router: DqdRouter,
+        fallback: ExactBackend<'a>,
+        opts: ServeOptions,
+    ) -> SketchServer<'a> {
+        SketchServer {
+            router,
+            fallback: Some(fallback),
+            opts,
+        }
+    }
+
+    /// The served sketch.
+    pub fn sketch(&self) -> &NeuroSketch {
+        self.router.sketch()
+    }
+
+    /// The wrapped router.
+    pub fn router(&self) -> &DqdRouter {
+        &self.router
+    }
+
+    /// The active options.
+    pub fn options(&self) -> ServeOptions {
+        self.opts
+    }
+
+    /// Answer one query through the same routing as a batch of one.
+    pub fn answer(&self, q: &[f64]) -> f64 {
+        self.answer_batch(std::slice::from_ref(&q.to_vec())).0[0]
+    }
+
+    /// Answer a batch of queries. Returns the answers in input order and
+    /// the routing tally.
+    ///
+    /// The batch is split into up to `opts.threads` shards (each at most
+    /// `opts.max_shard` queries) and served on the shared worker pool;
+    /// each worker routes its shard, answers the sketch-routed queries
+    /// with leaf-grouped GEMMs, and the rest through the exact backend.
+    pub fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ServeStats) {
+        if queries.is_empty() {
+            return (Vec::new(), ServeStats::default());
+        }
+        let threads = self.opts.threads.max(1);
+        let shard = queries
+            .len()
+            .div_ceil(threads)
+            .clamp(1, self.opts.max_shard.max(1));
+        let shards: Vec<&[Vec<f64>]> = queries.chunks(shard).collect();
+        let parts = par::par_map_init(
+            &shards,
+            threads,
+            || (BatchScratch::default(), Vec::new()),
+            |(scratch, exact_scratch), _, chunk| self.serve_shard(scratch, exact_scratch, chunk),
+        );
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut stats = ServeStats::default();
+        for (part, part_stats) in parts {
+            answers.extend(part);
+            stats.absorb(part_stats);
+        }
+        (answers, stats)
+    }
+
+    /// Route and answer one shard with this worker's scratch state.
+    fn serve_shard(
+        &self,
+        scratch: &mut BatchScratch,
+        exact_scratch: &mut Vec<f64>,
+        chunk: &[Vec<f64>],
+    ) -> (Vec<f64>, ServeStats) {
+        let mut out = vec![0.0; chunk.len()];
+        let mut stats = ServeStats::default();
+        let mut to_sketch = Vec::with_capacity(chunk.len());
+        let mut to_exact = Vec::new();
+        match &self.fallback {
+            // No fallback: routing is moot, everything goes to the sketch.
+            None => to_sketch.extend(0..chunk.len()),
+            Some(_) => {
+                for (i, q) in chunk.iter().enumerate() {
+                    let volume = self.opts.active_attrs.map(|k| range_volume(q, k));
+                    match self.router.route(q, volume) {
+                        Route::Sketch => to_sketch.push(i),
+                        Route::ExactSmallRange => {
+                            stats.exact_small_range += 1;
+                            to_exact.push(i);
+                        }
+                        Route::ExactHardLeaf => {
+                            stats.exact_hard_leaf += 1;
+                            to_exact.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        stats.sketch += to_sketch.len();
+        self.sketch()
+            .answer_subset_with(scratch, chunk, &to_sketch, &mut out);
+        if let Some(fb) = &self.fallback {
+            for &i in &to_exact {
+                out[i] =
+                    fb.engine
+                        .answer_with(exact_scratch, fb.predicate, fb.aggregate, &chunk[i]);
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RoutingPolicy;
+    use crate::sketch::NeuroSketchConfig;
+    use datagen::simple::uniform;
+    use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+    fn served_setup() -> (datagen::Dataset, Workload, DqdRouter) {
+        let data = uniform(2_000, 2, 0);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: 500,
+            seed: 5,
+        })
+        .unwrap();
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 2;
+        cfg.target_partitions = 4;
+        cfg.train.epochs = 15;
+        let (sketch, report) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        let router = DqdRouter::new(sketch, report.leaf_aqcs, RoutingPolicy::default());
+        (data, wl, router)
+    }
+
+    #[test]
+    fn batch_serving_is_bitwise_identical_to_single_query_loop() {
+        let (_data, wl, router) = served_setup();
+        let expected: Vec<f64> = wl
+            .queries
+            .iter()
+            .map(|q| router.sketch().answer(q))
+            .collect();
+        for threads in [1, 2, 4] {
+            let (_, _, router) = {
+                // Rebuild per thread count: SketchServer consumes the router.
+                let (d, w, r) = served_setup();
+                (d, w, r)
+            };
+            let server = SketchServer::new(
+                router,
+                ServeOptions {
+                    threads,
+                    max_shard: 64,
+                    active_attrs: None,
+                },
+            );
+            let (answers, stats) = server.answer_batch(&wl.queries);
+            assert_eq!(answers, expected, "threads={threads}");
+            assert_eq!(stats.sketch, wl.queries.len());
+            assert_eq!(stats.total(), wl.queries.len());
+        }
+    }
+
+    #[test]
+    fn routing_splits_between_sketch_and_exact() {
+        let (data, wl, router) = served_setup();
+        let engine = QueryEngine::new(&data, 1);
+        // Reconstruct with a restrictive range rule.
+        let policy = RoutingPolicy {
+            min_range_volume: 0.3,
+            max_leaf_aqc: f64::INFINITY,
+        };
+        let router = DqdRouter::new(router.sketch().clone(), router.leaf_aqcs().to_vec(), policy);
+        let reference = router.clone_reference_answers(&engine, &wl);
+        let server = SketchServer::with_fallback(
+            router,
+            ExactBackend {
+                engine: &engine,
+                predicate: &wl.predicate,
+                aggregate: Aggregate::Count,
+            },
+            ServeOptions {
+                threads: 2,
+                max_shard: 128,
+                active_attrs: Some(1),
+            },
+        );
+        let (answers, stats) = server.answer_batch(&wl.queries);
+        assert_eq!(answers, reference.0);
+        assert_eq!(stats.exact_small_range, reference.1);
+        assert!(stats.exact_small_range > 0, "range rule never fired");
+        assert!(stats.sketch > 0, "sketch never answered");
+        assert_eq!(stats.total(), wl.queries.len());
+    }
+
+    impl DqdRouter {
+        /// Test helper: the per-query reference answers and the count of
+        /// range-rule fallbacks, via the router's own scalar path.
+        fn clone_reference_answers(
+            &self,
+            engine: &QueryEngine<'_>,
+            wl: &Workload,
+        ) -> (Vec<f64>, usize) {
+            let mut small = 0;
+            let answers = wl
+                .queries
+                .iter()
+                .map(|q| {
+                    let vol = range_volume(q, 1);
+                    let (v, route) = self.answer(q, Some(vol), |q| {
+                        engine.answer(&wl.predicate, Aggregate::Count, q)
+                    });
+                    if route == Route::ExactSmallRange {
+                        small += 1;
+                    }
+                    v
+                })
+                .collect();
+            (answers, small)
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_single_query() {
+        let (_data, wl, router) = served_setup();
+        let expect = router.sketch().answer(&wl.queries[0]);
+        let server = SketchServer::new(router, ServeOptions::default());
+        let (answers, stats) = server.answer_batch(&[]);
+        assert!(answers.is_empty());
+        assert_eq!(stats.total(), 0);
+        assert_eq!(server.answer(&wl.queries[0]), expect);
+    }
+
+    #[test]
+    fn loaded_artifact_serves_identically_to_quantized_source() {
+        let (_data, wl, router) = served_setup();
+        let artifact = crate::persist::decode(crate::persist::encode_router(&router)).unwrap();
+        let quantized = router.sketch().quantized();
+        let server = SketchServer::new(artifact.into_router(), ServeOptions::default());
+        let (answers, _) = server.answer_batch(&wl.queries);
+        for (q, a) in wl.queries.iter().zip(&answers) {
+            assert_eq!(*a, quantized.answer(q));
+        }
+    }
+}

@@ -3,7 +3,8 @@
 
 use crate::aqc::aqc_sampled;
 use crate::SketchError;
-use nn::mlp::Workspace;
+use nn::linalg::Matrix;
+use nn::mlp::{BatchWorkspace, Workspace};
 use nn::train::{train, TrainConfig, TrainReport};
 use nn::Mlp;
 use query::aggregate::Aggregate;
@@ -118,10 +119,10 @@ impl NeuroSketchConfig {
 /// scaling any practical TF implementation applies and does not change
 /// the learned function class.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct LeafModel {
-    mlp: Mlp,
-    y_mean: f64,
-    y_std: f64,
+pub(crate) struct LeafModel {
+    pub(crate) mlp: Mlp,
+    pub(crate) y_mean: f64,
+    pub(crate) y_std: f64,
 }
 
 /// A trained NeuroSketch: kd-tree over the query space + one MLP per leaf.
@@ -130,6 +131,18 @@ pub struct NeuroSketch {
     tree: KdTree,
     models: BTreeMap<usize, LeafModel>,
     query_dim: usize,
+}
+
+/// Reusable scratch for [`NeuroSketch::answer_batch_with`]: the GEMM
+/// workspace, the assembled per-leaf input matrix, and the routing/sort
+/// buffers. Keep one per serving thread; steady-state batched answering
+/// then allocates only the output vector.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    ws: BatchWorkspace,
+    x: Matrix,
+    keyed: Vec<(usize, usize)>,
+    all: Vec<usize>,
 }
 
 /// Timings and diagnostics from a build (feeds Figs. 10/13 and Table 3).
@@ -287,6 +300,139 @@ impl NeuroSketch {
         let leaf = self.tree.locate(q);
         let model = self.models.get(&leaf).expect("every leaf has a model");
         model.mlp.predict_with(ws, q) * model.y_std + model.y_mean
+    }
+
+    /// Answer a batch of queries with one GEMM per (partition, layer)
+    /// instead of one matvec per query. Convenience wrapper around
+    /// [`NeuroSketch::answer_batch_with`]; answers are **bitwise
+    /// identical** to calling [`NeuroSketch::answer`] per query.
+    pub fn answer_batch(&self, queries: &[Vec<f64>]) -> Vec<f64> {
+        let mut scratch = BatchScratch::default();
+        self.answer_batch_with(&mut scratch, queries)
+    }
+
+    /// Batched answering with caller-provided scratch — the
+    /// allocation-light serving hot path (`neurosketch::serve` keeps one
+    /// scratch per worker thread).
+    ///
+    /// Queries are grouped by the kd-tree leaf they route to and each
+    /// group runs through [`Mlp::forward_batch`], so the per-layer weight
+    /// traffic is paid once per *group* rather than once per query.
+    /// Results come back in input order.
+    pub fn answer_batch_with(&self, scratch: &mut BatchScratch, queries: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = vec![0.0; queries.len()];
+        scratch.all.clear();
+        scratch.all.extend(0..queries.len());
+        let idxs = std::mem::take(&mut scratch.all);
+        self.answer_subset_with(scratch, queries, &idxs, &mut out);
+        scratch.all = idxs;
+        out
+    }
+
+    /// Batched answering of a subset: for every `i` in `idxs`, write the
+    /// sketch's answer to `queries[i]` into `out[i]`; other slots of
+    /// `out` are left untouched. This is the primitive the serving layer
+    /// uses after routing splits a batch between sketch and exact engine.
+    ///
+    /// # Panics
+    /// Panics if any selected query's dimensionality does not match the
+    /// sketch, if an index is out of range, or if `out` is shorter than
+    /// `queries`.
+    pub fn answer_subset_with(
+        &self,
+        scratch: &mut BatchScratch,
+        queries: &[Vec<f64>],
+        idxs: &[usize],
+        out: &mut [f64],
+    ) {
+        assert!(out.len() >= queries.len(), "output slice too short");
+        scratch.keyed.clear();
+        for &i in idxs {
+            let q = &queries[i];
+            assert_eq!(
+                q.len(),
+                self.query_dim,
+                "query dim {} does not match sketch {}",
+                q.len(),
+                self.query_dim
+            );
+            scratch.keyed.push((self.tree.locate(q), i));
+        }
+        // Group by leaf; ties broken by query index, so assembly order —
+        // and therefore every floating-point operation — is independent
+        // of the input permutation.
+        scratch.keyed.sort_unstable();
+        let keyed = std::mem::take(&mut scratch.keyed);
+        let mut start = 0;
+        while start < keyed.len() {
+            let leaf = keyed[start].0;
+            let mut end = start + 1;
+            while end < keyed.len() && keyed[end].0 == leaf {
+                end += 1;
+            }
+            let model = self.models.get(&leaf).expect("every leaf has a model");
+            scratch.x.resize(end - start, self.query_dim);
+            for (row, &(_, qi)) in keyed[start..end].iter().enumerate() {
+                scratch.x.row_mut(row).copy_from_slice(&queries[qi]);
+            }
+            let y = model.mlp.forward_batch(&mut scratch.ws, &scratch.x);
+            for (row, &(_, qi)) in keyed[start..end].iter().enumerate() {
+                out[qi] = y.row(row)[0] * model.y_std + model.y_mean;
+            }
+            start = end;
+        }
+        scratch.keyed = keyed;
+    }
+
+    /// The sketch with every model parameter rounded through `f32` — the
+    /// exact values the persistent NSK2 format ([`crate::persist`])
+    /// stores. Saving is lossy once (training precision → storage
+    /// precision) and lossless ever after:
+    /// `persist::decode(persist::encode_sketch(&s))` answers bitwise
+    /// identically to `s.quantized()`.
+    pub fn quantized(&self) -> NeuroSketch {
+        NeuroSketch {
+            tree: self.tree.clone(),
+            models: self
+                .models
+                .iter()
+                .map(|(&leaf, m)| {
+                    (
+                        leaf,
+                        LeafModel {
+                            mlp: m.mlp.quantized(),
+                            y_mean: m.y_mean,
+                            y_std: m.y_std,
+                        },
+                    )
+                })
+                .collect(),
+            query_dim: self.query_dim,
+        }
+    }
+
+    /// The query-space kd-tree (crate-internal: persistence flattens it).
+    pub(crate) fn tree(&self) -> &KdTree {
+        &self.tree
+    }
+
+    /// The per-leaf models, keyed by kd-tree node id (crate-internal).
+    pub(crate) fn models(&self) -> &BTreeMap<usize, LeafModel> {
+        &self.models
+    }
+
+    /// Reassemble a sketch from decoded parts (crate-internal: the NSK2
+    /// decoder validates the invariants before calling this).
+    pub(crate) fn from_parts(
+        tree: KdTree,
+        models: BTreeMap<usize, LeafModel>,
+        query_dim: usize,
+    ) -> NeuroSketch {
+        NeuroSketch {
+            tree,
+            models,
+            query_dim,
+        }
     }
 
     /// Checked variant of [`NeuroSketch::answer`].
@@ -501,6 +647,71 @@ mod tests {
         let mut d2 = cfg.clone();
         d2.depth = 2;
         assert_eq!(d2.layer_sizes(4), vec![4, 1]);
+    }
+
+    #[test]
+    fn answer_batch_is_bitwise_identical_to_single_query_path() {
+        let (data, wl) = count_setup(800, 300);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 2;
+        cfg.target_partitions = 4;
+        cfg.train.epochs = 20;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        let batched = sketch.answer_batch(&wl.queries);
+        let mut ws = Workspace::default();
+        for (q, b) in wl.queries.iter().zip(&batched) {
+            assert_eq!(sketch.answer_with(&mut ws, q), *b);
+        }
+        // Scratch reuse across differently-sized batches stays correct.
+        let mut scratch = BatchScratch::default();
+        let big = sketch.answer_batch_with(&mut scratch, &wl.queries);
+        let small = sketch.answer_batch_with(&mut scratch, &wl.queries[..7]);
+        assert_eq!(&big[..7], &batched[..7]);
+        assert_eq!(small, batched[..7]);
+    }
+
+    #[test]
+    fn answer_subset_touches_only_selected_slots() {
+        let qs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0, 0.4]).collect();
+        let labels: Vec<f64> = qs.iter().map(|q| q[0] * 3.0).collect();
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 10;
+        let (sketch, _) = NeuroSketch::build_from_labeled(&qs, &labels, &cfg).unwrap();
+        let mut out = vec![f64::NAN; qs.len()];
+        let idxs = [3usize, 17, 41];
+        let mut scratch = BatchScratch::default();
+        sketch.answer_subset_with(&mut scratch, &qs, &idxs, &mut out);
+        for (i, v) in out.iter().enumerate() {
+            if idxs.contains(&i) {
+                assert_eq!(*v, sketch.answer(&qs[i]), "slot {i}");
+            } else {
+                assert!(v.is_nan(), "slot {i} was written");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_preserves_structure_and_is_idempotent() {
+        let (data, wl) = count_setup(300, 150);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 5;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        let q = sketch.quantized();
+        assert_eq!(q.partitions(), sketch.partitions());
+        assert_eq!(q.param_count(), sketch.param_count());
+        for query in wl.queries.iter().take(10) {
+            // Quantization moves answers only by f32 rounding...
+            let (a, b) = (sketch.answer(query), q.answer(query));
+            assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
+            // ...and is idempotent (bitwise).
+            assert_eq!(q.answer(query), q.quantized().answer(query));
+        }
     }
 
     #[test]

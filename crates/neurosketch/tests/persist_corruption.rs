@@ -1,0 +1,124 @@
+//! Adversarial tests for the NSK2 persistent sketch format: every
+//! corruption of a valid artifact — truncation anywhere, arbitrary byte
+//! damage, implausible embedded dimensions — must come back as a typed
+//! [`PersistError`], never a panic, and successful decodes must always
+//! yield a servable sketch.
+
+use bytes::Bytes;
+use neurosketch::persist::{self, PersistError};
+use neurosketch::{NeuroSketch, NeuroSketchConfig};
+use proptest::prelude::*;
+
+/// A small trained sketch and its NSK2 encoding (built once, shared
+/// across all property cases).
+fn artifact_bytes(partitions: usize) -> Vec<u8> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<usize, Vec<u8>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().unwrap();
+    cache
+        .entry(partitions)
+        .or_insert_with(|| {
+            let qs: Vec<Vec<f64>> = (0..160)
+                .map(|i| vec![(i as f64 * 0.7548) % 1.0, (i as f64 * 0.5698) % 1.0])
+                .collect();
+            let labels: Vec<f64> = qs.iter().map(|q| 7.0 * q[0] - 3.0 * q[1]).collect();
+            let mut cfg = NeuroSketchConfig::small();
+            cfg.tree_height = 2;
+            cfg.target_partitions = partitions;
+            cfg.train.epochs = 5;
+            let (sketch, _) = NeuroSketch::build_from_labeled(&qs, &labels, &cfg).unwrap();
+            persist::encode_sketch(&sketch).to_vec()
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any strict prefix of a valid artifact is missing *something*;
+    /// decode must report a typed error (and never a bad-magic error
+    /// once the magic survived the cut).
+    #[test]
+    fn truncation_always_yields_typed_error(frac in 0.0f64..1.0) {
+        let blob = artifact_bytes(4);
+        let cut = ((blob.len() - 1) as f64 * frac) as usize;
+        let err = persist::decode(Bytes::from(blob[..cut].to_vec())).unwrap_err();
+        if cut >= 12 {
+            prop_assert!(
+                !matches!(err, PersistError::BadMagic { .. }),
+                "magic was intact at cut {cut}: {err}"
+            );
+        }
+    }
+
+    /// Arbitrary single-byte damage never panics: decode returns a typed
+    /// error, or — when the flipped byte only moved a stored float — a
+    /// sketch that still serves queries.
+    #[test]
+    fn byte_flips_never_panic(pos_frac in 0.0f64..1.0, flip in 1u32..256) {
+        let mut blob = artifact_bytes(2);
+        let pos = ((blob.len() - 1) as f64 * pos_frac) as usize;
+        blob[pos] ^= flip as u8;
+        // A typed rejection is fine; a surviving decode must still
+        // *serve* (the flip can only have landed in a stored float's
+        // payload).
+        if let Ok(artifact) = persist::decode(Bytes::from(blob)) {
+            prop_assert!(artifact.sketch.partitions() > 0);
+            let _ = artifact.sketch.answer(&[0.25, 0.75]);
+        }
+    }
+
+    /// Garbage of any length is rejected, not mis-parsed into a panic.
+    #[test]
+    fn random_garbage_is_rejected(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        // Random garbage virtually never carries the NSK2 magic; if it
+        // does, decode must still fail somewhere later — a 4-leaf model
+        // section cannot appear by chance.
+        prop_assert!(persist::decode(Bytes::from(raw)).is_err());
+    }
+}
+
+/// The embedded NSK1 model blob declaring absurd layer dimensions is a
+/// typed model error (checked size math), not an allocation attempt.
+#[test]
+fn embedded_layer_dim_overflow_is_typed() {
+    // A single-partition sketch has the simplest layout: the first model
+    // blob starts right after one leaf node and the model header.
+    let qs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0, 0.5]).collect();
+    let labels: Vec<f64> = qs.iter().map(|q| q[0]).collect();
+    let mut cfg = NeuroSketchConfig::small();
+    cfg.tree_height = 0;
+    cfg.target_partitions = 1;
+    cfg.train.epochs = 2;
+    let (sketch, _) = NeuroSketch::build_from_labeled(&qs, &labels, &cfg).unwrap();
+    let mut blob = persist::encode_sketch(&sketch).to_vec();
+    // Layout: header 12 + node_count 4 + leaf tag 1 + model_count 4 +
+    // leaf u32 4 + y_mean 8 + y_std 8 + blob_len 4 = offset 45; the NSK1
+    // blob's layer table (out, in) sits 8 bytes further.
+    let first_dims = 45 + 8;
+    blob[first_dims..first_dims + 8].copy_from_slice(&[0xFF; 8]);
+    let err = persist::decode(Bytes::from(blob)).unwrap_err();
+    match err {
+        PersistError::Model(msg) => {
+            assert!(
+                msg.contains("overflow") || msg.contains("truncated"),
+                "unexpected model error: {msg}"
+            );
+        }
+        other => panic!("expected a model error, got {other}"),
+    }
+}
+
+/// A version bump is refused up front with the found version reported.
+#[test]
+fn future_version_reports_found_version() {
+    let mut blob = artifact_bytes(2);
+    blob[4..8].copy_from_slice(&7u32.to_le_bytes());
+    match persist::decode(Bytes::from(blob)).unwrap_err() {
+        PersistError::UnsupportedVersion { found } => assert_eq!(found, 7),
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+}

@@ -23,6 +23,15 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u32 = 0x4E53_4B31;
 
+/// Exact size in bytes of [`encode`]'s output for a given model: header,
+/// layer table, and 4 bytes per parameter. Used by whole-sketch
+/// containers (the NSK2 format in `neurosketch::persist`) to pre-size
+/// buffers and to check size accounting against the paper's
+/// 4-bytes-per-parameter model-size numbers.
+pub fn encoded_len(mlp: &Mlp) -> usize {
+    8 + mlp.layers().len() * 9 + mlp.param_count() * 4
+}
+
 /// Encode an [`Mlp`] into the compact `f32` binary format.
 pub fn encode(mlp: &Mlp) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + mlp.param_count() * 4);
@@ -80,8 +89,19 @@ pub fn decode(mut data: Bytes) -> Result<Mlp, NnError> {
     }
     let mut layers = Vec::with_capacity(n_layers);
     for (out, inp, act) in shapes {
-        let need = (out * inp + out) * 4;
-        if data.remaining() < need {
+        // Checked size math: a corrupt layer table can declare dimensions
+        // whose parameter-byte count overflows `usize` multiplication —
+        // wrapping here would defeat the truncation check below and
+        // attempt an enormous allocation. Overflow means the declared
+        // layer cannot possibly fit in any real buffer: typed error.
+        let params = (out as u64)
+            .checked_mul(inp as u64)
+            .and_then(|wb| wb.checked_add(out as u64))
+            .ok_or_else(|| fail("layer dimensions overflow"))?;
+        let need = params
+            .checked_mul(4)
+            .ok_or_else(|| fail("layer dimensions overflow"))?;
+        if (data.remaining() as u64) < need {
             return Err(fail("truncated parameters"));
         }
         let mut w = Vec::with_capacity(out * inp);
@@ -143,6 +163,31 @@ mod tests {
         assert!(decode(Bytes::from(bad_magic)).is_err());
         let truncated = blob.slice(0..blob.len() - 10);
         assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for sizes in [&[2usize, 4, 1][..], &[4, 60, 30, 30, 1], &[1, 1]] {
+            let mlp = Mlp::new(sizes, 3);
+            assert_eq!(encode(&mlp).len(), encoded_len(&mlp), "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_overflowing_layer_dims_without_panicking() {
+        // Hand-craft a header whose single layer declares u32::MAX x
+        // u32::MAX parameters: the byte count overflows 64-bit math when
+        // multiplied out naively. Must yield a typed error, not a panic
+        // or an attempted allocation.
+        let mut buf = BytesMut::with_capacity(17);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(1); // one layer
+        buf.put_u32_le(u32::MAX); // out
+        buf.put_u32_le(u32::MAX); // in
+        buf.put_u8(0); // relu
+        let err = decode(buf.freeze()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("overflow"), "unexpected error: {msg}");
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! assert!(report.final_loss < 1e-2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod activation;
 pub mod binary;
 pub mod construction;
@@ -53,7 +55,12 @@ pub use mlp::Mlp;
 #[derive(Debug, Clone, PartialEq)]
 pub enum NnError {
     /// Layer sizes are inconsistent with the provided input.
-    ShapeMismatch { expected: usize, got: usize },
+    ShapeMismatch {
+        /// Dimensionality the layer expected.
+        expected: usize,
+        /// Dimensionality it was given.
+        got: usize,
+    },
     /// An architecture description was empty or degenerate.
     BadArchitecture(String),
     /// Model (de)serialization failed.

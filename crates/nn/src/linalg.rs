@@ -74,11 +74,13 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols

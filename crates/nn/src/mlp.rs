@@ -427,6 +427,34 @@ impl Mlp {
         loss
     }
 
+    /// The model with every parameter rounded through `f32` — exactly
+    /// the values the compact binary format ([`crate::binary`]) stores.
+    ///
+    /// Persisting a model is lossy once (f64 training precision → f32
+    /// storage precision) and lossless ever after; `quantized` applies
+    /// that first rounding in memory, so
+    /// `binary::decode(binary::encode(&m))` equals `m.quantized()`
+    /// bitwise. Serving layers use it to state (and test) that a loaded
+    /// model answers identically to the in-memory one it was saved from.
+    pub fn quantized(&self) -> Mlp {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let mut weights = l.weights.clone();
+                for w in weights.as_mut_slice() {
+                    *w = *w as f32 as f64;
+                }
+                Dense {
+                    weights,
+                    biases: l.biases.iter().map(|b| *b as f32 as f64).collect(),
+                    activation: l.activation,
+                }
+            })
+            .collect();
+        Mlp { layers }
+    }
+
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> Result<String, NnError> {
         serde_json::to_string(self).map_err(|e| NnError::Serde(e.to_string()))
@@ -736,6 +764,20 @@ mod tests {
         m.forward_batch(&mut bws, &x);
         let mut grads = Gradients::zeros_like(&m);
         m.backward_batch(&mut bws, &x, &y, &mut grads);
+    }
+
+    #[test]
+    fn quantized_matches_binary_roundtrip_bitwise() {
+        let m = Mlp::new(&[3, 9, 4, 1], 17);
+        let q = m.quantized();
+        let loaded = crate::binary::decode(crate::binary::encode(&m)).unwrap();
+        assert_eq!(q, loaded);
+        // Quantization is idempotent.
+        assert_eq!(q, q.quantized());
+        for i in 0..10 {
+            let x = [i as f64 * 0.09, 0.4, 0.8];
+            assert_eq!(q.predict(&x), loaded.predict(&x));
+        }
     }
 
     #[test]

@@ -16,8 +16,14 @@
 //! let squares = par::par_map(&[1, 2, 3, 4], 2, |_, x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
+//!
+//! Downstream users: `query`'s batch labeling, `spatial`'s merge-time
+//! AQC scoring, `neurosketch`'s per-leaf training, and the batched
+//! serving engine (`neurosketch::serve`), which keeps one GEMM
+//! workspace per worker via [`par_map_init`].
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

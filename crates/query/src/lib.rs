@@ -18,6 +18,8 @@
 //!   ranges, fixed active attributes or random ones, range-percentage
 //!   sweeps) with train/test splits.
 
+#![deny(missing_docs)]
+
 pub mod aggregate;
 pub mod error;
 pub mod exec;
@@ -36,9 +38,19 @@ pub use workload::{ActiveMode, Workload, WorkloadConfig};
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
     /// A query vector's length doesn't match the predicate's declared dim.
-    BadQueryDim { expected: usize, got: usize },
+    BadQueryDim {
+        /// Length the predicate expects.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
     /// Configuration refers to attributes outside the dataset.
-    BadAttribute { attr: usize, dims: usize },
+    BadAttribute {
+        /// The out-of-range attribute index.
+        attr: usize,
+        /// The dataset's dimensionality.
+        dims: usize,
+    },
     /// Degenerate workload configuration.
     BadConfig(String),
 }

@@ -9,6 +9,12 @@
 //!
 //! Training/test sets are disjoint by construction: we generate one pool
 //! and split it, deduplicating exact query-vector collisions.
+//!
+//! Workloads feed the whole pipeline: ground-truth labeling goes through
+//! [`crate::exec::QueryEngine::label_batch`], and the resulting
+//! `(queries, labels)` pairs drive sketch construction
+//! (`neurosketch::NeuroSketch::build_from_labeled`) and the tracked perf
+//! suites (`bench::perf::scenarios`).
 
 use crate::predicate::Range;
 use crate::QueryError;

@@ -293,7 +293,201 @@ impl KdTree {
     fn is_leaf(&self, id: usize) -> bool {
         matches!(self.nodes[id].kind, NodeKind::Leaf { .. })
     }
+
+    /// Render the *reachable* tree as a flat node table in depth-first
+    /// preorder (root first, each internal node immediately followed by
+    /// its left subtree, then its right subtree).
+    ///
+    /// This is the serialization-friendly form consumed by persistent
+    /// sketch formats: orphaned arena slots left behind by
+    /// [`KdTree::merge_leaves`] are dropped, node ids are renumbered
+    /// densely, and training-query ownership lists are **not** included —
+    /// a flattened tree describes the routing structure only.
+    pub fn to_flat(&self) -> Vec<FlatNode> {
+        fn walk(tree: &KdTree, node: usize, out: &mut Vec<FlatNode>) {
+            match &tree.nodes[node].kind {
+                NodeKind::Internal {
+                    dim,
+                    val,
+                    left,
+                    right,
+                } => {
+                    let slot = out.len();
+                    out.push(FlatNode::Internal {
+                        dim: *dim,
+                        val: *val,
+                        left: 0,
+                        right: 0,
+                    });
+                    let l = out.len();
+                    walk(tree, *left, out);
+                    let r = out.len();
+                    walk(tree, *right, out);
+                    if let FlatNode::Internal { left, right, .. } = &mut out[slot] {
+                        *left = l;
+                        *right = r;
+                    }
+                }
+                NodeKind::Leaf { .. } => out.push(FlatNode::Leaf),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, self.root, &mut out);
+        out
+    }
+
+    /// Rebuild a tree from a flat table produced by [`KdTree::to_flat`].
+    ///
+    /// Validates the table structurally — child indices in range and
+    /// strictly increasing (preorder), every slot reachable exactly once,
+    /// split dimensions below `dims` — so corrupt input yields a typed
+    /// error, never a panic or an inconsistent tree. The rebuilt leaves
+    /// own no training queries (see [`KdTree::to_flat`]); [`KdTree::locate`]
+    /// and [`KdTree::leaf_ids`] behave identically to the source tree.
+    pub fn from_flat(nodes: &[FlatNode], dims: usize) -> Result<KdTree, FlatTreeError> {
+        if nodes.is_empty() {
+            return Err(FlatTreeError::Empty);
+        }
+        if dims == 0 {
+            return Err(FlatTreeError::ZeroDims);
+        }
+        let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
+        let mut reached = vec![false; nodes.len()];
+        // Preorder invariant (children strictly after their parent) makes
+        // an explicit stack walk cycle-free by construction.
+        let mut stack = vec![0usize];
+        reached[0] = true;
+        while let Some(i) = stack.pop() {
+            if let FlatNode::Internal {
+                dim, left, right, ..
+            } = nodes[i]
+            {
+                if dim >= dims {
+                    return Err(FlatTreeError::BadSplitDim { node: i, dim });
+                }
+                for child in [left, right] {
+                    if child <= i || child >= nodes.len() {
+                        return Err(FlatTreeError::BadChild { node: i, child });
+                    }
+                    if reached[child] {
+                        return Err(FlatTreeError::SharedChild { child });
+                    }
+                    reached[child] = true;
+                    parent[child] = Some(i);
+                    stack.push(child);
+                }
+            }
+        }
+        if let Some(orphan) = reached.iter().position(|r| !r) {
+            return Err(FlatTreeError::Unreachable { node: orphan });
+        }
+        let rebuilt = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Node {
+                parent: parent[i],
+                kind: match *n {
+                    FlatNode::Internal {
+                        dim,
+                        val,
+                        left,
+                        right,
+                    } => NodeKind::Internal {
+                        dim,
+                        val,
+                        left,
+                        right,
+                    },
+                    FlatNode::Leaf => NodeKind::Leaf {
+                        queries: Vec::new(),
+                    },
+                },
+            })
+            .collect();
+        Ok(KdTree {
+            nodes: rebuilt,
+            root: 0,
+            dims,
+        })
+    }
 }
+
+/// One node of a flattened kd-tree (see [`KdTree::to_flat`]): either an
+/// internal split or a leaf, with children addressed by table index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlatNode {
+    /// An internal split node.
+    Internal {
+        /// Attribute the node splits on.
+        dim: usize,
+        /// Split value (queries with `q[dim] <= val` go left).
+        val: f64,
+        /// Table index of the left child.
+        left: usize,
+        /// Table index of the right child.
+        right: usize,
+    },
+    /// A leaf (partition). Query ownership lists are not part of the
+    /// flat form.
+    Leaf,
+}
+
+/// Structural defects [`KdTree::from_flat`] detects in a flat node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatTreeError {
+    /// The node table was empty.
+    Empty,
+    /// The tree claimed zero query dimensions.
+    ZeroDims,
+    /// A split dimension was out of range for the declared dimensionality.
+    BadSplitDim {
+        /// Offending node index.
+        node: usize,
+        /// The out-of-range split dimension.
+        dim: usize,
+    },
+    /// A child index pointed out of range or not strictly forward
+    /// (preorder requires children after their parent).
+    BadChild {
+        /// Offending node index.
+        node: usize,
+        /// The invalid child index.
+        child: usize,
+    },
+    /// Two internal nodes claimed the same child.
+    SharedChild {
+        /// The doubly-claimed child index.
+        child: usize,
+    },
+    /// A table slot was not reachable from the root.
+    Unreachable {
+        /// The unreachable node index.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for FlatTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlatTreeError::Empty => write!(f, "empty node table"),
+            FlatTreeError::ZeroDims => write!(f, "zero query dimensions"),
+            FlatTreeError::BadSplitDim { node, dim } => {
+                write!(f, "node {node} splits on out-of-range dimension {dim}")
+            }
+            FlatTreeError::BadChild { node, child } => {
+                write!(f, "node {node} has invalid child index {child}")
+            }
+            FlatTreeError::SharedChild { child } => {
+                write!(f, "node {child} is claimed by two parents")
+            }
+            FlatTreeError::Unreachable { node } => {
+                write!(f, "node {node} is unreachable from the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatTreeError {}
 
 #[cfg(test)]
 mod tests {
@@ -435,5 +629,128 @@ mod tests {
     #[should_panic(expected = "empty query set")]
     fn empty_build_panics() {
         let _ = KdTree::build(&[], 2);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_routing() {
+        let qs = queries(200);
+        let mut t = KdTree::build(&qs, 4);
+        t.merge_leaves(|qids| qids.len() as f64, 5, 1);
+        let flat = t.to_flat();
+        // Reachable full binary tree: leaves + internals = 2 * leaves - 1.
+        assert_eq!(flat.len(), 2 * t.leaf_count() - 1);
+        let back = KdTree::from_flat(&flat, t.dims()).unwrap();
+        assert_eq!(back.leaf_count(), t.leaf_count());
+        // Same routing: probe a grid and compare leaf *positions* (ids are
+        // renumbered, positions in leaf order are stable).
+        let orig_leaves = t.leaf_ids();
+        let back_leaves = back.leaf_ids();
+        for i in 0..20 {
+            for j in 0..20 {
+                let q = [i as f64 / 20.0, j as f64 / 20.0];
+                let a = orig_leaves.iter().position(|&l| l == t.locate(&q));
+                let b = back_leaves.iter().position(|&l| l == back.locate(&q));
+                assert_eq!(a, b, "query {q:?} routed differently");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_drops_orphaned_arena_slots() {
+        let qs = queries(128);
+        let mut t = KdTree::build(&qs, 3);
+        t.merge_leaves(|_| 1.0, 2, 1);
+        // The arena still holds every pre-merge node; the flat form only
+        // the reachable ones.
+        assert_eq!(t.to_flat().len(), 2 * t.leaf_count() - 1);
+    }
+
+    #[test]
+    fn from_flat_rejects_structural_corruption() {
+        assert!(matches!(
+            KdTree::from_flat(&[], 2),
+            Err(FlatTreeError::Empty)
+        ));
+        assert!(matches!(
+            KdTree::from_flat(&[FlatNode::Leaf], 0),
+            Err(FlatTreeError::ZeroDims)
+        ));
+        // Child pointing backwards (cycle attempt).
+        let cyc = [
+            FlatNode::Internal {
+                dim: 0,
+                val: 0.5,
+                left: 0,
+                right: 2,
+            },
+            FlatNode::Leaf,
+            FlatNode::Leaf,
+        ];
+        assert!(matches!(
+            KdTree::from_flat(&cyc, 2),
+            Err(FlatTreeError::BadChild { .. })
+        ));
+        // Child out of range.
+        let oob = [FlatNode::Internal {
+            dim: 0,
+            val: 0.5,
+            left: 1,
+            right: 9,
+        }];
+        assert!(matches!(
+            KdTree::from_flat(&oob, 2),
+            Err(FlatTreeError::BadChild { .. })
+        ));
+        // Split dimension out of range.
+        let bad_dim = [
+            FlatNode::Internal {
+                dim: 5,
+                val: 0.5,
+                left: 1,
+                right: 2,
+            },
+            FlatNode::Leaf,
+            FlatNode::Leaf,
+        ];
+        assert!(matches!(
+            KdTree::from_flat(&bad_dim, 2),
+            Err(FlatTreeError::BadSplitDim { .. })
+        ));
+        // Unreachable trailing slot.
+        let orphan = [FlatNode::Leaf, FlatNode::Leaf];
+        assert!(matches!(
+            KdTree::from_flat(&orphan, 2),
+            Err(FlatTreeError::Unreachable { .. })
+        ));
+        // Two parents claiming one child.
+        let shared = [
+            FlatNode::Internal {
+                dim: 0,
+                val: 0.5,
+                left: 1,
+                right: 2,
+            },
+            FlatNode::Internal {
+                dim: 1,
+                val: 0.5,
+                left: 2,
+                right: 3,
+            },
+            FlatNode::Leaf,
+            FlatNode::Leaf,
+        ];
+        assert!(matches!(
+            KdTree::from_flat(&shared, 2),
+            Err(FlatTreeError::SharedChild { .. })
+        ));
+    }
+
+    #[test]
+    fn single_leaf_flat_roundtrip() {
+        let t = KdTree::build(&queries(10), 0);
+        let flat = t.to_flat();
+        assert_eq!(flat, vec![FlatNode::Leaf]);
+        let back = KdTree::from_flat(&flat, 2).unwrap();
+        assert_eq!(back.leaf_count(), 1);
     }
 }

@@ -12,9 +12,13 @@
 //!   backbone of the TREE-AGG sampling baseline ("it builds an R-tree
 //!   index on the samples, which is well-suited for range predicates",
 //!   Sec. 5.1).
+//!
+//! For persistence, [`kdtree::KdTree::to_flat`] renders the reachable
+//! tree as a dense preorder node table ([`kdtree::FlatNode`]) that the
+//! NSK2 sketch container (`neurosketch::persist`) embeds on disk.
 
 pub mod kdtree;
 pub mod rtree;
 
-pub use kdtree::KdTree;
+pub use kdtree::{FlatNode, FlatTreeError, KdTree};
 pub use rtree::RTree;

@@ -1,0 +1,100 @@
+//! End-to-end serving lifecycle: **build → save (NSK2) → load → serve**.
+//!
+//! The paper's deployment model (Sec. 5.1) trains once, persists the
+//! sketch, and serves queries at data-size-independent cost. This
+//! example drives that pipeline with the repo's production pieces:
+//!
+//! 1. build a sketch + DQD router on a synthetic workload,
+//! 2. save it as an NSK2 artifact (`neurosketch::persist`),
+//! 3. load it back and verify the loaded sketch answers **bitwise
+//!    identically** to the quantized in-memory sketch on the full
+//!    workload,
+//! 4. serve the workload through the batched, multi-threaded
+//!    [`SketchServer`] and verify batched serving matches the loaded
+//!    sketch's single-query answers bitwise.
+//!
+//! ```text
+//! cargo run --release --example save_load_serve            # full scale
+//! cargo run --release --example save_load_serve -- --fast  # CI smoke
+//! ```
+
+use bench::perf::scenarios::query_scenario;
+use neurosketch::router::{DqdRouter, RoutingPolicy};
+use neurosketch::serve::{ServeOptions, SketchServer};
+use neurosketch::{persist, NeuroSketch, NeuroSketchConfig};
+use std::time::Instant;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+
+    // 1. Build. Same scenario the tracked query-perf suite uses.
+    let sc = query_scenario(fast);
+    let mut cfg = NeuroSketchConfig::default();
+    cfg.train.epochs = if fast { 20 } else { 60 };
+    let t0 = Instant::now();
+    let (sketch, report) =
+        NeuroSketch::build_from_labeled(&sc.train, &sc.labels, &cfg).expect("sketch build");
+    println!(
+        "built: {} partitions, {} parameters, {:?}",
+        sketch.partitions(),
+        sketch.param_count(),
+        t0.elapsed()
+    );
+
+    // 2. Save the routed sketch as one NSK2 artifact.
+    let router = DqdRouter::new(sketch.clone(), report.leaf_aqcs, RoutingPolicy::default());
+    let path = std::env::temp_dir().join("neurosketch_demo.nsk2");
+    persist::save_router(&path, &router).expect("save");
+    let on_disk = std::fs::metadata(&path).expect("stat").len() as usize;
+    println!(
+        "saved: {} bytes on disk vs {} paper-accounted (4 B/param + tree)",
+        on_disk,
+        sketch.storage_bytes()
+    );
+
+    // 3. Load and verify: storing parameters as f32 quantizes exactly
+    // once, so the loaded sketch must equal the quantized in-memory
+    // sketch bitwise on every workload query.
+    let artifact = persist::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    let quantized = sketch.quantized();
+    for q in &sc.wl.queries {
+        assert_eq!(
+            artifact.sketch.answer(q),
+            quantized.answer(q),
+            "loaded sketch diverged from the in-memory sketch at {q:?}"
+        );
+    }
+    println!(
+        "loaded: answers bitwise-identical to the in-memory sketch on all {} queries",
+        sc.wl.queries.len()
+    );
+
+    // 4. Serve. Batched multi-threaded serving must agree bitwise with
+    // the loaded sketch's own single-query path.
+    let expected: Vec<f64> = sc
+        .wl
+        .queries
+        .iter()
+        .map(|q| artifact.sketch.answer(q))
+        .collect();
+    let server = SketchServer::new(
+        artifact.into_router(),
+        ServeOptions {
+            threads: 2,
+            ..ServeOptions::default()
+        },
+    );
+    let t1 = Instant::now();
+    let (answers, stats) = server.answer_batch(&sc.wl.queries);
+    let elapsed = t1.elapsed();
+    assert_eq!(answers, expected, "batched serving diverged");
+    println!(
+        "served: {} queries in {:?} ({:.0} queries/sec, {} via sketch)",
+        stats.total(),
+        elapsed,
+        stats.total() as f64 / elapsed.as_secs_f64(),
+        stats.sketch
+    );
+    println!("save -> load -> serve round trip verified");
+}

@@ -1,0 +1,113 @@
+//! Documentation link hygiene: every *relative* markdown link in the
+//! repo's guides must point at a file that exists. CI runs this test in
+//! its docs step, so a moved or renamed file fails the build instead of
+//! silently dead-ending a reader.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown files whose links are checked: everything at the repo root
+/// plus the `docs/` tree.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("repo root readable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        files.extend(
+            std::fs::read_dir(&docs)
+                .expect("docs/ readable")
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "md")),
+        );
+    }
+    files.sort();
+    assert!(!files.is_empty(), "no markdown files found");
+    files
+}
+
+/// Extract `](target)` markdown link targets from one line. Good enough
+/// for the repo's hand-written markdown: no nested parentheses in paths.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut dead = Vec::new();
+    for file in markdown_files(root) {
+        let text = std::fs::read_to_string(&file).expect("markdown readable");
+        let mut in_code_fence = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_fence = !in_code_fence;
+                continue;
+            }
+            if in_code_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                // External links, in-page anchors, and mailto are out of
+                // scope; so is anything with a scheme.
+                if target.starts_with('#')
+                    || target.contains("://")
+                    || target.starts_with("mailto:")
+                {
+                    continue;
+                }
+                // Strip an anchor suffix: `file.md#section` checks `file.md`.
+                let path_part = target.split('#').next().unwrap_or("");
+                if path_part.is_empty() {
+                    continue;
+                }
+                let resolved = file
+                    .parent()
+                    .expect("markdown file has a parent")
+                    .join(path_part);
+                if !resolved.exists() {
+                    dead.push(format!(
+                        "{}:{}: dead relative link `{}`",
+                        file.strip_prefix(root).unwrap_or(&file).display(),
+                        lineno + 1,
+                        target
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        dead.is_empty(),
+        "dead documentation links:\n{}",
+        dead.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_handles_basic_shapes() {
+    assert_eq!(
+        link_targets("see [the guide](docs/serving.md) and [api](https://x.y)"),
+        vec!["docs/serving.md".to_string(), "https://x.y".to_string()]
+    );
+    assert!(link_targets("no links here").is_empty());
+    assert_eq!(
+        link_targets("[a](one.md#anchor)"),
+        vec!["one.md#anchor".to_string()]
+    );
+}

@@ -141,6 +141,19 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.chunk().to_vec()
     }
+
+    /// Split off the first `len` unread bytes into their own `Bytes`
+    /// (zero-copy), advancing this cursor past them — how embedded,
+    /// length-prefixed sub-blobs are carved out of a container.
+    ///
+    /// # Panics
+    /// Panics if `len > self.len()`.
+    pub fn split_to(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "split_to past end of Bytes");
+        let head = self.slice(0..len);
+        self.start += len;
+        head
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -253,5 +266,21 @@ mod tests {
     fn advance_past_end_panics() {
         let mut b = Bytes::from(vec![1, 2]);
         b.advance(3);
+    }
+
+    #[test]
+    fn split_to_carves_a_prefix() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.advance(1);
+        let head = b.split_to(2);
+        assert_eq!(head.to_vec(), vec![2, 3]);
+        assert_eq!(b.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to past end")]
+    fn split_to_past_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.split_to(2);
     }
 }
