@@ -89,6 +89,15 @@ fn main() {
                 single.median_ms / t2.median_ms
             );
         }
+        if let (Some(k1), Some(k4)) = (entry("serve_sharded_k1"), entry("serve_sharded_k4")) {
+            println!(
+                "  sharded scatter/gather: {:.0} qps k=1, {:.0} qps k=4 \
+                 ({:.2}x cost for 4x the shards on one box)",
+                qps(k1),
+                qps(k4),
+                k4.median_ms / k1.median_ms
+            );
+        }
 
         let path = format!("{out_dir}/{file}");
         if check {

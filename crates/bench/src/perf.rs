@@ -11,10 +11,14 @@
 //! `crates/bench/benches/` (which reuse [`scenarios`]): exact labeling,
 //! partition+merge, per-leaf training (batched **and** the per-example
 //! reference, so the batched-kernel speedup is recorded as data), the
-//! full sketch build, per-query answer latency, and the serving
-//! engine's `serve_throughput` scenario (the same query stream through
-//! the single-query loop and the batched `SketchServer`, so the
-//! recorded ratio is the serving-throughput multiplier).
+//! full sketch build, per-query answer latency, the serving engine's
+//! `serve_throughput` scenario (the same query stream through the
+//! single-query loop and the batched `SketchServer`, so the recorded
+//! ratio is the serving-throughput multiplier), and the scatter/gather
+//! `serve_sharded_k{1,4}` scenarios (the same stream through a
+//! `ShardedServer` over 1 and 4 data shards — the k1/k4 ratio is the
+//! per-query cost of scattering to more shards on one box; in a real
+//! deployment each shard runs on its own hardware).
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -414,6 +418,44 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
         );
         push(
             &format!("serve_throughput_batched_t{threads}"),
+            iters,
+            time_reps(reps, || {
+                for _ in 0..iters {
+                    std::hint::black_box(server.answer_batch(&serve_queries));
+                }
+            }),
+        );
+    }
+
+    // Scatter/gather serving over data shards (`serve_sharded_k{1,4}`):
+    // the same stream through a `ShardedServer` whose per-shard AVG
+    // deployments (count + sum model per shard) were built at the same
+    // architecture as the monolithic sketch. All shards run on this one
+    // box, so k4 pays ~4x the model evaluations of k1 — the number to
+    // watch is per-shard serving cost staying flat as K grows.
+    for k in [1usize, 4] {
+        use neurosketch::shard::{build_sharded, ShardPlan, ShardedServer};
+        let plan = ShardPlan::RoundRobin { shards: k };
+        let (sharded, _) = build_sharded(
+            &sc.data,
+            sc.measure,
+            &plan,
+            &sc.wl.predicate,
+            Aggregate::Avg,
+            &sc.train,
+            &ns_cfg,
+        )
+        .expect("sharded build for query suite");
+        let server = ShardedServer::new(
+            sharded,
+            ServeOptions {
+                threads: 2,
+                max_shard: 1024,
+                active_attrs: None,
+            },
+        );
+        push(
+            &format!("serve_sharded_k{k}"),
             iters,
             time_reps(reps, || {
                 for _ in 0..iters {

@@ -177,6 +177,27 @@ impl Dataset {
         }
     }
 
+    /// The rows at the given indices, in the given order (duplicates
+    /// allowed) — how a shard plan materializes its per-shard tables.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range — shard assignment indices
+    /// come from iterating the same dataset, so a bad index is a
+    /// programming error, not user input.
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let d = self.dims();
+        let n = self.rows();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for &r in rows {
+            assert!(r < n, "row {r} out of range for {n} rows");
+            data.extend_from_slice(self.row(r));
+        }
+        Dataset {
+            columns: self.columns.clone(),
+            data,
+        }
+    }
+
     /// Append another dataset's rows (schemas must match) — used to
     /// simulate data arriving over time for the dynamic-data experiments.
     pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
@@ -354,6 +375,23 @@ mod tests {
         let (edges, freqs) = d.histogram(0, 3);
         assert_eq!(edges.len(), 3);
         assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let d = sample();
+        let s = d.select_rows(&[3, 0, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), d.row(3));
+        assert_eq!(s.row(1), d.row(0));
+        assert_eq!(s.row(2), d.row(0));
+        assert!(d.select_rows(&[]).rows() == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_rows_checks_bounds() {
+        let _ = sample().select_rows(&[4]);
     }
 
     #[test]

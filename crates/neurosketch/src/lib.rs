@@ -53,11 +53,13 @@ pub mod maintenance;
 pub mod persist;
 pub mod router;
 pub mod serve;
+pub mod shard;
 pub mod sketch;
 
 pub use aqc::{aqc, normalized_aqc_std};
 pub use persist::{Artifact, PersistError};
 pub use serve::{ServeOptions, ServeStats, SketchServer};
+pub use shard::{build_sharded, ShardPlan, ShardedServer, ShardedSketch};
 pub use sketch::{BatchScratch, BuildReport, NeuroSketch, NeuroSketchConfig};
 
 /// Errors produced while building or using a NeuroSketch.

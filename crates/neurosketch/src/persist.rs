@@ -39,14 +39,49 @@
 //! stream exactly. Corrupt input — truncation, bad magic, an
 //! unsupported version, structural tree damage, or implausible layer
 //! dimensions — yields a typed [`PersistError`], never a panic.
+//!
+//! ## NSKM: the sharded-deployment manifest
+//!
+//! A sharded deployment ([`crate::shard`]) is *several* NSK2 artifacts —
+//! one per (data shard, moment component) — plus the [`ShardPlan`] that
+//! assigns rows and the aggregate being served. The **NSKM** manifest
+//! makes that one loadable unit: [`save_sharded`] writes every
+//! component sketch as `shard-NNN.<component>.nsk2` next to a
+//! `manifest.nskm` that records the plan, the aggregate, and each
+//! artifact's relative path + FNV-1a checksum; [`load_sharded`]
+//! verifies and reassembles the whole deployment. Layout
+//! (little-endian):
+//!
+//! ```text
+//! magic       u32 = 0x4D4B_534E ("NSKM")
+//! version     u32 = 1
+//! aggregate   u8: 0 = COUNT, 1 = SUM, 2 = AVG, 3 = STD
+//! plan tag    u8: 0 = round-robin, 1 = blocks, 2 = hash
+//! plan shards u32;  hash only: seed u64
+//! shard_count u32                (must equal plan shards)
+//! per shard, per moment slot (n, Σ, Σ²):
+//!   present u8: 0 | 1
+//!   present only: checksum u64, path_len u16, path (utf-8, relative)
+//! ```
+//!
+//! Failure modes are typed like NSK2's: a manifest entry whose file is
+//! gone is [`PersistError::MissingShard`], an artifact whose bytes
+//! changed since the manifest was written is
+//! [`PersistError::ChecksumMismatch`], and structural damage —
+//! unknown aggregate/plan tags, shard-count mismatch, moment slots that
+//! do not match the aggregate, absolute or traversing paths — is
+//! [`PersistError::Corrupt`]. `docs/scaling.md` walks the operator-side
+//! handling of each.
 
 use crate::router::{DqdRouter, RoutingPolicy};
+use crate::shard::{ShardPlan, ShardSketch, ShardedSketch};
 use crate::sketch::{LeafModel, NeuroSketch};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use query::aggregate::{Aggregate, MomentKind};
 use spatial::kdtree::{FlatNode, FlatTreeError};
 use spatial::KdTree;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// NSK2 container magic ("NSK2" little-endian).
 pub const NSK2_MAGIC: u32 = 0x4E53_4B32;
@@ -76,6 +111,22 @@ pub enum PersistError {
     /// A cross-section invariant was violated (model/leaf mismatch,
     /// non-finite scaler, wrong input dimensionality, ...).
     Corrupt(String),
+    /// An NSKM manifest references a shard artifact that does not exist
+    /// on disk.
+    MissingShard {
+        /// The manifest-relative path of the missing artifact.
+        path: String,
+    },
+    /// A shard artifact's bytes do not hash to the checksum its NSKM
+    /// manifest recorded (partial write, bit rot, or a swapped file).
+    ChecksumMismatch {
+        /// The manifest-relative path of the damaged artifact.
+        path: String,
+        /// Checksum the manifest expects.
+        expected: u64,
+        /// Checksum of the bytes actually on disk.
+        found: u64,
+    },
     /// Reading or writing the backing file failed.
     Io(String),
 }
@@ -96,6 +147,17 @@ impl std::fmt::Display for PersistError {
             PersistError::Tree(e) => write!(f, "corrupt kd-tree section: {e}"),
             PersistError::Model(e) => write!(f, "corrupt model blob: {e}"),
             PersistError::Corrupt(e) => write!(f, "corrupt container: {e}"),
+            PersistError::MissingShard { path } => {
+                write!(f, "missing shard artifact `{path}`")
+            }
+            PersistError::ChecksumMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch on `{path}`: manifest says {expected:#018x}, file hashes to {found:#018x}"
+            ),
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -426,6 +488,415 @@ pub fn load(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
     decode(Bytes::from(raw))
 }
 
+// ---------------------------------------------------------------------
+// NSKM: the sharded-deployment manifest.
+// ---------------------------------------------------------------------
+
+/// NSKM manifest magic ("NSKM" little-endian).
+pub const NSKM_MAGIC: u32 = 0x4D4B_534E;
+
+/// Newest manifest version this build reads and writes.
+pub const NSKM_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash of an artifact's bytes — the checksum the NSKM
+/// manifest records per shard artifact. Not cryptographic: it detects
+/// truncation, bit rot and file swaps, which is the integrity model a
+/// trusted deployment directory needs.
+pub fn artifact_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One shard artifact the manifest references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardArtifactRef {
+    /// Moment component the artifact's sketch predicts.
+    pub kind: MomentKind,
+    /// Path relative to the manifest file.
+    pub path: String,
+    /// [`artifact_checksum`] of the artifact's bytes.
+    pub checksum: u64,
+}
+
+/// A decoded NSKM manifest: everything needed to reassemble a sharded
+/// deployment from its per-shard NSK2 artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// The aggregate the deployment serves.
+    pub aggregate: Aggregate,
+    /// The row-assignment plan.
+    pub plan: ShardPlan,
+    /// Per shard (in shard order), the artifact references in moment
+    /// slot order.
+    pub shards: Vec<Vec<ShardArtifactRef>>,
+}
+
+fn aggregate_tag(agg: Aggregate) -> Result<u8, PersistError> {
+    match agg {
+        Aggregate::Count => Ok(0),
+        Aggregate::Sum => Ok(1),
+        Aggregate::Avg => Ok(2),
+        Aggregate::Std => Ok(3),
+        // build_sharded refuses MEDIAN, but ShardManifest is plain
+        // public data — a hand-built one must get the typed error the
+        // module contract promises, not a panic.
+        Aggregate::Median => Err(PersistError::Corrupt(
+            "MEDIAN is not moment-composable and has no NSKM encoding".to_string(),
+        )),
+    }
+}
+
+fn aggregate_from_tag(tag: u8) -> Option<Aggregate> {
+    match tag {
+        0 => Some(Aggregate::Count),
+        1 => Some(Aggregate::Sum),
+        2 => Some(Aggregate::Avg),
+        3 => Some(Aggregate::Std),
+        _ => None,
+    }
+}
+
+/// Encode a manifest into NSKM bytes. Fails (typed, no truncation) if
+/// an artifact path exceeds the format's `u16` length field.
+pub fn encode_manifest(manifest: &ShardManifest) -> Result<Bytes, PersistError> {
+    let mut buf = BytesMut::with_capacity(64 + 64 * manifest.shards.len());
+    buf.put_u32_le(NSKM_MAGIC);
+    buf.put_u32_le(NSKM_VERSION);
+    buf.put_u8(aggregate_tag(manifest.aggregate)?);
+    // Same uniform hardening as the path length below: counts that do
+    // not fit the format's fields are a typed refusal, never a
+    // silently-truncating cast.
+    let as_u32 = |n: usize, what: &str| -> Result<u32, PersistError> {
+        n.try_into().map_err(|_| {
+            PersistError::Corrupt(format!("{what} {n} exceeds the format's u32 field"))
+        })
+    };
+    match manifest.plan {
+        ShardPlan::RoundRobin { shards } => {
+            buf.put_u8(0);
+            buf.put_u32_le(as_u32(shards, "plan shard count")?);
+        }
+        ShardPlan::Blocks { shards } => {
+            buf.put_u8(1);
+            buf.put_u32_le(as_u32(shards, "plan shard count")?);
+        }
+        ShardPlan::Hash { shards, seed } => {
+            buf.put_u8(2);
+            buf.put_u32_le(as_u32(shards, "plan shard count")?);
+            buf.put_u64_le(seed);
+        }
+    }
+    // The same consistency decode enforces: catching a malformed
+    // hand-built manifest here keeps the error at encode time, not on
+    // the deployed artifact at load time.
+    if manifest.shards.len() != manifest.plan.shards() {
+        return Err(PersistError::Corrupt(format!(
+            "manifest lists {} shards but the plan has {}",
+            manifest.shards.len(),
+            manifest.plan.shards()
+        )));
+    }
+    buf.put_u32_le(as_u32(manifest.shards.len(), "manifest shard count")?);
+    for shard in &manifest.shards {
+        for kind in MomentKind::ALL {
+            match shard.iter().find(|a| a.kind == kind) {
+                None => buf.put_u8(0),
+                Some(a) => {
+                    let len: u16 = a.path.len().try_into().map_err(|_| {
+                        PersistError::Corrupt(format!(
+                            "artifact path of {} bytes exceeds the format's u16 length field",
+                            a.path.len()
+                        ))
+                    })?;
+                    buf.put_u8(1);
+                    buf.put_u64_le(a.checksum);
+                    buf.put_u16_le(len);
+                    buf.put_slice(a.path.as_bytes());
+                }
+            }
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Decode and structurally validate an NSKM manifest produced by
+/// [`encode_manifest`]. Artifact files are *not* touched here —
+/// existence and checksums are verified by [`load_sharded`].
+pub fn decode_manifest(mut data: Bytes) -> Result<ShardManifest, PersistError> {
+    if data.remaining() < 8 {
+        return Err(PersistError::Truncated("manifest header"));
+    }
+    let magic = data.get_u32_le();
+    if magic != NSKM_MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let version = data.get_u32_le();
+    if version != NSKM_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    if data.remaining() < 6 {
+        return Err(PersistError::Truncated("manifest plan"));
+    }
+    let agg_tag = data.get_u8();
+    let aggregate = aggregate_from_tag(agg_tag)
+        .ok_or_else(|| PersistError::Corrupt(format!("unknown aggregate tag {agg_tag}")))?;
+    let required = aggregate
+        .required_moments()
+        .expect("manifest aggregates are moment-composable");
+    let plan_tag = data.get_u8();
+    let shards = data.get_u32_le() as usize;
+    let plan = match plan_tag {
+        0 => ShardPlan::RoundRobin { shards },
+        1 => ShardPlan::Blocks { shards },
+        2 => {
+            if data.remaining() < 8 {
+                return Err(PersistError::Truncated("manifest plan"));
+            }
+            ShardPlan::Hash {
+                shards,
+                seed: data.get_u64_le(),
+            }
+        }
+        t => {
+            return Err(PersistError::Corrupt(format!("unknown plan tag {t}")));
+        }
+    };
+    if shards == 0 {
+        return Err(PersistError::Corrupt("plan with zero shards".to_string()));
+    }
+    if data.remaining() < 4 {
+        return Err(PersistError::Truncated("manifest shard table"));
+    }
+    let shard_count = data.get_u32_le() as usize;
+    if shard_count != shards {
+        return Err(PersistError::Corrupt(format!(
+            "manifest lists {shard_count} shards but the plan has {shards}"
+        )));
+    }
+    // Each shard costs at least 3 presence bytes; an implausible count
+    // is caught before any allocation is sized by it (mirrors the NSK2
+    // node-count guard).
+    if shard_count * MomentKind::ALL.len() > data.remaining() {
+        return Err(PersistError::Corrupt(format!(
+            "implausible shard count {shard_count}"
+        )));
+    }
+    let mut table = Vec::with_capacity(shard_count);
+    for shard_idx in 0..shard_count {
+        let mut artifacts = Vec::with_capacity(required.len());
+        for kind in MomentKind::ALL {
+            if data.remaining() < 1 {
+                return Err(PersistError::Truncated("manifest shard table"));
+            }
+            match data.get_u8() {
+                0 => {}
+                1 => {
+                    if data.remaining() < 10 {
+                        return Err(PersistError::Truncated("manifest artifact entry"));
+                    }
+                    let checksum = data.get_u64_le();
+                    let path_len = data.get_u16_le() as usize;
+                    if data.remaining() < path_len {
+                        return Err(PersistError::Truncated("manifest artifact path"));
+                    }
+                    let raw = data.split_to(path_len);
+                    let path = std::str::from_utf8(&raw)
+                        .map_err(|_| {
+                            PersistError::Corrupt("artifact path is not utf-8".to_string())
+                        })?
+                        .to_string();
+                    // Paths are manifest-relative by contract; an
+                    // absolute or parent-escaping path would let a
+                    // tampered manifest read outside its directory.
+                    // Backslashes and colons are rejected outright so
+                    // Windows-style escapes (`..\\x`, `C:\\x`) cannot
+                    // slip past the '/'-based checks; save_sharded only
+                    // ever writes flat `shard-NNN.<component>.nsk2`
+                    // names, so no legitimate manifest loses anything.
+                    if path.is_empty()
+                        || path.starts_with('/')
+                        || path.contains('\\')
+                        || path.contains(':')
+                        || path.split('/').any(|seg| seg == "..")
+                    {
+                        return Err(PersistError::Corrupt(format!(
+                            "implausible artifact path `{path}`"
+                        )));
+                    }
+                    artifacts.push(ShardArtifactRef {
+                        kind,
+                        path,
+                        checksum,
+                    });
+                }
+                t => {
+                    return Err(PersistError::Corrupt(format!(
+                        "unknown artifact presence tag {t}"
+                    )));
+                }
+            }
+        }
+        let present: Vec<MomentKind> = artifacts.iter().map(|a| a.kind).collect();
+        if present != required {
+            return Err(PersistError::Corrupt(format!(
+                "shard {shard_idx} stores components {present:?} but {} needs {required:?}",
+                aggregate.name()
+            )));
+        }
+        table.push(artifacts);
+    }
+    if data.remaining() != 0 {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after the manifest shard table",
+            data.remaining()
+        )));
+    }
+    Ok(ShardManifest {
+        aggregate,
+        plan,
+        shards: table,
+    })
+}
+
+/// File name of one shard's component artifact inside a deployment
+/// directory: `shard-NNN.<component>.nsk2`.
+pub fn shard_artifact_name(shard: usize, kind: MomentKind) -> String {
+    format!("shard-{shard:03}.{}.nsk2", kind.name())
+}
+
+/// File name of the manifest inside a deployment directory.
+pub const MANIFEST_NAME: &str = "manifest.nskm";
+
+/// Write a sharded deployment into `dir` as one loadable unit: every
+/// component sketch as an NSK2 artifact plus the NSKM manifest tying
+/// them together. Returns the manifest path (hand it to
+/// [`load_sharded`]).
+pub fn save_sharded(
+    dir: impl AsRef<Path>,
+    sketch: &ShardedSketch,
+) -> Result<PathBuf, PersistError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(|e| PersistError::Io(e.to_string()))?;
+    let mut table = Vec::with_capacity(sketch.shard_count());
+    for (shard_idx, shard) in sketch.shards().iter().enumerate() {
+        let mut artifacts = Vec::new();
+        for kind in MomentKind::ALL {
+            let Some(model) = shard.model(kind) else {
+                continue;
+            };
+            let bytes = encode_sketch(model);
+            let name = shard_artifact_name(shard_idx, kind);
+            write_synced(&dir.join(&name), &bytes)?;
+            artifacts.push(ShardArtifactRef {
+                kind,
+                path: name,
+                checksum: artifact_checksum(&bytes),
+            });
+        }
+        table.push(artifacts);
+    }
+    let manifest = ShardManifest {
+        aggregate: sketch.aggregate(),
+        plan: sketch.plan(),
+        shards: table,
+    };
+    let path = dir.join(MANIFEST_NAME);
+    // Artifacts first, manifest last — and the manifest lands fsynced
+    // via a same-directory rename, so a crash mid-save never leaves a
+    // truncated manifest. Note this protects a *fresh* directory only:
+    // artifacts are written under fixed names, so re-saving into a live
+    // deployment directory overwrites bytes the old manifest checksums.
+    // Save each build into its own directory and flip a pointer
+    // (symlink, config) to switch deployments.
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    write_synced(&tmp, &encode_manifest(&manifest)?)?;
+    std::fs::rename(&tmp, &path).map_err(|e| PersistError::Io(e.to_string()))?;
+    // Make the rename itself durable where the platform allows opening
+    // a directory handle (POSIX); elsewhere the data is still synced
+    // and a torn save remains typed-detectable at load. Failures
+    // propagate like every other I/O error here — a silently skipped
+    // sync would quietly downgrade the durability contract.
+    #[cfg(unix)]
+    {
+        let d = std::fs::File::open(dir).map_err(|e| PersistError::Io(e.to_string()))?;
+        d.sync_all().map_err(|e| PersistError::Io(e.to_string()))?;
+    }
+    Ok(path)
+}
+
+/// Write bytes and fsync before returning: every artifact must be
+/// durable before the manifest that checksums it lands, or a power loss
+/// could persist the fsynced manifest while artifact data blocks are
+/// still unflushed — a durable manifest over truncated shards.
+fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    f.write_all(bytes)
+        .map_err(|e| PersistError::Io(e.to_string()))?;
+    f.sync_all().map_err(|e| PersistError::Io(e.to_string()))?;
+    Ok(())
+}
+
+/// Load a sharded deployment from its NSKM manifest: decode and
+/// validate the manifest, then read every referenced artifact
+/// (manifest-relative), verify its checksum, and decode it. The result
+/// answers bitwise identically to
+/// [`ShardedSketch::quantized`][crate::shard::ShardedSketch::quantized]
+/// of the deployment that was saved.
+pub fn load_sharded(manifest_path: impl AsRef<Path>) -> Result<ShardedSketch, PersistError> {
+    let manifest_path = manifest_path.as_ref();
+    let raw = std::fs::read(manifest_path).map_err(|e| PersistError::Io(e.to_string()))?;
+    let manifest = decode_manifest(Bytes::from(raw))?;
+    let dir = manifest_path.parent().unwrap_or(Path::new("."));
+    let mut shards = Vec::with_capacity(manifest.shards.len());
+    let mut query_dim: Option<usize> = None;
+    for artifacts in &manifest.shards {
+        let mut models: [Option<NeuroSketch>; 3] = [None, None, None];
+        for a in artifacts {
+            let path = dir.join(&a.path);
+            // Read first and classify by error kind — an exists()
+            // pre-check would race with concurrent deletion and
+            // misreport unreadable-but-present files as missing.
+            let bytes = std::fs::read(&path).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::NotFound {
+                    PersistError::MissingShard {
+                        path: a.path.clone(),
+                    }
+                } else {
+                    PersistError::Io(e.to_string())
+                }
+            })?;
+            let found = artifact_checksum(&bytes);
+            if found != a.checksum {
+                return Err(PersistError::ChecksumMismatch {
+                    path: a.path.clone(),
+                    expected: a.checksum,
+                    found,
+                });
+            }
+            let artifact = decode(Bytes::from(bytes))?;
+            let dim = artifact.sketch.query_dim();
+            if *query_dim.get_or_insert(dim) != dim {
+                return Err(PersistError::Corrupt(format!(
+                    "shard artifact `{}` expects {dim}-dim queries, others disagree",
+                    a.path
+                )));
+            }
+            models[a.kind.slot()] = Some(artifact.sketch);
+        }
+        shards.push(ShardSketch::from_models(models));
+    }
+    Ok(ShardedSketch::from_parts(
+        manifest.plan,
+        manifest.aggregate,
+        shards,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +1057,164 @@ mod tests {
                 "offset {offset}: expected NaN rejection, got {err}"
             );
         }
+    }
+
+    #[test]
+    fn sharded_deployment_roundtrips_through_manifest() {
+        use crate::shard::{build_sharded, ShardPlan};
+        use datagen::Dataset;
+        use query::aggregate::Aggregate;
+        use query::predicate::Range;
+
+        let rows: Vec<Vec<f64>> = (0..240)
+            .map(|i| vec![(i as f64 * 0.377) % 1.0, (i as f64 * 0.713) % 1.0])
+            .collect();
+        let data = Dataset::from_rows(vec!["a".into(), "m".into()], &rows).unwrap();
+        let pred = Range::new(vec![0], 2).unwrap();
+        let queries: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i as f64 * 0.549) % 0.8, 0.1 + (i as f64 * 0.211) % 0.2])
+            .collect();
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 6;
+        let plan = ShardPlan::Hash { shards: 2, seed: 3 };
+        let (sharded, _) =
+            build_sharded(&data, 1, &plan, &pred, Aggregate::Avg, &queries, &cfg).unwrap();
+
+        let dir = std::env::temp_dir().join("nskm_roundtrip_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let manifest_path = save_sharded(&dir, &sharded).unwrap();
+        assert_eq!(manifest_path.file_name().unwrap(), MANIFEST_NAME);
+        let loaded = load_sharded(&manifest_path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(loaded.plan(), plan);
+        assert_eq!(loaded.aggregate(), Aggregate::Avg);
+        assert_eq!(loaded.shard_count(), 2);
+        // Save is lossy exactly once (f32 storage): the loaded
+        // deployment answers bitwise like the quantized source.
+        let quantized = sharded.quantized();
+        for q in queries.iter().take(20) {
+            assert_eq!(loaded.answer(q), quantized.answer(q));
+        }
+    }
+
+    #[test]
+    fn manifest_encoding_roundtrips_and_validates() {
+        use crate::shard::ShardPlan;
+        use query::aggregate::{Aggregate, MomentKind};
+
+        let manifest = ShardManifest {
+            aggregate: Aggregate::Avg,
+            plan: ShardPlan::Hash { shards: 2, seed: 9 },
+            shards: (0..2)
+                .map(|s| {
+                    vec![
+                        ShardArtifactRef {
+                            kind: MomentKind::Count,
+                            path: shard_artifact_name(s, MomentKind::Count),
+                            checksum: 0x1234 + s as u64,
+                        },
+                        ShardArtifactRef {
+                            kind: MomentKind::Sum,
+                            path: shard_artifact_name(s, MomentKind::Sum),
+                            checksum: 0x9876 - s as u64,
+                        },
+                    ]
+                })
+                .collect(),
+        };
+        let blob = encode_manifest(&manifest).unwrap();
+        assert_eq!(decode_manifest(blob.clone()).unwrap(), manifest);
+
+        // Wrong component set for the aggregate is structural corruption.
+        let mut wrong = manifest.clone();
+        wrong.shards[1].pop();
+        assert!(matches!(
+            decode_manifest(encode_manifest(&wrong).unwrap()),
+            Err(PersistError::Corrupt(m)) if m.contains("components")
+        ));
+
+        // A path longer than the u16 length field refuses to encode
+        // (typed), never truncates into a misaligned manifest.
+        let mut long = manifest.clone();
+        long.shards[0][0].path = "x".repeat(u16::MAX as usize + 1);
+        assert!(matches!(
+            encode_manifest(&long),
+            Err(PersistError::Corrupt(m)) if m.contains("u16")
+        ));
+
+        // A hand-built MEDIAN manifest is a typed refusal, not a panic.
+        let mut median = manifest.clone();
+        median.aggregate = Aggregate::Median;
+        assert!(matches!(
+            encode_manifest(&median),
+            Err(PersistError::Corrupt(m)) if m.contains("MEDIAN")
+        ));
+
+        // Every strict prefix fails typed, never panics.
+        for cut in 0..blob.len() {
+            assert!(decode_manifest(blob.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_implausible_shard_count_before_allocating() {
+        // Valid header, COUNT, round-robin, plan shards = table count =
+        // u32::MAX: consistent, but the buffer can't possibly hold that
+        // many shard entries — must be a typed error, not a ~100 GB
+        // Vec::with_capacity abort.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&NSKM_MAGIC.to_le_bytes());
+        blob.extend_from_slice(&NSKM_VERSION.to_le_bytes());
+        blob.push(0); // COUNT
+        blob.push(0); // round-robin
+        blob.extend_from_slice(&u32::MAX.to_le_bytes());
+        blob.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_manifest(Bytes::from(blob)),
+            Err(PersistError::Corrupt(m)) if m.contains("implausible shard count")
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_escaping_paths() {
+        use crate::shard::ShardPlan;
+        use query::aggregate::{Aggregate, MomentKind};
+        for bad in [
+            "/etc/passwd",
+            "../outside.nsk2",
+            "a/../../b.nsk2",
+            "",
+            "..\\outside.nsk2",
+            "C:\\other\\x.nsk2",
+        ] {
+            let manifest = ShardManifest {
+                aggregate: Aggregate::Count,
+                plan: ShardPlan::RoundRobin { shards: 1 },
+                shards: vec![vec![ShardArtifactRef {
+                    kind: MomentKind::Count,
+                    path: bad.to_string(),
+                    checksum: 1,
+                }]],
+            };
+            assert!(
+                matches!(
+                    decode_manifest(encode_manifest(&manifest).unwrap()),
+                    Err(PersistError::Corrupt(m)) if m.contains("path")
+                ),
+                "path `{bad}` was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(artifact_checksum(b""), 0xcbf2_9ce4_8422_2325);
+        let a = artifact_checksum(b"neurosketch");
+        let mut flipped = b"neurosketch".to_vec();
+        flipped[3] ^= 1;
+        assert_ne!(a, artifact_checksum(&flipped));
+        assert_eq!(a, artifact_checksum(b"neurosketch"));
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! engine) query-by-query, in input order, at any thread count — the
 //! sharding and leaf-grouping change scheduling, not arithmetic.
 //!
+//! `SketchServer` fronts **one** sketch over the whole table; when the
+//! data itself is partitioned across shards, [`crate::shard`] layers a
+//! scatter/gather [`ShardedServer`](crate::shard::ShardedServer) over
+//! per-shard deployments (persisted together via
+//! [`crate::persist::save_sharded`]).
+//!
 //! ```
 //! use neurosketch::serve::{ServeOptions, SketchServer};
 //! use neurosketch::router::{DqdRouter, RoutingPolicy};

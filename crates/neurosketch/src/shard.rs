@@ -1,0 +1,955 @@
+//! Sharded sketch scale-out: scatter/gather build and serve over
+//! per-shard sketches.
+//!
+//! The kd-tree inside every [`NeuroSketch`] partitions the *query
+//! space*; this module adds the second partitioning the ROADMAP's
+//! scale-out story needs — over the *data*. A [`ShardPlan`] splits the
+//! table's rows into `K` shards, [`build_sharded`] trains an
+//! independent sketch per shard on the **same** workload (fanned out on
+//! the [`par`] pool), and a [`ShardedServer`] answers query batches by
+//! scattering every batch to all shards and gathering per-shard answers
+//! into one.
+//!
+//! The gather step is exact because it merges **sufficient statistics**,
+//! not finished answers: each shard predicts the components of
+//! `(n, Σ, Σ²)` its aggregate needs ([`query::aggregate::MomentKind`]),
+//! and moments of a disjoint row union are the component-wise sums of
+//! the parts' moments ([`query::aggregate::Moments::merge`]). COUNT and
+//! SUM simply add across shards; AVG recombines as `ΣΣᵢ / Σnᵢ` and STD
+//! from all three — so the gathered answer is an *exact* composition of
+//! the per-shard answers (bitwise for COUNT, ulp-exact for the
+//! SUM/AVG/STD recombination). MEDIAN is not a function of moments and
+//! is rejected at build time.
+//!
+//! What sharding buys, per the paper's constant-cost story: per-shard
+//! artifacts have bounded size regardless of total data volume, shards
+//! build in parallel (each labels only its own rows), and serve-side
+//! throughput scales by adding shard servers. A whole deployment
+//! persists as one loadable unit via the NSKM manifest
+//! ([`crate::persist::save_sharded`] / [`crate::persist::load_sharded`]);
+//! [`crate::serve`] documents the single-artifact serving engine each
+//! shard reuses, and `docs/scaling.md` is the operator's handbook.
+//!
+//! ```
+//! use datagen::Dataset;
+//! use neurosketch::shard::{build_sharded, ShardPlan, ShardedServer};
+//! use neurosketch::serve::ServeOptions;
+//! use neurosketch::NeuroSketchConfig;
+//! use query::aggregate::{Aggregate, Moments};
+//! use query::exec::QueryEngine;
+//! use query::predicate::Range;
+//!
+//! // A small table and a 1-active-attribute COUNT workload.
+//! let rows: Vec<Vec<f64>> = (0..400)
+//!     .map(|i| vec![(i as f64 * 0.377) % 1.0, (i as f64 * 0.713) % 1.0])
+//!     .collect();
+//! let data = Dataset::from_rows(vec!["a".into(), "m".into()], &rows).unwrap();
+//! let pred = Range::new(vec![0], 2).unwrap();
+//! let queries: Vec<Vec<f64>> = (0..80)
+//!     .map(|i| vec![(i as f64 * 0.549) % 0.8, 0.2 + (i as f64 * 0.211) % 0.2])
+//!     .collect();
+//!
+//! // Plan → parallel per-shard build → scatter/gather serving.
+//! let plan = ShardPlan::RoundRobin { shards: 2 };
+//! let mut cfg = NeuroSketchConfig::small();
+//! cfg.train.epochs = 10;
+//! let (sharded, report) =
+//!     build_sharded(&data, 1, &plan, &pred, Aggregate::Count, &queries, &cfg).unwrap();
+//! assert_eq!(report.shard_rows, vec![200, 200]);
+//!
+//! let server = ShardedServer::new(sharded, ServeOptions::default());
+//! let (answers, stats) = server.answer_batch(&queries);
+//! assert_eq!(answers.len(), queries.len());
+//! assert_eq!(stats.shard_count, 2);
+//!
+//! // The gathered answer IS the sum of the per-shard sketch answers
+//! // (COUNT adds across a disjoint row split) ...
+//! let manual: f64 = server
+//!     .sketch()
+//!     .shards()
+//!     .iter()
+//!     .map(|s| s.model(query::aggregate::MomentKind::Count).unwrap().answer(&queries[0]))
+//!     .sum();
+//! assert_eq!(answers[0], manual);
+//!
+//! // ... and tracks the exact whole-table answer about as well as the
+//! // per-shard sketches track their shards.
+//! let engine = QueryEngine::new(&data, 1);
+//! let exact = engine.answer(&pred, Aggregate::Count, &queries[0]);
+//! assert!((answers[0] - exact).abs() < 0.25 * data.rows() as f64);
+//! ```
+
+use crate::serve::ServeOptions;
+use crate::sketch::{BatchScratch, NeuroSketch, NeuroSketchConfig};
+use crate::SketchError;
+use datagen::Dataset;
+use query::aggregate::{Aggregate, MomentKind, Moments};
+use query::exec::QueryEngine;
+use query::predicate::PredicateFn;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// How the table's rows are assigned to shards. Serializable (JSON via
+/// serde, binary via the NSKM manifest in [`crate::persist`]) so a
+/// deployment can re-derive its row-to-shard mapping.
+///
+/// Row-count stability differs by variant: `RoundRobin` and `Hash`
+/// assign each row index independently of the total, so appending rows
+/// never moves existing ones; `Blocks` assignment depends on the total
+/// row count (`⌊i·K/n⌋`), so growing the table reassigns rows near
+/// every block boundary — rebuild, don't ingest, under a `Blocks` plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardPlan {
+    /// Row `i` goes to shard `i mod shards` — perfectly balanced,
+    /// interleaved; the default for i.i.d. rows.
+    RoundRobin {
+        /// Number of shards `K`.
+        shards: usize,
+    },
+    /// Contiguous row ranges (shard `⌊i·K/n⌋`) — preserves row locality,
+    /// e.g. time-ordered ingestion where each shard owns an era.
+    Blocks {
+        /// Number of shards `K`.
+        shards: usize,
+    },
+    /// Row `i` goes to `splitmix64(seed ⊕ i) mod shards` — stateless
+    /// pseudo-random placement, balanced in expectation.
+    Hash {
+        /// Number of shards `K`.
+        shards: usize,
+        /// Hash seed; two plans with different seeds place rows
+        /// differently.
+        seed: u64,
+    },
+}
+
+/// The splitmix64 finalizer, used by [`ShardPlan::Hash`] placement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardPlan {
+    /// Number of shards this plan produces.
+    pub fn shards(&self) -> usize {
+        match *self {
+            ShardPlan::RoundRobin { shards }
+            | ShardPlan::Blocks { shards }
+            | ShardPlan::Hash { shards, .. } => shards,
+        }
+    }
+
+    /// Shard index of row `row` in a table of `rows` rows.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows` or the plan has zero shards; validate
+    /// with [`ShardPlan::validate`] first.
+    pub fn assign(&self, row: usize, rows: usize) -> usize {
+        assert!(row < rows, "row {row} out of range for {rows} rows");
+        match *self {
+            ShardPlan::RoundRobin { shards } => row % shards,
+            ShardPlan::Blocks { shards } => row * shards / rows,
+            ShardPlan::Hash { shards, seed } => {
+                (splitmix64(seed ^ row as u64) % shards as u64) as usize
+            }
+        }
+    }
+
+    /// Check the plan against a table size: at least one shard, and no
+    /// more shards than rows (an empty shard would train a sketch of a
+    /// constant-zero function — almost certainly a configuration error).
+    pub fn validate(&self, rows: usize) -> Result<(), SketchError> {
+        let k = self.shards();
+        if k == 0 {
+            return Err(SketchError::BadConfig(
+                "shard plan must have at least one shard".into(),
+            ));
+        }
+        if k > rows {
+            return Err(SketchError::BadConfig(format!(
+                "{k} shards for {rows} rows: every shard needs data"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Materialize the per-shard row-index assignment, shard by shard.
+    /// Within a shard, rows keep their original order.
+    pub fn assignment(&self, rows: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.shards()];
+        for row in 0..rows {
+            out[self.assign(row, rows)].push(row);
+        }
+        out
+    }
+
+    /// Split a dataset into the plan's per-shard tables.
+    pub fn split(&self, data: &Dataset) -> Vec<Dataset> {
+        self.assignment(data.rows())
+            .iter()
+            .map(|rows| data.select_rows(rows))
+            .collect()
+    }
+}
+
+/// One data shard's trained models: up to one sketch per moment
+/// component ([`MomentKind`]), each predicting that component of the
+/// shard-local `(n, Σ, Σ²)` for a query. Which slots are populated is
+/// decided by the deployment's aggregate
+/// ([`Aggregate::required_moments`]).
+#[derive(Debug, Clone)]
+pub struct ShardSketch {
+    models: [Option<NeuroSketch>; 3],
+}
+
+impl ShardSketch {
+    /// Assemble from per-component models (crate-internal: used by the
+    /// builder and the NSKM loader after validation).
+    pub(crate) fn from_models(models: [Option<NeuroSketch>; 3]) -> ShardSketch {
+        ShardSketch { models }
+    }
+
+    /// The model predicting one moment component, if this deployment
+    /// trains it.
+    pub fn model(&self, kind: MomentKind) -> Option<&NeuroSketch> {
+        self.models[kind.slot()].as_ref()
+    }
+
+    /// The trained moment components, in `(n, Σ, Σ²)` slot order.
+    pub fn kinds(&self) -> impl Iterator<Item = MomentKind> + '_ {
+        MomentKind::ALL
+            .into_iter()
+            .filter(|k| self.models[k.slot()].is_some())
+    }
+
+    /// Predict this shard's moments for every query in the batch.
+    /// Components without a model stay 0 (their aggregate never reads
+    /// them). Uses the batched leaf-grouped GEMM path per component.
+    pub fn moments_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        queries: &[Vec<f64>],
+    ) -> Vec<Moments> {
+        let mut out = vec![Moments::ZERO; queries.len()];
+        for kind in MomentKind::ALL {
+            if let Some(model) = &self.models[kind.slot()] {
+                let component = model.answer_batch_with(scratch, queries);
+                for (m, v) in out.iter_mut().zip(component) {
+                    m.set_component(kind, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every parameter of every component model rounded through `f32` —
+    /// what the per-shard NSK2 artifacts store. See
+    /// [`NeuroSketch::quantized`].
+    pub fn quantized(&self) -> ShardSketch {
+        ShardSketch {
+            models: [
+                self.models[0].as_ref().map(NeuroSketch::quantized),
+                self.models[1].as_ref().map(NeuroSketch::quantized),
+                self.models[2].as_ref().map(NeuroSketch::quantized),
+            ],
+        }
+    }
+
+    /// Total trainable parameters across this shard's component models.
+    pub fn param_count(&self) -> usize {
+        self.models
+            .iter()
+            .flatten()
+            .map(NeuroSketch::param_count)
+            .sum()
+    }
+
+    /// Exact on-disk bytes of this shard's NSK2 artifacts
+    /// ([`crate::persist::encoded_len`] per component model).
+    pub fn artifact_bytes(&self) -> usize {
+        self.models
+            .iter()
+            .flatten()
+            .map(crate::persist::encoded_len)
+            .sum()
+    }
+}
+
+/// A complete sharded deployment: the row plan, the aggregate it serves,
+/// and one [`ShardSketch`] per shard. Build with [`build_sharded`],
+/// persist with [`crate::persist::save_sharded`], serve with
+/// [`ShardedServer`].
+#[derive(Debug, Clone)]
+pub struct ShardedSketch {
+    plan: ShardPlan,
+    aggregate: Aggregate,
+    shards: Vec<ShardSketch>,
+}
+
+impl ShardedSketch {
+    /// Assemble from parts (crate-internal: the builder and the NSKM
+    /// loader validate the invariants — one entry per plan shard, the
+    /// aggregate's required components present on every shard).
+    pub(crate) fn from_parts(
+        plan: ShardPlan,
+        aggregate: Aggregate,
+        shards: Vec<ShardSketch>,
+    ) -> ShardedSketch {
+        debug_assert_eq!(plan.shards(), shards.len());
+        ShardedSketch {
+            plan,
+            aggregate,
+            shards,
+        }
+    }
+
+    /// The row-assignment plan.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// The aggregate this deployment serves.
+    pub fn aggregate(&self) -> Aggregate {
+        self.aggregate
+    }
+
+    /// The per-shard sketches, in shard order.
+    pub fn shards(&self) -> &[ShardSketch] {
+        &self.shards
+    }
+
+    /// Number of data shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Gather a query's answer from per-shard moments: merge in shard
+    /// order, then finish once. The merge is component-wise f64
+    /// addition, so the result is an exact composition of the shard
+    /// predictions.
+    ///
+    /// One guard on top of the raw composition: AVG and STD divide by
+    /// the *predicted* count, which on an empty-selectivity query is
+    /// model noise near zero (never the exact `0.0` true moments
+    /// produce), and a near-zero divisor would amplify that noise into
+    /// an arbitrary ratio. A gathered count below half a row therefore
+    /// takes the empty-range convention (`0.0`) instead of dividing.
+    pub fn gather(&self, per_shard: impl Iterator<Item = Moments>) -> f64 {
+        let total = per_shard.fold(Moments::ZERO, Moments::merge);
+        if matches!(self.aggregate, Aggregate::Avg | Aggregate::Std) && total.n < 0.5 {
+            return 0.0;
+        }
+        total
+            .finish(self.aggregate)
+            .expect("sharded aggregates are moment-composable by construction")
+    }
+
+    /// Answer one query through the full scatter/gather path (a batch of
+    /// one; see [`ShardedServer`] for the batched, parallel front).
+    pub fn answer(&self, q: &[f64]) -> f64 {
+        let mut scratch = BatchScratch::default();
+        let query = [q.to_vec()];
+        self.gather(
+            self.shards
+                .iter()
+                .map(|s| s.moments_batch_with(&mut scratch, &query)[0]),
+        )
+    }
+
+    /// The deployment with every model quantized through `f32` — what a
+    /// save/load round trip through the NSKM manifest yields. See
+    /// [`NeuroSketch::quantized`].
+    pub fn quantized(&self) -> ShardedSketch {
+        ShardedSketch {
+            plan: self.plan,
+            aggregate: self.aggregate,
+            shards: self.shards.iter().map(ShardSketch::quantized).collect(),
+        }
+    }
+
+    /// Total trainable parameters across all shards and components.
+    pub fn param_count(&self) -> usize {
+        self.shards.iter().map(ShardSketch::param_count).sum()
+    }
+
+    /// Exact total on-disk bytes of the per-shard NSK2 artifacts
+    /// (manifest overhead excluded — a few dozen bytes per shard).
+    pub fn artifact_bytes(&self) -> usize {
+        self.shards.iter().map(ShardSketch::artifact_bytes).sum()
+    }
+}
+
+/// Timings and diagnostics from a sharded build.
+#[derive(Debug, Clone)]
+pub struct ShardedBuildReport {
+    /// Rows each shard owns, in shard order.
+    pub shard_rows: Vec<usize>,
+    /// Moment-labeling wall-clock, summed across shards (shards label
+    /// concurrently, so the elapsed wall-clock is lower).
+    pub labeling: Duration,
+    /// Training wall-clock, summed across shards.
+    pub training: Duration,
+    /// Total component models trained (`shards × required components`).
+    pub models_trained: usize,
+}
+
+/// Build a sharded deployment: split `data`'s rows by `plan`, then — in
+/// parallel across shards on the [`par`] pool — label the workload with
+/// each shard's exact per-shard moments
+/// ([`QueryEngine::label_moments_batch`]) and train one [`NeuroSketch`]
+/// per required moment component.
+///
+/// Every shard trains on the **same** `queries`; only the labels differ
+/// (each shard's engine sees only its own rows). `cfg.threads` bounds
+/// the cross-shard fan-out; within a shard the build runs
+/// single-threaded so the pool is not oversubscribed. Per-(shard,
+/// component) seeds derive from `cfg.seed`, so builds are deterministic
+/// at any thread count.
+///
+/// Errors: MEDIAN (not moment-composable), a plan with zero shards or
+/// more shards than rows, and every error [`NeuroSketch::build_from_labeled`]
+/// itself produces.
+pub fn build_sharded(
+    data: &Dataset,
+    measure: usize,
+    plan: &ShardPlan,
+    predicate: &dyn PredicateFn,
+    agg: Aggregate,
+    queries: &[Vec<f64>],
+    cfg: &NeuroSketchConfig,
+) -> Result<(ShardedSketch, ShardedBuildReport), SketchError> {
+    let Some(kinds) = agg.required_moments() else {
+        return Err(SketchError::BadConfig(format!(
+            "{} is not a function of (n, Σ, Σ²) and cannot be sharded by moment composition",
+            agg.name()
+        )));
+    };
+    plan.validate(data.rows())?;
+    let shard_data = plan.split(data);
+    let shard_rows: Vec<usize> = shard_data.iter().map(Dataset::rows).collect();
+    // validate() is a cheap pigeonhole pre-check; only the materialized
+    // assignment can prove every shard non-empty (a Hash plan over a
+    // small table may leave one dry even with K ≤ rows).
+    if let Some(empty) = shard_rows.iter().position(|&r| r == 0) {
+        return Err(SketchError::BadConfig(format!(
+            "{plan:?} leaves shard {empty} with no rows: every shard needs data"
+        )));
+    }
+
+    // One task per shard; the inner builds run single-threaded so K
+    // shards use K workers, not K × cfg.threads.
+    let mut inner_cfg = cfg.clone();
+    inner_cfg.threads = 1;
+    let built: Vec<Result<(ShardSketch, Duration, Duration), SketchError>> =
+        par::par_map(&shard_data, cfg.threads, |shard_idx, shard| {
+            let engine = QueryEngine::new(shard, measure);
+            let t0 = Instant::now();
+            let moments = engine.label_moments_batch(predicate, queries, 1);
+            let labeling = t0.elapsed();
+            let t1 = Instant::now();
+            let mut models: [Option<NeuroSketch>; 3] = [None, None, None];
+            for kind in kinds {
+                let labels: Vec<f64> = moments.iter().map(|m| m.component(*kind)).collect();
+                let mut component_cfg = inner_cfg.clone();
+                // Decorrelate initializations across (shard, component)
+                // pairs; splitmix64 keeps the derivation stateless.
+                component_cfg.seed = cfg
+                    .seed
+                    .wrapping_add(splitmix64((shard_idx * 3 + kind.slot()) as u64 + 1));
+                let (sketch, _) =
+                    NeuroSketch::build_from_labeled(queries, &labels, &component_cfg)?;
+                models[kind.slot()] = Some(sketch);
+            }
+            Ok((ShardSketch::from_models(models), labeling, t1.elapsed()))
+        });
+
+    let mut shards = Vec::with_capacity(built.len());
+    let mut labeling = Duration::ZERO;
+    let mut training = Duration::ZERO;
+    for b in built {
+        let (shard, label_t, train_t) = b?;
+        labeling += label_t;
+        training += train_t;
+        shards.push(shard);
+    }
+    let models_trained = shards.len() * kinds.len();
+    Ok((
+        ShardedSketch::from_parts(*plan, agg, shards),
+        ShardedBuildReport {
+            shard_rows,
+            labeling,
+            training,
+            models_trained,
+        },
+    ))
+}
+
+/// Per-batch scatter/gather tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedServeStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Data shards each query was scattered to.
+    pub shard_count: usize,
+    /// Batched GEMM model evaluations actually performed:
+    /// `shards × required components × ⌈queries / max_shard⌉`
+    /// (0 for an empty batch) — the capacity-accounting tally.
+    pub model_batches: usize,
+}
+
+/// A sharded deployment behind a concurrent scatter/gather serving
+/// front.
+///
+/// Unlike [`crate::serve::SketchServer`] — which *splits* a batch
+/// because one sketch holds the whole answer — a data-sharded
+/// deployment must send **every query to every shard** (any shard's
+/// rows may match any query) and gather. The batch is scattered across
+/// the [`par`] pool one task per shard; each worker predicts its
+/// shard's moments with the batched leaf-grouped GEMM path and a
+/// reusable per-worker [`BatchScratch`], then the gather merges moments
+/// in shard order and finishes once per query. Answers are in input
+/// order and independent of the thread count.
+pub struct ShardedServer {
+    sketch: ShardedSketch,
+    opts: ServeOptions,
+}
+
+impl ShardedServer {
+    /// Serve a sharded deployment. `opts.threads` bounds the cross-shard
+    /// fan-out and `opts.max_shard` the per-GEMM sub-batch;
+    /// `opts.active_attrs` is ignored (scatter/gather has no DQD
+    /// routing — shard sketches answer everything).
+    pub fn new(sketch: ShardedSketch, opts: ServeOptions) -> ShardedServer {
+        ShardedServer { sketch, opts }
+    }
+
+    /// The served deployment.
+    pub fn sketch(&self) -> &ShardedSketch {
+        &self.sketch
+    }
+
+    /// The active options.
+    pub fn options(&self) -> ServeOptions {
+        self.opts
+    }
+
+    /// Answer one query through the same path as a batch of one.
+    pub fn answer(&self, q: &[f64]) -> f64 {
+        self.answer_batch(std::slice::from_ref(&q.to_vec())).0[0]
+    }
+
+    /// Answer a batch: scatter to all shards, gather exact moment
+    /// compositions. Returns answers in input order plus the tally.
+    pub fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ShardedServeStats) {
+        let max_chunk = self.opts.max_shard.max(1);
+        let total_kinds: usize = self.sketch.shards().iter().map(|s| s.kinds().count()).sum();
+        let stats = ShardedServeStats {
+            queries: queries.len(),
+            shard_count: self.sketch.shard_count(),
+            model_batches: total_kinds * queries.len().div_ceil(max_chunk),
+        };
+        if queries.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let per_shard: Vec<Vec<Moments>> = par::par_map_init(
+            self.sketch.shards(),
+            self.opts.threads.max(1),
+            BatchScratch::default,
+            |scratch, _, shard| {
+                let mut moments = Vec::with_capacity(queries.len());
+                for chunk in queries.chunks(max_chunk) {
+                    moments.extend(shard.moments_batch_with(scratch, chunk));
+                }
+                moments
+            },
+        );
+        let answers = (0..queries.len())
+            .map(|i| self.sketch.gather(per_shard.iter().map(|s| s[i])))
+            .collect();
+        (answers, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::simple::uniform;
+    use query::error::normalized_mae;
+    use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+    fn small_cfg() -> NeuroSketchConfig {
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 12;
+        cfg
+    }
+
+    fn setup(rows: usize, queries: usize) -> (Dataset, Workload) {
+        let data = uniform(rows, 2, 11);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: queries,
+            seed: 4,
+        })
+        .unwrap();
+        (data, wl)
+    }
+
+    #[test]
+    fn plans_partition_every_row_exactly_once() {
+        let rows = 97;
+        for plan in [
+            ShardPlan::RoundRobin { shards: 4 },
+            ShardPlan::Blocks { shards: 4 },
+            ShardPlan::Hash { shards: 4, seed: 7 },
+        ] {
+            let assignment = plan.assignment(rows);
+            assert_eq!(assignment.len(), 4);
+            let mut seen = vec![false; rows];
+            for (shard, owned) in assignment.iter().enumerate() {
+                for &r in owned {
+                    assert!(!seen[r], "row {r} assigned twice by {plan:?}");
+                    seen[r] = true;
+                    assert_eq!(plan.assign(r, rows), shard);
+                }
+            }
+            assert!(seen.iter().all(|s| *s), "{plan:?} dropped a row");
+        }
+        // Round-robin and blocks are balanced within one row.
+        for plan in [
+            ShardPlan::RoundRobin { shards: 4 },
+            ShardPlan::Blocks { shards: 4 },
+        ] {
+            let sizes: Vec<usize> = plan.assignment(rows).iter().map(Vec::len).collect();
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn plan_validation_rejects_degenerate_configs() {
+        assert!(ShardPlan::RoundRobin { shards: 0 }.validate(10).is_err());
+        assert!(ShardPlan::RoundRobin { shards: 11 }.validate(10).is_err());
+        assert!(ShardPlan::RoundRobin { shards: 10 }.validate(10).is_ok());
+    }
+
+    /// A hash plan can pass the pigeonhole pre-check yet leave a shard
+    /// dry on a small table; the build must refuse rather than train a
+    /// constant-zero sketch for the empty shard.
+    #[test]
+    fn build_rejects_hash_plan_with_an_empty_shard() {
+        let (data, wl) = setup(6, 20);
+        // Find a seed whose placement leaves some shard empty (common
+        // for 6 rows into 4 shards); deterministic once found.
+        let seed = (0..u64::MAX)
+            .find(|&seed| {
+                ShardPlan::Hash { shards: 4, seed }
+                    .assignment(6)
+                    .iter()
+                    .any(Vec::is_empty)
+            })
+            .expect("some seed leaves a shard empty");
+        let plan = ShardPlan::Hash { shards: 4, seed };
+        assert!(plan.validate(6).is_ok(), "pre-check alone cannot see it");
+        let err = build_sharded(
+            &data,
+            1,
+            &plan,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SketchError::BadConfig(m) if m.contains("no rows")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn split_preserves_rows_and_order() {
+        let (data, _) = setup(50, 40);
+        let plan = ShardPlan::Blocks { shards: 3 };
+        let parts = plan.split(&data);
+        assert_eq!(parts.iter().map(Dataset::rows).sum::<usize>(), 50);
+        // Blocks keeps original order: first shard's first row is row 0.
+        assert_eq!(parts[0].row(0), data.row(0));
+    }
+
+    #[test]
+    fn median_is_rejected() {
+        let (data, wl) = setup(60, 30);
+        let err = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 2 },
+            &wl.predicate,
+            Aggregate::Median,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SketchError::BadConfig(_)));
+    }
+
+    /// Gathered COUNT is bitwise the shard-order sum of the per-shard
+    /// sketch answers; the batched scatter path, the single-query path,
+    /// and a manual fold all agree exactly.
+    #[test]
+    fn gathered_count_is_bitwise_sum_of_shard_answers() {
+        let (data, wl) = setup(600, 160);
+        let plan = ShardPlan::Hash { shards: 3, seed: 1 };
+        let (sharded, report) = build_sharded(
+            &data,
+            1,
+            &plan,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap();
+        assert_eq!(report.models_trained, 3);
+        assert_eq!(report.shard_rows.iter().sum::<usize>(), 600);
+        for threads in [1, 4] {
+            let server = ShardedServer::new(
+                sharded.clone(),
+                ServeOptions {
+                    threads,
+                    max_shard: 64,
+                    active_attrs: None,
+                },
+            );
+            let (answers, stats) = server.answer_batch(&wl.queries);
+            assert_eq!(stats.queries, wl.queries.len());
+            // 3 shards × 1 component × ⌈160 / 64⌉ chunks.
+            assert_eq!(stats.model_batches, 9);
+            for (q, a) in wl.queries.iter().zip(&answers) {
+                let manual: f64 = sharded
+                    .shards()
+                    .iter()
+                    .map(|s| s.model(MomentKind::Count).unwrap().answer(q))
+                    .fold(0.0, |acc, v| acc + v);
+                assert_eq!(*a, manual, "threads={threads}");
+                assert_eq!(*a, sharded.answer(q), "threads={threads}");
+            }
+        }
+    }
+
+    /// SUM/AVG/STD gather is an ulp-exact recombination of the per-shard
+    /// moment predictions via (n, Σ, Σ²).
+    #[test]
+    fn gathered_moment_aggregates_recombine_exactly() {
+        let (data, wl) = setup(500, 120);
+        let plan = ShardPlan::RoundRobin { shards: 2 };
+        for agg in [Aggregate::Sum, Aggregate::Avg, Aggregate::Std] {
+            let (sharded, _) = build_sharded(
+                &data,
+                1,
+                &plan,
+                &wl.predicate,
+                agg,
+                &wl.queries,
+                &small_cfg(),
+            )
+            .unwrap();
+            let server = ShardedServer::new(sharded.clone(), ServeOptions::default());
+            let (answers, _) = server.answer_batch(&wl.queries);
+            for (q, a) in wl.queries.iter().zip(&answers) {
+                // Manual recombination from the per-shard component
+                // models, merged in shard order exactly as gather does.
+                let mut scratch = BatchScratch::default();
+                let total = sharded
+                    .shards()
+                    .iter()
+                    .map(|s| s.moments_batch_with(&mut scratch, std::slice::from_ref(q))[0])
+                    .fold(Moments::ZERO, Moments::merge);
+                // Mirror gather()'s documented near-empty guard.
+                let manual = if matches!(agg, Aggregate::Avg | Aggregate::Std) && total.n < 0.5 {
+                    0.0
+                } else {
+                    total.finish(agg).unwrap()
+                };
+                let ulps = 4.0 * f64::EPSILON * (1.0 + manual.abs());
+                assert!(
+                    (*a - manual).abs() <= ulps,
+                    "{}: {a} vs {manual}",
+                    agg.name()
+                );
+            }
+        }
+    }
+
+    /// A single-shard deployment is the monolithic build: same data,
+    /// same labels, same seed — bitwise-identical answers.
+    #[test]
+    fn k1_matches_monolithic_build_bitwise() {
+        let (data, wl) = setup(400, 100);
+        let cfg = small_cfg();
+        let (sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 1 },
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
+        let engine = QueryEngine::new(&data, 1);
+        let labels = engine.label_batch(&wl.predicate, Aggregate::Count, &wl.queries, 1);
+        let mut mono_cfg = cfg.clone();
+        mono_cfg.seed = cfg.seed.wrapping_add(super::splitmix64(1));
+        let (mono, _) = NeuroSketch::build_from_labeled(&wl.queries, &labels, &mono_cfg).unwrap();
+        for q in wl.queries.iter().take(25) {
+            assert_eq!(sharded.answer(q), mono.answer(q));
+        }
+    }
+
+    /// Regression pin: on the paper's uniform workload, scatter/gather
+    /// over 4 shards answers about as accurately as the monolithic
+    /// sketch (deterministic builds, so the bound cannot flake).
+    #[test]
+    fn sharded_error_tracks_monolithic_on_paper_workload() {
+        let (data, wl) = setup(2_000, 300);
+        let engine = QueryEngine::new(&data, 1);
+        let cfg = small_cfg();
+        for agg in [Aggregate::Count, Aggregate::Avg] {
+            let truths: Vec<f64> = wl
+                .queries
+                .iter()
+                .map(|q| engine.answer(&wl.predicate, agg, q))
+                .collect();
+            let labels = engine.label_batch(&wl.predicate, agg, &wl.queries, 2);
+            let (mono, _) = NeuroSketch::build_from_labeled(&wl.queries, &labels, &cfg).unwrap();
+            let mono_preds: Vec<f64> = wl.queries.iter().map(|q| mono.answer(q)).collect();
+            let mono_err = normalized_mae(&truths, &mono_preds);
+
+            let (sharded, _) = build_sharded(
+                &data,
+                1,
+                &ShardPlan::RoundRobin { shards: 4 },
+                &wl.predicate,
+                agg,
+                &wl.queries,
+                &cfg,
+            )
+            .unwrap();
+            let server = ShardedServer::new(sharded, ServeOptions::default());
+            let (preds, _) = server.answer_batch(&wl.queries);
+            let sharded_err = normalized_mae(&truths, &preds);
+            assert!(
+                sharded_err < (3.0 * mono_err).max(0.25),
+                "{}: sharded NMAE {sharded_err} vs monolithic {mono_err}",
+                agg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_single_query() {
+        let (data, wl) = setup(200, 60);
+        let (sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::Blocks { shards: 2 },
+            &wl.predicate,
+            Aggregate::Sum,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap();
+        let server = ShardedServer::new(sharded, ServeOptions::default());
+        let (answers, stats) = server.answer_batch(&[]);
+        assert!(answers.is_empty());
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.model_batches, 0, "nothing ran, nothing tallied");
+        let one = server.answer(&wl.queries[0]);
+        assert_eq!(one, server.answer_batch(&wl.queries[..1]).0[0]);
+    }
+
+    /// AVG/STD gather must not divide by a near-zero *predicted* count:
+    /// below half a row the empty-range convention wins, so noise like
+    /// n̂ = 0.004 cannot explode into an arbitrary ratio.
+    #[test]
+    fn gather_clamps_near_empty_predicted_counts() {
+        let (data, wl) = setup(200, 60);
+        for agg in [Aggregate::Avg, Aggregate::Std] {
+            let (sharded, _) = build_sharded(
+                &data,
+                1,
+                &ShardPlan::RoundRobin { shards: 2 },
+                &wl.predicate,
+                agg,
+                &wl.queries,
+                &small_cfg(),
+            )
+            .unwrap();
+            let tiny = Moments {
+                n: 0.004,
+                s: 0.02,
+                s2: 0.01,
+            };
+            assert_eq!(sharded.gather([tiny].into_iter()), 0.0, "{}", agg.name());
+            let negative = Moments {
+                n: -0.02,
+                s: 0.5,
+                s2: 0.2,
+            };
+            assert_eq!(sharded.gather([negative].into_iter()), 0.0);
+            // Above the threshold the ratio is served untouched.
+            let real = Moments {
+                n: 3.0,
+                s: 6.0,
+                s2: 14.0,
+            };
+            assert_eq!(
+                sharded.gather([real].into_iter()),
+                real.finish(agg).unwrap()
+            );
+        }
+        // COUNT/SUM never divide, so they pass through unclamped.
+        let (counted, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 2 },
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap();
+        let tiny = Moments {
+            n: 0.004,
+            s: 0.0,
+            s2: 0.0,
+        };
+        assert_eq!(counted.gather([tiny].into_iter()), 0.004);
+    }
+
+    #[test]
+    fn quantized_deployment_is_idempotent_and_close() {
+        let (data, wl) = setup(300, 80);
+        let (sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 2 },
+            &wl.predicate,
+            Aggregate::Avg,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap();
+        let q1 = sharded.quantized();
+        assert_eq!(q1.param_count(), sharded.param_count());
+        assert!(sharded.artifact_bytes() >= sharded.param_count() * 4);
+        for q in wl.queries.iter().take(10) {
+            let (a, b) = (sharded.answer(q), q1.answer(q));
+            assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
+            assert_eq!(q1.answer(q), q1.quantized().answer(q));
+        }
+    }
+}

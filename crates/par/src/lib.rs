@@ -18,9 +18,11 @@
 //! ```
 //!
 //! Downstream users: `query`'s batch labeling, `spatial`'s merge-time
-//! AQC scoring, `neurosketch`'s per-leaf training, and the batched
-//! serving engine (`neurosketch::serve`), which keeps one GEMM
-//! workspace per worker via [`par_map_init`].
+//! AQC scoring, `neurosketch`'s per-leaf training, the batched serving
+//! engine (`neurosketch::serve`), which keeps one GEMM workspace per
+//! worker via [`par_map_init`], and the sharded scale-out layer
+//! (`neurosketch::shard`), which fans per-shard builds and
+//! scatter/gather serving out one task per data shard.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -76,19 +76,28 @@ impl Aggregate {
     }
 
     /// Streaming variant for COUNT/SUM/AVG/STD that avoids materializing
-    /// the matching values; returns `None` for MEDIAN (which needs them).
+    /// the matching values; returns `None` for MEDIAN (which needs them,
+    /// so the iterator is not consumed).
     pub fn apply_streaming(&self, it: impl Iterator<Item = f64>) -> Option<f64> {
         match self {
             Aggregate::Median => None,
-            _ => {
-                let (mut n, mut s, mut s2) = (0.0f64, 0.0f64, 0.0f64);
-                for v in it {
-                    n += 1.0;
-                    s += v;
-                    s2 += v * v;
-                }
-                Some(self.from_moments(n, s, s2).expect("non-median"))
-            }
+            _ => Moments::of(it).finish(*self),
+        }
+    }
+
+    /// The moment components a scatter/gather deployment must collect
+    /// per shard to recombine this aggregate exactly, or `None` for
+    /// MEDIAN (not a function of moments, hence not shardable this way).
+    ///
+    /// COUNT and SUM are single-component (they simply add across
+    /// shards); AVG needs `(n, Σ)` and STD needs `(n, Σ, Σ²)`.
+    pub fn required_moments(&self) -> Option<&'static [MomentKind]> {
+        match self {
+            Aggregate::Count => Some(&[MomentKind::Count]),
+            Aggregate::Sum => Some(&[MomentKind::Sum]),
+            Aggregate::Avg => Some(&[MomentKind::Count, MomentKind::Sum]),
+            Aggregate::Std => Some(&[MomentKind::Count, MomentKind::Sum, MomentKind::SumSq]),
+            Aggregate::Median => None,
         }
     }
 
@@ -100,22 +109,155 @@ impl Aggregate {
     /// what lets the query engine's sorted-column index answer range
     /// aggregates from prefix-sum differences without touching rows.
     pub fn from_moments(&self, n: f64, s: f64, s2: f64) -> Option<f64> {
-        if matches!(self, Aggregate::Median) {
-            return None;
-        }
-        if n == 0.0 {
-            return Some(0.0);
-        }
+        // Each aggregate reads only the components it requires
+        // ([`Aggregate::required_moments`]): for true moments `n == 0`
+        // implies `s == s2 == 0`, so COUNT/SUM need no empty-set guard —
+        // and a sharded deployment that trains only its required
+        // components (e.g. SUM-only, where `n` stays 0) must not be
+        // zeroed by one it never populated.
         Some(match self {
             Aggregate::Count => n,
             Aggregate::Sum => s,
-            Aggregate::Avg => s / n,
-            Aggregate::Std => {
-                let mean = s / n;
-                (s2 / n - mean * mean).max(0.0).sqrt()
+            Aggregate::Avg => {
+                if n == 0.0 {
+                    0.0
+                } else {
+                    s / n
+                }
             }
-            Aggregate::Median => unreachable!(),
+            Aggregate::Std => {
+                if n == 0.0 {
+                    0.0
+                } else {
+                    let mean = s / n;
+                    (s2 / n - mean * mean).max(0.0).sqrt()
+                }
+            }
+            Aggregate::Median => return None,
         })
+    }
+}
+
+/// One component of the sufficient statistics `(n, Σ, Σ²)` that
+/// COUNT/SUM/AVG/STD are functions of.
+///
+/// A sharded deployment trains one model per `(shard, MomentKind)` and
+/// gathers by *adding* each component across shards — see
+/// [`Aggregate::required_moments`] and [`Moments::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MomentKind {
+    /// `n` — the number of matching rows.
+    Count,
+    /// `Σ` — the sum of the measure over matching rows.
+    Sum,
+    /// `Σ²` — the sum of the squared measure over matching rows.
+    SumSq,
+}
+
+impl MomentKind {
+    /// All moment components, in `(n, Σ, Σ²)` order.
+    pub const ALL: [MomentKind; 3] = [MomentKind::Count, MomentKind::Sum, MomentKind::SumSq];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MomentKind::Count => "count",
+            MomentKind::Sum => "sum",
+            MomentKind::SumSq => "sumsq",
+        }
+    }
+
+    /// Stable dense index (0, 1, 2) — the slot this component occupies in
+    /// per-shard model tables and in the NSKM manifest.
+    pub fn slot(&self) -> usize {
+        match self {
+            MomentKind::Count => 0,
+            MomentKind::Sum => 1,
+            MomentKind::SumSq => 2,
+        }
+    }
+}
+
+/// The first three moments of a set of measure values: the sufficient
+/// statistics from which every non-MEDIAN aggregate is computed.
+///
+/// `Moments` is the *moment-composable answer type*: moments of a
+/// disjoint union of row sets are the component-wise **sums** of the
+/// parts' moments, so a scatter/gather deployment can answer
+/// COUNT/SUM/AVG/STD exactly by merging per-shard moments and finishing
+/// once ([`Moments::finish`]).
+///
+/// ```
+/// use query::aggregate::{Aggregate, Moments};
+///
+/// let left = Moments::of([1.0, 2.0].into_iter());
+/// let right = Moments::of([3.0, 4.0].into_iter());
+/// let whole = Moments::of([1.0, 2.0, 3.0, 4.0].into_iter());
+/// assert_eq!(left.merge(right), whole);
+/// assert_eq!(whole.finish(Aggregate::Avg), Some(2.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Moments {
+    /// Number of values (`n`).
+    pub n: f64,
+    /// Sum of the values (`Σ`).
+    pub s: f64,
+    /// Sum of the squared values (`Σ²`).
+    pub s2: f64,
+}
+
+impl Moments {
+    /// The moments of the empty set — the identity of [`Moments::merge`].
+    pub const ZERO: Moments = Moments {
+        n: 0.0,
+        s: 0.0,
+        s2: 0.0,
+    };
+
+    /// Accumulate the moments of a value stream.
+    pub fn of(values: impl Iterator<Item = f64>) -> Moments {
+        let mut m = Moments::ZERO;
+        for v in values {
+            m.n += 1.0;
+            m.s += v;
+            m.s2 += v * v;
+        }
+        m
+    }
+
+    /// Moments of the disjoint union: component-wise addition. This is
+    /// the whole gather step — exact (each component is one f64 add; no
+    /// reordering of the per-part accumulations).
+    pub fn merge(self, other: Moments) -> Moments {
+        Moments {
+            n: self.n + other.n,
+            s: self.s + other.s,
+            s2: self.s2 + other.s2,
+        }
+    }
+
+    /// One component by kind.
+    pub fn component(&self, kind: MomentKind) -> f64 {
+        match kind {
+            MomentKind::Count => self.n,
+            MomentKind::Sum => self.s,
+            MomentKind::SumSq => self.s2,
+        }
+    }
+
+    /// Set one component by kind.
+    pub fn set_component(&mut self, kind: MomentKind, value: f64) {
+        match kind {
+            MomentKind::Count => self.n = value,
+            MomentKind::Sum => self.s = value,
+            MomentKind::SumSq => self.s2 = value,
+        }
+    }
+
+    /// Finish into an aggregate value (`None` for MEDIAN) — the same
+    /// closed form as [`Aggregate::from_moments`].
+    pub fn finish(&self, agg: Aggregate) -> Option<f64> {
+        agg.from_moments(self.n, self.s, self.s2)
     }
 }
 
@@ -172,6 +314,86 @@ mod tests {
         assert!(Aggregate::Median
             .apply_streaming(v.iter().copied())
             .is_none());
+    }
+
+    #[test]
+    fn moments_merge_matches_whole_set() {
+        let left = [1.0, 5.0, 2.0];
+        let right = [8.0, 3.5];
+        let merged = Moments::of(left.iter().copied()).merge(Moments::of(right.iter().copied()));
+        let whole = Moments::of(left.iter().chain(right.iter()).copied());
+        assert_eq!(merged, whole);
+        for agg in [
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Std,
+        ] {
+            let direct = apply(agg, &[1.0, 5.0, 2.0, 8.0, 3.5]);
+            let gathered = merged.finish(agg).unwrap();
+            assert!(
+                (direct - gathered).abs() < 1e-12 * (1.0 + direct.abs()),
+                "{}: {direct} vs {gathered}",
+                agg.name()
+            );
+        }
+        assert!(merged.finish(Aggregate::Median).is_none());
+    }
+
+    #[test]
+    fn moments_components_roundtrip() {
+        let mut m = Moments::ZERO;
+        for (i, kind) in MomentKind::ALL.iter().enumerate() {
+            assert_eq!(kind.slot(), i);
+            m.set_component(*kind, (i + 1) as f64);
+            assert_eq!(m.component(*kind), (i + 1) as f64);
+        }
+        assert_eq!(
+            m,
+            Moments {
+                n: 1.0,
+                s: 2.0,
+                s2: 3.0
+            }
+        );
+        assert_eq!(Moments::ZERO.merge(m), m);
+    }
+
+    #[test]
+    fn required_moments_cover_the_shardable_aggregates() {
+        assert_eq!(
+            Aggregate::Count.required_moments(),
+            Some(&[MomentKind::Count][..])
+        );
+        assert_eq!(
+            Aggregate::Sum.required_moments(),
+            Some(&[MomentKind::Sum][..])
+        );
+        assert_eq!(
+            Aggregate::Avg.required_moments(),
+            Some(&[MomentKind::Count, MomentKind::Sum][..])
+        );
+        assert_eq!(
+            Aggregate::Std.required_moments(),
+            Some(&MomentKind::ALL[..])
+        );
+        assert_eq!(Aggregate::Median.required_moments(), None);
+        // Every required component reconstructs via from_moments: the
+        // kinds listed really are sufficient statistics. (STD's two
+        // formulas — Σ(v-mean)² vs Σv²-n·mean² — differ in rounding, so
+        // compare within ulps, not bitwise.)
+        let m = Moments::of([2.0, 4.0, 9.0].into_iter());
+        for agg in Aggregate::ALL {
+            if agg.required_moments().is_some() {
+                let direct = apply(agg, &[2.0, 4.0, 9.0]);
+                let via_moments = m.finish(agg).unwrap();
+                assert!(
+                    (direct - via_moments).abs() < 1e-12 * (1.0 + direct.abs()),
+                    "{}: {direct} vs {via_moments}",
+                    agg.name()
+                );
+            }
+        }
     }
 
     #[test]

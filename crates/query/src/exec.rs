@@ -19,7 +19,7 @@
 //! Predicates with no axis bounds (e.g. half-spaces) fall back to the
 //! full scan.
 
-use crate::aggregate::Aggregate;
+use crate::aggregate::{Aggregate, Moments};
 use crate::predicate::PredicateFn;
 use datagen::Dataset;
 
@@ -153,6 +153,9 @@ impl<'a> QueryEngine<'a> {
     /// Index-assisted path: answer from prefix sums when the bounds fully
     /// define the predicate over one attribute, otherwise verify the
     /// predicate on the most selective attribute's candidate rows only.
+    /// Non-MEDIAN aggregates delegate to the moments path — one copy of
+    /// the index math serves both `answer` and `moments`, which is what
+    /// keeps the sharded gather-equals-answer invariant structural.
     fn answer_pruned(
         &self,
         scratch: &mut Vec<f64>,
@@ -161,19 +164,30 @@ impl<'a> QueryEngine<'a> {
         q: &[f64],
         bounds: &[(usize, f64, f64)],
     ) -> f64 {
-        if pred.axis_bounds_exact() && bounds.len() == 1 && !matches!(agg, Aggregate::Median) {
-            let (attr, lo_v, hi_v) = bounds[0];
-            let ai = &self.index[attr];
-            let (lo, hi) = ai.range_half_open(lo_v, hi_v);
-            let n = (hi - lo) as f64;
-            let s = ai.prefix[hi] - ai.prefix[lo];
-            let s2 = ai.prefix2[hi] - ai.prefix2[lo];
-            return agg.from_moments(n, s, s2).expect("non-median aggregate");
+        if matches!(agg, Aggregate::Median) {
+            // MEDIAN is not a function of moments: materialize the
+            // candidate-verified matches and select.
+            scratch.clear();
+            scratch.extend(self.pruned_matching(pred, q, bounds));
+            return agg.apply(scratch);
         }
+        self.moments_pruned(pred, q, bounds)
+            .finish(agg)
+            .expect("every non-median aggregate is a function of moments")
+    }
 
-        // Most selective attribute wins; endpoints are kept inclusive so
-        // bounding-box pruning (rotated rectangles, spheres) stays a
-        // strict superset of the true match set.
+    /// Candidate verification shared by the pruned answer and moments
+    /// paths: pick the most selective bounded attribute and yield the
+    /// measure values of its candidate rows that satisfy the full
+    /// predicate. Endpoints are kept inclusive so bounding-box pruning
+    /// (rotated rectangles, spheres) stays a strict superset of the
+    /// true match set.
+    fn pruned_matching<'q>(
+        &'q self,
+        pred: &'q dyn PredicateFn,
+        q: &'q [f64],
+        bounds: &[(usize, f64, f64)],
+    ) -> impl Iterator<Item = f64> + 'q {
         let (mut best, mut best_width) = (None, usize::MAX);
         for &(attr, lo_v, hi_v) in bounds {
             let ai = &self.index[attr];
@@ -187,24 +201,14 @@ impl<'a> QueryEngine<'a> {
         let candidates = &self.index[attr].rows[lo..hi];
         let raw = self.data.raw();
         let d = self.data.dims();
-        let matching = candidates.iter().filter_map(|&r| {
+        candidates.iter().filter_map(move |&r| {
             let row = &raw[r as usize * d..(r as usize + 1) * d];
             if pred.matches(q, row) {
                 Some(row[self.measure])
             } else {
                 None
             }
-        });
-        match agg {
-            Aggregate::Median => {
-                scratch.clear();
-                scratch.extend(matching);
-                agg.apply(scratch)
-            }
-            _ => agg
-                .apply_streaming(matching)
-                .expect("streaming covers all non-median aggregates"),
-        }
+        })
     }
 
     /// Full-scan fallback for predicates with no axis bounds.
@@ -232,6 +236,65 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// Exact first three moments `(n, Σ, Σ²)` of the matching measure
+    /// values — the sufficient statistics every non-MEDIAN aggregate is
+    /// a function of ([`Aggregate::from_moments`]).
+    ///
+    /// This is the labeling primitive for sharded deployments
+    /// (`neurosketch::shard`): per-shard engines label the same workload
+    /// with per-shard moments, one model is trained per component, and
+    /// gathered answers recombine exactly.
+    pub fn moments(&self, pred: &dyn PredicateFn, q: &[f64]) -> Moments {
+        debug_assert_eq!(q.len(), pred.query_dim());
+        if let Some(bounds) = pred.axis_bounds(q) {
+            if !bounds.is_empty() {
+                return self.moments_pruned(pred, q, &bounds);
+            }
+        }
+        Moments::of(
+            self.data
+                .iter_rows()
+                .filter(|row| pred.matches(q, row))
+                .map(|row| row[self.measure]),
+        )
+    }
+
+    /// Index-assisted moment computation, mirroring the two pruned
+    /// answer paths: prefix-sum differences when the bounds exactly
+    /// define a single-attribute predicate, candidate verification on
+    /// the most selective attribute otherwise.
+    fn moments_pruned(
+        &self,
+        pred: &dyn PredicateFn,
+        q: &[f64],
+        bounds: &[(usize, f64, f64)],
+    ) -> Moments {
+        if pred.axis_bounds_exact() && bounds.len() == 1 {
+            let (attr, lo_v, hi_v) = bounds[0];
+            let ai = &self.index[attr];
+            let (lo, hi) = ai.range_half_open(lo_v, hi_v);
+            return Moments {
+                n: (hi - lo) as f64,
+                s: ai.prefix[hi] - ai.prefix[lo],
+                s2: ai.prefix2[hi] - ai.prefix2[lo],
+            };
+        }
+        Moments::of(self.pruned_matching(pred, q, bounds))
+    }
+
+    /// Moment-label a batch of queries, in parallel across `threads`
+    /// workers on the shared [`par`] pool; the moment analogue of
+    /// [`QueryEngine::label_batch`]. Results are in input order.
+    pub fn label_moments_batch(
+        &self,
+        pred: &dyn PredicateFn,
+        queries: &[Vec<f64>],
+        threads: usize,
+    ) -> Vec<Moments> {
+        let threads = effective_threads(queries.len(), threads);
+        par::par_map(queries, threads, |_, q| self.moments(pred, q))
+    }
+
     /// Label a batch of queries, in parallel across `threads` workers on
     /// the shared [`par`] pool. Results are in input order; each worker
     /// reuses one scratch buffer across all its queries.
@@ -242,14 +305,21 @@ impl<'a> QueryEngine<'a> {
         queries: &[Vec<f64>],
         threads: usize,
     ) -> Vec<f64> {
-        let threads = if queries.len() < 2 * threads.max(1) {
-            1
-        } else {
-            threads
-        };
+        let threads = effective_threads(queries.len(), threads);
         par::par_map_init(queries, threads, Vec::new, |scratch, _, q| {
             self.answer_with(scratch, pred, agg, q)
         })
+    }
+}
+
+/// Shared small-batch downgrade for the labeling entry points: below
+/// two queries per worker, thread spawn overhead beats the parallelism,
+/// so run sequentially.
+fn effective_threads(queries: usize, threads: usize) -> usize {
+    if queries < 2 * threads.max(1) {
+        1
+    } else {
+        threads
     }
 }
 
@@ -349,6 +419,96 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// `moments(pred, q).finish(agg)` must agree with `answer` on every
+    /// index path (prefix-sum exact, candidate-verified, full scan) —
+    /// the sharded gather math is only as good as this equivalence.
+    #[test]
+    fn moments_agree_with_answers_on_every_path() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37) % 1.0,
+                    (i as f64 * 0.71) % 1.0,
+                    ((i * i) as f64 * 0.13) % 1.0,
+                ]
+            })
+            .collect();
+        let d = Dataset::from_rows(vec!["a".into(), "b".into(), "m".into()], &rows).unwrap();
+        let eng = QueryEngine::new(&d, 2);
+        let preds: Vec<(Box<dyn PredicateFn>, Vec<f64>)> = vec![
+            (Box::new(Range::new(vec![0], 3).unwrap()), vec![0.2, 0.5]),
+            (
+                Box::new(Range::new(vec![0, 1], 3).unwrap()),
+                vec![0.1, 0.3, 0.6, 0.5],
+            ),
+            (
+                Box::new(RotatedRect::new(0, 1, 3).unwrap()),
+                vec![0.2, 0.2, 0.7, 0.6, 0.3],
+            ),
+            (Box::new(HalfSpace::new(0, 1, 3).unwrap()), vec![0.5, 0.1]),
+        ];
+        for (pred, q) in &preds {
+            let m = eng.moments(pred.as_ref(), q);
+            for agg in [
+                Aggregate::Count,
+                Aggregate::Sum,
+                Aggregate::Avg,
+                Aggregate::Std,
+            ] {
+                let direct = eng.answer(pred.as_ref(), agg, q);
+                let via = m.finish(agg).unwrap();
+                assert!(
+                    (direct - via).abs() < 1e-9 * (1.0 + direct.abs()),
+                    "{} on {:?}: {direct} vs {via}",
+                    agg.name(),
+                    q
+                );
+            }
+        }
+    }
+
+    /// Per-shard moments of a row partition merge to the whole table's
+    /// moments — the exact-composition invariant sharding relies on.
+    #[test]
+    fn moments_compose_across_row_partitions() {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i as f64 * 0.59) % 1.0, (i as f64 * 1.7) % 13.0])
+            .collect();
+        let d = Dataset::from_rows(vec!["a".into(), "m".into()], &rows).unwrap();
+        let shards: Vec<Dataset> = (0..3)
+            .map(|k| {
+                let part: Vec<Vec<f64>> = rows.iter().skip(k).step_by(3).cloned().collect();
+                Dataset::from_rows(vec!["a".into(), "m".into()], &part).unwrap()
+            })
+            .collect();
+        let pred = Range::new(vec![0], 2).unwrap();
+        let whole = QueryEngine::new(&d, 1);
+        let engines: Vec<QueryEngine<'_>> = shards.iter().map(|s| QueryEngine::new(s, 1)).collect();
+        for q in [[0.0, 1.0], [0.2, 0.5], [0.7, 0.1], [0.9, 0.4]] {
+            let gathered = engines
+                .iter()
+                .fold(crate::aggregate::Moments::ZERO, |acc, e| {
+                    acc.merge(e.moments(&pred, &q))
+                });
+            let direct = whole.moments(&pred, &q);
+            assert_eq!(gathered.n, direct.n, "COUNT is bitwise under sharding");
+            assert!((gathered.s - direct.s).abs() < 1e-9 * (1.0 + direct.s.abs()));
+            assert!((gathered.s2 - direct.s2).abs() < 1e-9 * (1.0 + direct.s2.abs()));
+        }
+    }
+
+    #[test]
+    fn moment_labels_match_sequential_and_parallel() {
+        let d = grid_data();
+        let eng = QueryEngine::new(&d, 1);
+        let pred = Range::new(vec![0], 2).unwrap();
+        let queries: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 50.0, 0.3]).collect();
+        let seq = eng.label_moments_batch(&pred, &queries, 1);
+        let par = eng.label_moments_batch(&pred, &queries, 4);
+        assert_eq!(seq, par);
+        assert_eq!(seq[7], eng.moments(&pred, &queries[7]));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod predicate;
 pub mod sql;
 pub mod workload;
 
-pub use aggregate::Aggregate;
+pub use aggregate::{Aggregate, MomentKind, Moments};
 pub use exec::QueryEngine;
 pub use predicate::{
     DisjunctiveThresholds, FixedWidthRange, HalfSpace, HyperSphere, PredicateFn, Range, RotatedRect,

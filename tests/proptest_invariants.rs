@@ -71,6 +71,62 @@ proptest! {
         prop_assert!(values.iter().any(|v| (*v - med).abs() < 1e-12));
     }
 
+    /// Scatter/gather recombination over (n, Σ, Σ²) is exact for random
+    /// splits: partition a random value multiset into random shards,
+    /// accumulate per-shard moments, merge — COUNT recombines bitwise,
+    /// and SUM/AVG/STD match the whole-set computation within ulps
+    /// (f64 addition is commutative-up-to-rounding, never lossy beyond
+    /// that). This is the invariant `neurosketch::shard`'s gather step
+    /// rests on.
+    #[test]
+    fn moment_recombination_is_exact_for_random_splits(
+        values in prop::collection::vec(-100.0f64..100.0, 1..80),
+        shard_of in prop::collection::vec(0usize..5, 80),
+    ) {
+        use query::aggregate::Moments;
+        let shards = 5;
+        let mut parts: Vec<Vec<f64>> = vec![Vec::new(); shards];
+        for (i, v) in values.iter().enumerate() {
+            parts[shard_of[i % shard_of.len()] % shards].push(*v);
+        }
+        let gathered = parts
+            .iter()
+            .map(|p| Moments::of(p.iter().copied()))
+            .fold(Moments::ZERO, Moments::merge);
+        let whole = Moments::of(values.iter().copied());
+        // COUNT is integer-valued f64 arithmetic: bitwise exact.
+        prop_assert_eq!(gathered.n, whole.n);
+        prop_assert_eq!(gathered.finish(Aggregate::Count), whole.finish(Aggregate::Count));
+        // Σ and Σ² reassociate: exact up to accumulated rounding.
+        let s_tol = f64::EPSILON * values.iter().map(|v| v.abs()).sum::<f64>() * values.len() as f64;
+        prop_assert!((gathered.s - whole.s).abs() <= s_tol,
+            "Σ: {} vs {}", gathered.s, whole.s);
+        let s2_tol = f64::EPSILON * values.iter().map(|v| v * v).sum::<f64>() * values.len() as f64;
+        prop_assert!((gathered.s2 - whole.s2).abs() <= s2_tol,
+            "Σ²: {} vs {}", gathered.s2, whole.s2);
+        for agg in [Aggregate::Sum, Aggregate::Avg] {
+            let (g, w) = (
+                gathered.finish(agg).unwrap(),
+                whole.finish(agg).unwrap(),
+            );
+            prop_assert!(
+                (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                "{}: gathered {} vs whole {}", agg.name(), g, w
+            );
+        }
+        // STD: sqrt amplifies cancellation noise when the variance is
+        // ~0, so the tight comparison is between the *variances* the
+        // two sides feed into the sqrt.
+        let (g, w) = (
+            gathered.finish(Aggregate::Std).unwrap(),
+            whole.finish(Aggregate::Std).unwrap(),
+        );
+        prop_assert!(
+            (g * g - w * w).abs() <= 1e-9 * (1.0 + w * w),
+            "STD²: gathered {} vs whole {}", g * g, w * w
+        );
+    }
+
     /// R-tree range search agrees exactly with a brute-force scan.
     #[test]
     fn rtree_matches_brute_force(

@@ -40,6 +40,14 @@ pub trait Buf {
         v
     }
 
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
     /// Read a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut raw = [0u8; 4];
@@ -75,6 +83,11 @@ pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Append a little-endian `u32`.
