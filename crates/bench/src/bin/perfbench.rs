@@ -72,6 +72,16 @@ fn main() {
         ) {
             println!("  batched training speedup: {:.2}x", scalar / batched);
         }
+        if let (Some(full), Some(partial)) = (
+            report.median_of("refresh_full"),
+            report.median_of("refresh_partial_1of4"),
+        ) {
+            println!(
+                "  partial refresh (1 of 4 shards): {:.2}x of a full rebuild ({:.2}x faster)",
+                partial / full,
+                full / partial
+            );
+        }
         // queries/sec falls out of the recorded median latency and the
         // suite's fixed per-iteration stream length.
         let qps = |e: &bench::PerfEntry| {

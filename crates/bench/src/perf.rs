@@ -14,11 +14,15 @@
 //! full sketch build, per-query answer latency, the serving engine's
 //! `serve_throughput` scenario (the same query stream through the
 //! single-query loop and the batched `SketchServer`, so the recorded
-//! ratio is the serving-throughput multiplier), and the scatter/gather
+//! ratio is the serving-throughput multiplier), the scatter/gather
 //! `serve_sharded_k{1,4}` scenarios (the same stream through a
 //! `ShardedServer` over 1 and 4 data shards — the k1/k4 ratio is the
 //! per-query cost of scattering to more shards on one box; in a real
-//! deployment each shard runs on its own hardware).
+//! deployment each shard runs on its own hardware), and the
+//! maintenance-path `refresh_full` vs `refresh_partial_1of4` pair
+//! (rebuild all four shards of a drifted deployment vs only the stale
+//! one; same iters, so the median ratio is the tracked partial-refresh
+//! speedup).
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -328,6 +332,69 @@ pub fn run_build_suite(fast: bool, reps: usize) -> PerfReport {
         }),
     );
 
+    // Partial vs full refresh of a 4-shard COUNT deployment after a
+    // drifted delta lands (`refresh_full` rebuilds all four shards,
+    // `refresh_partial_1of4` only the stale one). Same iters, so the
+    // median ratio IS the partial-refresh speedup the maintenance path
+    // delivers — each stale shard relabels and retrains only its own
+    // rows, fresh shards are never touched.
+    {
+        use datagen::simple::drift_batch;
+        use neurosketch::maintenance::retrain_shards;
+        use neurosketch::shard::{build_sharded, ShardPlan};
+
+        let mut refresh_cfg = NeuroSketchConfig::small();
+        refresh_cfg.tree_height = 2;
+        refresh_cfg.target_partitions = 4;
+        refresh_cfg.train.epochs = 15;
+        let plan = ShardPlan::RoundRobin { shards: 4 };
+        let (sharded, _) = build_sharded(
+            &sc.data,
+            1,
+            &plan,
+            &sc.wl.predicate,
+            Aggregate::Count,
+            &sc.wl.queries,
+            &refresh_cfg,
+        )
+        .expect("sharded build for refresh suite");
+        let mut grown = sc.data.clone();
+        grown
+            .append(&drift_batch(sc.data.rows() / 4, 2, 1.0, 0.2, 5))
+            .expect("drift delta");
+        let iters = 3;
+        for (name, stale) in [
+            ("refresh_full", &[0usize, 1, 2, 3][..]),
+            ("refresh_partial_1of4", &[0usize][..]),
+        ] {
+            // Clone once *outside* the timed region (an in-region clone
+            // would add the same constant to both entries and bias the
+            // tracked ratio toward 1). Repeated retrains into the same
+            // deployment redo identical work: rebuilds depend only on
+            // the data and seeds, not on the current models.
+            let mut s = sharded.clone();
+            push(
+                name,
+                iters,
+                time_reps(reps, || {
+                    for _ in 0..iters {
+                        retrain_shards(
+                            &mut s,
+                            &grown,
+                            1,
+                            &sc.wl.predicate,
+                            &sc.wl.queries,
+                            &refresh_cfg,
+                            stale,
+                        )
+                        .expect("refresh");
+                        std::hint::black_box(s.param_count());
+                    }
+                }),
+            );
+        }
+    }
+
     PerfReport {
         suite: "build".into(),
         fast,
@@ -338,6 +405,7 @@ pub fn run_build_suite(fast: bool, reps: usize) -> PerfReport {
 /// Run the query-side suite: per-query latency of the sketch's hot path
 /// and of the exact engine it is sketching.
 pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
+    use neurosketch::deploy::Deployment;
     use neurosketch::router::{DqdRouter, RoutingPolicy};
     use neurosketch::serve::{ServeOptions, SketchServer};
     use neurosketch::{NeuroSketch, NeuroSketchConfig};
@@ -416,6 +484,9 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
                 active_attrs: None,
             },
         );
+        // Served through the unified `Deployment` surface — what every
+        // batch consumer (monitor, examples, front ends) calls.
+        let server: &dyn Deployment = &server;
         push(
             &format!("serve_throughput_batched_t{threads}"),
             iters,
@@ -454,6 +525,7 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
                 active_attrs: None,
             },
         );
+        let server: &dyn Deployment = &server;
         push(
             &format!("serve_sharded_k{k}"),
             iters,

@@ -198,18 +198,26 @@ impl Dataset {
         }
     }
 
-    /// Append another dataset's rows (schemas must match) — used to
-    /// simulate data arriving over time for the dynamic-data experiments.
-    pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
+    /// Append another dataset's rows in place (schemas must match) — the
+    /// ingestion primitive behind live maintenance: existing rows keep
+    /// their indices, the delta's rows land after them, so row-stable
+    /// shard plans and index snapshots (`query`'s incremental reindex)
+    /// survive the append untouched.
+    pub fn append(&mut self, other: &Dataset) -> Result<(), DataError> {
         if self.columns != other.columns {
             return Err(DataError::BadConfig("column schemas differ".into()));
         }
-        let mut data = self.data.clone();
-        data.extend_from_slice(&other.data);
-        Ok(Dataset {
-            columns: self.columns.clone(),
-            data,
-        })
+        self.data.extend_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Append another dataset's rows (schemas must match) — the
+    /// non-consuming sibling of [`Dataset::append`], used to simulate
+    /// data arriving over time for the dynamic-data experiments.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, DataError> {
+        let mut out = self.clone();
+        out.append(other)?;
+        Ok(out)
     }
 
     /// Mean and (population) standard deviation of one column.
@@ -402,6 +410,30 @@ mod tests {
         assert_eq!(both.row(4), d.row(0));
         let other = Dataset::from_rows(vec!["z".into()], &[vec![1.0]]).unwrap();
         assert!(d.concat(&other).is_err());
+    }
+
+    #[test]
+    fn append_grows_in_place_and_preserves_prefix() {
+        let mut d = sample();
+        let delta = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            &[vec![9.0, 90.0], vec![8.0, 80.0]],
+        )
+        .unwrap();
+        let before = d.clone();
+        d.append(&delta).unwrap();
+        assert_eq!(d.rows(), 6);
+        // Existing rows keep their indices and bytes...
+        for r in 0..before.rows() {
+            assert_eq!(d.row(r), before.row(r));
+        }
+        // ...and the delta lands after them, in delta order.
+        assert_eq!(d.row(4), delta.row(0));
+        assert_eq!(d.row(5), delta.row(1));
+        // Schema mismatch is a typed refusal that leaves `d` untouched.
+        let other = Dataset::from_rows(vec!["z".into()], &[vec![1.0]]).unwrap();
+        assert!(d.append(&other).is_err());
+        assert_eq!(d.rows(), 6);
     }
 
     #[test]

@@ -46,6 +46,45 @@ pub fn gaussian(n: usize, dims: usize, mu: f64, sigma: f64, seed: u64) -> Datase
     Dataset::new(columns, data).expect("valid by construction")
 }
 
+/// A delta batch for update-ingestion experiments: `n` rows of which a
+/// `drift` fraction (in expectation) come from a concentrated Gaussian
+/// blob at `center` (per-attribute sigma 0.05, truncated to `[0,1]`) and
+/// the rest from the uniform base distribution.
+///
+/// `drift = 0.0` is organic growth — the batch is distributed like
+/// [`uniform`] data and appending it should leave a trained sketch
+/// healthy; `drift = 1.0` is a hard shift whose mass a drift check
+/// (`neurosketch::maintenance`'s `DriftMonitor`) must flag. Because
+/// the blob is localized at `center`, the shift lands in *some* query
+/// ranges and not others — exactly the partial-staleness shape the
+/// per-partition maintenance path exists for. Deterministic given the
+/// seed.
+pub fn drift_batch(n: usize, dims: usize, drift: f64, center: f64, seed: u64) -> Dataset {
+    assert!((0.0..=1.0).contains(&drift), "drift must be in [0,1]");
+    let sigma = 0.05;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns = (0..dims).map(|i| format!("x{i}")).collect();
+    let mut data = Vec::with_capacity(n * dims);
+    for _ in 0..n {
+        let blob = rng.random::<f64>() < drift;
+        for _ in 0..dims {
+            let v = if blob {
+                let mut v = center + sigma * standard_normal(&mut rng);
+                let mut tries = 0;
+                while !(0.0..=1.0).contains(&v) && tries < 64 {
+                    v = center + sigma * standard_normal(&mut rng);
+                    tries += 1;
+                }
+                v.clamp(0.0, 1.0)
+            } else {
+                rng.random::<f64>()
+            };
+            data.push(v);
+        }
+    }
+    Dataset::new(columns, data).expect("valid by construction")
+}
+
 /// `n` i.i.d. points from a two-component 1-D GMM with the given means,
 /// common sigma, and equal weights, truncated to `[0,1]` (Fig. 14's "GMM").
 pub fn gmm2(n: usize, mu1: f64, mu2: f64, sigma: f64, seed: u64) -> Dataset {
@@ -108,5 +147,28 @@ mod tests {
     fn deterministic_given_seed() {
         assert_eq!(uniform(50, 2, 9).raw(), uniform(50, 2, 9).raw());
         assert_ne!(uniform(50, 2, 9).raw(), uniform(50, 2, 10).raw());
+        assert_eq!(
+            drift_batch(50, 2, 0.5, 0.2, 9).raw(),
+            drift_batch(50, 2, 0.5, 0.2, 9).raw()
+        );
+    }
+
+    #[test]
+    fn drift_batch_concentrates_with_drift() {
+        let near_center = |d: &Dataset| {
+            d.raw().iter().filter(|v| (**v - 0.2).abs() < 0.15).count() as f64
+                / d.raw().len() as f64
+        };
+        // No drift: batch looks uniform (~30% of mass within ±0.15 of 0.2).
+        let organic = drift_batch(3_000, 2, 0.0, 0.2, 4);
+        assert!(near_center(&organic) < 0.45, "{}", near_center(&organic));
+        assert!(organic.raw().iter().all(|v| (0.0..=1.0).contains(v)));
+        // Full drift: nearly all mass lands in the blob.
+        let shifted = drift_batch(3_000, 2, 1.0, 0.2, 4);
+        assert!(near_center(&shifted) > 0.95, "{}", near_center(&shifted));
+        // Half drift sits in between.
+        let half = drift_batch(3_000, 2, 0.5, 0.2, 4);
+        assert!(near_center(&half) > near_center(&organic));
+        assert!(near_center(&half) < near_center(&shifted));
     }
 }

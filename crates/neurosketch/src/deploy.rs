@@ -1,0 +1,503 @@
+//! One serving surface for every deployment shape.
+//!
+//! PR 3 and PR 4 left two parallel serving stacks — the monolithic
+//! [`SketchServer`] and the scatter/gather [`ShardedServer`] — that
+//! duplicated batching, options and fallback plumbing, and forced every
+//! caller (benches, examples, the drift monitor) to pick one at compile
+//! time. [`Deployment`] is the refactor that collapses them: *anything
+//! that answers query batches* — a bare [`NeuroSketch`], either server,
+//! or the hot-swappable [`LiveDeployment`] handle — exposes the same
+//! four methods, and routers, benches, examples and
+//! [`crate::maintenance`] are written once against the trait.
+//!
+//! [`LiveDeployment`] adds the piece live maintenance needs: an owning
+//! handle whose inner deployment can be **atomically swapped** (or
+//! reloaded from a refreshed NSKM manifest) while batches are in
+//! flight. Every trait call takes one snapshot of the current
+//! (deployment, generation) pair and serves the whole batch from it, so
+//! answers before a swap come from generation `G`, answers after from
+//! `G + 1`, and no batch ever blends the two.
+//!
+//! ```
+//! use neurosketch::deploy::{Deployment, LiveDeployment};
+//! use neurosketch::{NeuroSketch, NeuroSketchConfig};
+//!
+//! let queries: Vec<Vec<f64>> = (0..120)
+//!     .map(|i| vec![(i as f64 * 0.7548) % 1.0, (i as f64 * 0.5698) % 1.0])
+//!     .collect();
+//! let labels: Vec<f64> = queries.iter().map(|q| 3.0 * q[0] + q[1]).collect();
+//! let mut cfg = NeuroSketchConfig::small();
+//! cfg.train.epochs = 10;
+//! let (sketch, _) = NeuroSketch::build_from_labeled(&queries, &labels, &cfg).unwrap();
+//!
+//! // A bare sketch is already a Deployment...
+//! let (answers, stats) = Deployment::answer_batch(&sketch, &queries);
+//! assert_eq!(stats.queries, queries.len());
+//!
+//! // ...and a LiveDeployment serves it behind a swappable handle.
+//! let live = LiveDeployment::new(sketch, 0);
+//! assert_eq!(live.answer_batch(&queries).0, answers);
+//! assert_eq!(live.describe().generation, Some(0));
+//! ```
+
+use crate::serve::{ServeStats, SketchServer};
+use crate::shard::{ShardedServeStats, ShardedServer};
+use crate::sketch::NeuroSketch;
+use query::aggregate::Moments;
+use std::sync::{Arc, RwLock};
+
+/// Unified per-batch tally across deployment shapes. Monolithic fields
+/// and sharded fields coexist; a path that does not track a field
+/// leaves it at its identity (`shard_count` 1 for monolithic,
+/// `model_batches` 0 where GEMM batches are not tallied).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeployStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Queries answered by a sketch forward pass.
+    pub sketch: usize,
+    /// Queries sent to the exact engine by the DQD range rule.
+    pub exact_small_range: usize,
+    /// Queries sent to the exact engine by the DQD complexity rule.
+    pub exact_hard_leaf: usize,
+    /// Data shards each query was scattered to (1 for monolithic).
+    pub shard_count: usize,
+    /// Batched GEMM model evaluations performed, where tallied.
+    pub model_batches: usize,
+}
+
+impl DeployStats {
+    /// Tally for a batch answered entirely by sketch forward passes.
+    fn all_sketch(queries: usize) -> DeployStats {
+        DeployStats {
+            queries,
+            sketch: queries,
+            shard_count: 1,
+            ..DeployStats::default()
+        }
+    }
+}
+
+impl From<ServeStats> for DeployStats {
+    fn from(s: ServeStats) -> DeployStats {
+        DeployStats {
+            queries: s.total(),
+            sketch: s.sketch,
+            exact_small_range: s.exact_small_range,
+            exact_hard_leaf: s.exact_hard_leaf,
+            shard_count: 1,
+            model_batches: 0,
+        }
+    }
+}
+
+impl From<ShardedServeStats> for DeployStats {
+    fn from(s: ShardedServeStats) -> DeployStats {
+        DeployStats {
+            queries: s.queries,
+            sketch: s.queries,
+            exact_small_range: 0,
+            exact_hard_leaf: 0,
+            shard_count: s.shard_count,
+            model_batches: s.model_batches,
+        }
+    }
+}
+
+/// Which serving stack a [`Deployment`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployKind {
+    /// One sketch over the whole table; units are kd-tree partitions.
+    Monolithic,
+    /// Scatter/gather over data shards; units are shards.
+    Sharded,
+}
+
+/// What a [`Deployment`] is serving — the `describe` surface monitoring
+/// and operator tooling read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentInfo {
+    /// The serving stack.
+    pub kind: DeployKind,
+    /// Refreshable units: kd-tree partitions (monolithic) or data
+    /// shards (sharded) — the granularity [`crate::maintenance`]'s
+    /// partial refresh operates at.
+    pub units: usize,
+    /// Total trainable parameters across the deployed models.
+    pub param_count: usize,
+    /// NSKM manifest generation, when served behind a
+    /// [`LiveDeployment`] handle; `None` for a bare deployment.
+    pub generation: Option<u64>,
+}
+
+impl std::fmt::Display for DeploymentInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            DeployKind::Monolithic => "monolithic",
+            DeployKind::Sharded => "sharded",
+        };
+        let unit = match self.kind {
+            DeployKind::Monolithic => "partition",
+            DeployKind::Sharded => "shard",
+        };
+        write!(
+            f,
+            "{kind} ({} {unit}{}, {} params",
+            self.units,
+            if self.units == 1 { "" } else { "s" },
+            self.param_count
+        )?;
+        if let Some(g) = self.generation {
+            write!(f, ", gen {g}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A deployed NeuroSketch of any shape, behind one batched serving
+/// surface.
+///
+/// Implementations: a bare [`NeuroSketch`] (every query takes the
+/// forward pass), a routed [`SketchServer`] (DQD rules may divert
+/// queries to its exact backend), a scatter/gather [`ShardedServer`],
+/// and the hot-swappable [`LiveDeployment`] handle over any of them.
+/// Write batch consumers — benches, examples, drift checks — against
+/// `&dyn Deployment`, not a concrete server.
+pub trait Deployment: Send + Sync {
+    /// Answer a batch of queries. Answers come back in input order; the
+    /// tally says where they came from.
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats);
+
+    /// The predicted `(n, Σ, Σ²)` per query, for deployments that model
+    /// moment components (sharded: the gathered cross-shard merge).
+    /// `None` when the deployment predicts the aggregate directly and
+    /// has no moment decomposition to offer (monolithic sketches).
+    fn moments_batch(&self, queries: &[Vec<f64>]) -> Option<Vec<Moments>>;
+
+    /// What is deployed: stack, refreshable units, parameter count, and
+    /// (behind a live handle) the manifest generation.
+    fn describe(&self) -> DeploymentInfo;
+
+    /// Storage footprint of the deployed models in bytes — the paper's
+    /// 4-bytes-per-parameter-dominated accounting (exact definition per
+    /// implementation: artifact bytes where the deployment is
+    /// artifact-backed).
+    fn storage_bytes(&self) -> usize;
+}
+
+impl Deployment for NeuroSketch {
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats) {
+        (
+            NeuroSketch::answer_batch(self, queries),
+            DeployStats::all_sketch(queries.len()),
+        )
+    }
+
+    fn moments_batch(&self, _queries: &[Vec<f64>]) -> Option<Vec<Moments>> {
+        None
+    }
+
+    fn describe(&self) -> DeploymentInfo {
+        DeploymentInfo {
+            kind: DeployKind::Monolithic,
+            units: self.partitions(),
+            param_count: self.param_count(),
+            generation: None,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        NeuroSketch::storage_bytes(self)
+    }
+}
+
+impl Deployment for SketchServer<'_> {
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats) {
+        let (answers, stats) = SketchServer::answer_batch(self, queries);
+        (answers, stats.into())
+    }
+
+    fn moments_batch(&self, _queries: &[Vec<f64>]) -> Option<Vec<Moments>> {
+        None
+    }
+
+    fn describe(&self) -> DeploymentInfo {
+        DeploymentInfo {
+            kind: DeployKind::Monolithic,
+            units: self.sketch().partitions(),
+            param_count: self.sketch().param_count(),
+            generation: None,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.sketch().storage_bytes()
+    }
+}
+
+impl Deployment for ShardedServer {
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats) {
+        let (answers, stats) = ShardedServer::answer_batch(self, queries);
+        (answers, stats.into())
+    }
+
+    fn moments_batch(&self, queries: &[Vec<f64>]) -> Option<Vec<Moments>> {
+        Some(ShardedServer::moments_batch(self, queries).0)
+    }
+
+    fn describe(&self) -> DeploymentInfo {
+        DeploymentInfo {
+            kind: DeployKind::Sharded,
+            units: self.sketch().shard_count(),
+            param_count: self.sketch().param_count(),
+            generation: None,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.sketch().artifact_bytes()
+    }
+}
+
+/// One immutable (deployment, generation) pair — the unit a
+/// [`LiveDeployment`] snapshot hands out.
+struct LiveState {
+    deployment: Box<dyn Deployment>,
+    generation: u64,
+}
+
+/// An owning, hot-swappable [`Deployment`] handle.
+///
+/// Serving processes hold the `LiveDeployment`; maintenance swaps what
+/// is behind it. Each trait call clones an [`Arc`] snapshot of the
+/// current state under a brief read lock and serves the **whole batch**
+/// from that snapshot, so:
+///
+/// * [`LiveDeployment::swap`] never blocks in-flight batches — they
+///   finish on the generation they started on;
+/// * a batch is always answered by exactly one generation, never a
+///   blend of pre- and post-swap models;
+/// * [`Deployment::describe`] reports the generation the *next* batch
+///   will be served by.
+///
+/// [`LiveDeployment::reload_sharded`] is the artifact-side entry point:
+/// point it at a (possibly partially) refreshed NSKM manifest and the
+/// handle atomically becomes that generation.
+pub struct LiveDeployment {
+    state: RwLock<Arc<LiveState>>,
+}
+
+impl LiveDeployment {
+    /// Serve `deployment` as generation `generation`.
+    pub fn new(deployment: impl Deployment + 'static, generation: u64) -> LiveDeployment {
+        LiveDeployment {
+            state: RwLock::new(Arc::new(LiveState {
+                deployment: Box::new(deployment),
+                generation,
+            })),
+        }
+    }
+
+    /// Atomically replace the served deployment. Batches already in
+    /// flight finish on the old generation; every batch started after
+    /// the swap sees the new one. Returns the generation that was
+    /// replaced.
+    pub fn swap(&self, deployment: impl Deployment + 'static, generation: u64) -> u64 {
+        let next = Arc::new(LiveState {
+            deployment: Box::new(deployment),
+            generation,
+        });
+        let mut guard = self.state.write().expect("live deployment lock");
+        std::mem::replace(&mut *guard, next).generation
+    }
+
+    /// Load a sharded deployment from its NSKM manifest and swap it in,
+    /// serving it with `opts`. The new generation is the manifest's —
+    /// after a partial refresh ([`crate::persist::save_refreshed`])
+    /// that is the old generation + 1. Returns the now-live generation.
+    pub fn reload_sharded(
+        &self,
+        manifest_path: impl AsRef<std::path::Path>,
+        opts: crate::serve::ServeOptions,
+    ) -> Result<u64, crate::persist::PersistError> {
+        // One read, one decode: the loaded shards and the generation
+        // come from the *same* manifest bytes, so a refresh landing
+        // concurrently can never make the handle serve one generation's
+        // models under another's number.
+        let (sketch, manifest) = crate::persist::load_sharded_with_manifest(manifest_path)?;
+        self.swap(ShardedServer::new(sketch, opts), manifest.generation);
+        Ok(manifest.generation)
+    }
+
+    /// The generation the next batch will be served by.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation
+    }
+
+    /// Clone the current state under a brief read lock; the caller then
+    /// works lock-free on the snapshot.
+    fn snapshot(&self) -> Arc<LiveState> {
+        self.state.read().expect("live deployment lock").clone()
+    }
+}
+
+impl Deployment for LiveDeployment {
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats) {
+        self.snapshot().deployment.answer_batch(queries)
+    }
+
+    fn moments_batch(&self, queries: &[Vec<f64>]) -> Option<Vec<Moments>> {
+        self.snapshot().deployment.moments_batch(queries)
+    }
+
+    fn describe(&self) -> DeploymentInfo {
+        let state = self.snapshot();
+        DeploymentInfo {
+            generation: Some(state.generation),
+            ..state.deployment.describe()
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.snapshot().deployment.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{DqdRouter, RoutingPolicy};
+    use crate::serve::ServeOptions;
+    use crate::shard::{build_sharded, ShardPlan};
+    use crate::sketch::NeuroSketchConfig;
+    use datagen::simple::uniform;
+    use query::aggregate::Aggregate;
+    use query::exec::QueryEngine;
+    use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+
+    fn setup() -> (datagen::Dataset, Workload) {
+        let data = uniform(800, 2, 3);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: 160,
+            seed: 7,
+        })
+        .unwrap();
+        (data, wl)
+    }
+
+    fn cfg() -> NeuroSketchConfig {
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 10;
+        cfg
+    }
+
+    /// Every implementation's trait surface must agree bitwise with its
+    /// inherent batch path and report a coherent tally.
+    #[test]
+    fn trait_paths_match_inherent_paths() {
+        let (data, wl) = setup();
+        let engine = QueryEngine::new(&data, 1);
+        let (sketch, report) = crate::NeuroSketch::build(
+            &engine,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg(),
+        )
+        .unwrap();
+
+        // Bare sketch.
+        let inherent = sketch.answer_batch(&wl.queries);
+        let (via_trait, stats) = Deployment::answer_batch(&sketch, &wl.queries);
+        assert_eq!(via_trait, inherent);
+        assert_eq!(stats.queries, wl.queries.len());
+        assert_eq!(stats.sketch, wl.queries.len());
+        assert_eq!(stats.shard_count, 1);
+        assert!(Deployment::moments_batch(&sketch, &wl.queries).is_none());
+        let info = Deployment::describe(&sketch);
+        assert_eq!(info.kind, DeployKind::Monolithic);
+        assert_eq!(info.units, sketch.partitions());
+        assert_eq!(info.generation, None);
+        assert_eq!(Deployment::storage_bytes(&sketch), sketch.storage_bytes());
+
+        // Routed server.
+        let router = DqdRouter::new(sketch.clone(), report.leaf_aqcs, RoutingPolicy::default());
+        let server = SketchServer::new(router, ServeOptions::default());
+        let inherent = SketchServer::answer_batch(&server, &wl.queries);
+        let (via_trait, stats) = Deployment::answer_batch(&server, &wl.queries);
+        assert_eq!(via_trait, inherent.0);
+        assert_eq!(stats, inherent.1.into());
+        assert_eq!(Deployment::describe(&server).kind, DeployKind::Monolithic);
+
+        // Sharded server.
+        let (sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 2 },
+            &wl.predicate,
+            Aggregate::Avg,
+            &wl.queries,
+            &cfg(),
+        )
+        .unwrap();
+        let server = crate::shard::ShardedServer::new(sharded, ServeOptions::default());
+        let inherent = crate::shard::ShardedServer::answer_batch(&server, &wl.queries);
+        let (via_trait, stats) = Deployment::answer_batch(&server, &wl.queries);
+        assert_eq!(via_trait, inherent.0);
+        assert_eq!(stats.shard_count, 2);
+        assert_eq!(stats.model_batches, inherent.1.model_batches);
+        let moments = Deployment::moments_batch(&server, &wl.queries).expect("sharded has moments");
+        for (m, a) in moments.iter().zip(&via_trait) {
+            assert_eq!(server.sketch().finish_guarded(*m), *a);
+        }
+        let info = Deployment::describe(&server);
+        assert_eq!((info.kind, info.units), (DeployKind::Sharded, 2));
+    }
+
+    /// A swap flips answers and generation atomically; the handle's
+    /// describe carries the generation a bare deployment lacks.
+    #[test]
+    fn live_deployment_swaps_whole_generations() {
+        let (_, wl) = setup();
+        let labels_a: Vec<f64> = wl.queries.iter().map(|q| q[0] * 10.0).collect();
+        let labels_b: Vec<f64> = wl.queries.iter().map(|q| 50.0 - q[0] * 10.0).collect();
+        let (gen_a, _) =
+            crate::NeuroSketch::build_from_labeled(&wl.queries, &labels_a, &cfg()).unwrap();
+        let (gen_b, _) =
+            crate::NeuroSketch::build_from_labeled(&wl.queries, &labels_b, &cfg()).unwrap();
+        let expect_a = gen_a.answer_batch(&wl.queries);
+        let expect_b = gen_b.answer_batch(&wl.queries);
+
+        let live = LiveDeployment::new(gen_a, 4);
+        assert_eq!(live.generation(), 4);
+        assert_eq!(live.describe().generation, Some(4));
+        assert_eq!(live.answer_batch(&wl.queries).0, expect_a);
+
+        let replaced = live.swap(gen_b, 5);
+        assert_eq!(replaced, 4);
+        assert_eq!(live.generation(), 5);
+        assert_eq!(live.answer_batch(&wl.queries).0, expect_b);
+        assert_ne!(expect_a, expect_b, "test must distinguish generations");
+    }
+
+    #[test]
+    fn info_display_is_operator_readable() {
+        let info = DeploymentInfo {
+            kind: DeployKind::Sharded,
+            units: 4,
+            param_count: 1234,
+            generation: Some(7),
+        };
+        assert_eq!(info.to_string(), "sharded (4 shards, 1234 params, gen 7)");
+        let info = DeploymentInfo {
+            kind: DeployKind::Monolithic,
+            units: 1,
+            param_count: 10,
+            generation: None,
+        };
+        assert_eq!(info.to_string(), "monolithic (1 partition, 10 params)");
+    }
+}

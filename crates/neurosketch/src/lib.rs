@@ -47,6 +47,7 @@
 
 pub mod aqc;
 pub mod arch_search;
+pub mod deploy;
 pub mod dqd;
 pub mod ldq;
 pub mod maintenance;
@@ -57,6 +58,8 @@ pub mod shard;
 pub mod sketch;
 
 pub use aqc::{aqc, normalized_aqc_std};
+pub use deploy::{DeployKind, DeployStats, Deployment, DeploymentInfo, LiveDeployment};
+pub use maintenance::{DriftMonitor, DriftReport, MaintenancePlan, MaintenanceReport};
 pub use persist::{Artifact, PersistError};
 pub use serve::{ServeOptions, ServeStats, SketchServer};
 pub use shard::{build_sharded, ShardPlan, ShardedServer, ShardedSketch};
@@ -76,6 +79,24 @@ pub enum SketchError {
         /// Dimensionality of the offending query vector.
         got: usize,
     },
+    /// Drift monitoring was configured with an empty probe workload —
+    /// there is nothing to test the deployment against.
+    EmptyProbe,
+    /// Drift monitoring was configured with a staleness threshold that
+    /// can never fire meaningfully (non-positive or NaN).
+    BadThreshold {
+        /// The offending threshold value.
+        got: f64,
+    },
+    /// A maintenance operation addressed a refreshable unit — a kd-tree
+    /// partition (monolithic) or a data shard (sharded) — that the
+    /// deployment does not have.
+    NoSuchUnit {
+        /// The offending unit index.
+        unit: usize,
+        /// Number of units the deployment actually has.
+        units: usize,
+    },
     /// Model (de)serialization failed.
     Serde(String),
 }
@@ -87,6 +108,13 @@ impl std::fmt::Display for SketchError {
             SketchError::BadConfig(s) => write!(f, "bad config: {s}"),
             SketchError::BadQueryDim { expected, got } => {
                 write!(f, "query vector length {got}, sketch expects {expected}")
+            }
+            SketchError::EmptyProbe => write!(f, "probe workload must be nonempty"),
+            SketchError::BadThreshold { got } => {
+                write!(f, "staleness threshold must be positive, got {got}")
+            }
+            SketchError::NoSuchUnit { unit, units } => {
+                write!(f, "no refreshable unit {unit}: deployment has {units}")
             }
             SketchError::Serde(s) => write!(f, "serialization error: {s}"),
         }

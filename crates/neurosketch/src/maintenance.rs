@@ -1,23 +1,51 @@
-//! Dynamic-data support (Sec. 7 future work).
+//! Live maintenance for dynamic data (Sec. 7 of the paper, made
+//! operational).
 //!
-//! The paper's proposed approach: "frequently test NeuroSketch, and
-//! re-train the neural networks whose accuracy falls below a certain
-//! threshold." [`DriftMonitor`] implements the testing half — it holds a
-//! probe workload and compares the sketch against a fresh exact oracle —
-//! and [`refresh`] the retraining half, rebuilding from newly labeled
-//! queries with the same configuration.
+//! The paper's proposal for dynamic data: "frequently test NeuroSketch,
+//! and re-train the neural networks whose accuracy falls below a certain
+//! threshold." This module implements the full loop at the granularity
+//! that sentence implies — *the networks*, plural, not the deployment:
+//!
+//! 1. **Ingest.** Rows are appended ([`datagen::Dataset::append`]); the
+//!    exact oracle follows incrementally
+//!    ([`query::exec::QueryEngine::resume`]) instead of re-sorting.
+//! 2. **Check.** A [`DriftMonitor`] holds a probe workload and a
+//!    staleness threshold. [`DriftMonitor::check`] scores any
+//!    [`Deployment`] whole; a [`MaintenancePlan`] scores it **per
+//!    refreshable unit** — per kd-tree partition for a monolithic
+//!    deployment, per data shard for a sharded one.
+//! 3. **Partial retrain.** Only stale units retrain (on the [`par`]
+//!    worker pool, through the batched GEMM training path); every fresh
+//!    unit's models are left bitwise untouched. An optional per-cycle
+//!    budget ([`MaintenancePlan::max_retrain`]) caps the work, worst
+//!    units first — the rolling-refresh pattern.
+//! 4. **Hot swap.** For artifact-backed sharded deployments, the
+//!    retrained shards land as a new manifest generation
+//!    ([`crate::persist::save_refreshed`]) and a serving process
+//!    atomically adopts it via
+//!    [`crate::deploy::LiveDeployment::reload_sharded`].
+//!
+//! [`refresh`] remains the degenerate full rebuild — still the right
+//! tool when *every* unit is stale, when the query distribution itself
+//! moved (the kd-tree partitioning is only retrainable wholesale), or
+//! under a non-row-stable shard plan; `docs/maintenance.md` is the
+//! operator's guide to choosing.
 
+use crate::deploy::Deployment;
+use crate::shard::{build_shard_sketch, ShardedSketch};
 use crate::sketch::{BuildReport, NeuroSketch, NeuroSketchConfig};
 use crate::SketchError;
-use query::aggregate::Aggregate;
+use datagen::Dataset;
+use query::aggregate::{Aggregate, MomentKind};
 use query::error::normalized_mae;
 use query::exec::QueryEngine;
 use query::predicate::PredicateFn;
+use std::time::{Duration, Instant};
 
-/// Outcome of one drift check.
+/// Outcome of one whole-deployment drift check.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftReport {
-    /// Normalized MAE of the sketch against the current data.
+    /// Normalized MAE of the deployment against the current data.
     pub nmae: f64,
     /// Whether the error breached the threshold (retrain advised).
     pub stale: bool,
@@ -28,18 +56,33 @@ pub struct DriftReport {
 pub struct DriftMonitor {
     probe: Vec<Vec<f64>>,
     threshold: f64,
+    threads: usize,
 }
 
 impl DriftMonitor {
     /// Monitor with a fixed probe workload and an NMAE threshold above
-    /// which the sketch is declared stale.
-    ///
-    /// # Panics
-    /// Panics on an empty probe set or nonpositive threshold.
-    pub fn new(probe: Vec<Vec<f64>>, threshold: f64) -> DriftMonitor {
-        assert!(!probe.is_empty(), "probe workload must be nonempty");
-        assert!(threshold > 0.0, "threshold must be positive");
-        DriftMonitor { probe, threshold }
+    /// which a deployment (or one of its units) is declared stale.
+    /// Labeling and checking default to two worker threads; tune with
+    /// [`DriftMonitor::with_threads`].
+    pub fn new(probe: Vec<Vec<f64>>, threshold: f64) -> Result<DriftMonitor, SketchError> {
+        if probe.is_empty() {
+            return Err(SketchError::EmptyProbe);
+        }
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err(SketchError::BadThreshold { got: threshold });
+        }
+        Ok(DriftMonitor {
+            probe,
+            threshold,
+            threads: 2,
+        })
+    }
+
+    /// Set the worker-thread count the monitor's exact labeling and
+    /// batched checking fan out across.
+    pub fn with_threads(mut self, threads: usize) -> DriftMonitor {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The probe queries.
@@ -47,17 +90,29 @@ impl DriftMonitor {
         &self.probe
     }
 
-    /// Compare the sketch against the *current* data (via an exact
-    /// engine over it) on the probe workload.
+    /// The staleness threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The worker-thread knob.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compare a deployment against the *current* data (via an exact
+    /// engine over it) on the probe workload. Works on any
+    /// [`Deployment`] — a bare sketch, either server, or a live handle —
+    /// and answers the whole probe through the batched serving path.
     pub fn check(
         &self,
-        sketch: &NeuroSketch,
+        deployment: &dyn Deployment,
         engine: &QueryEngine<'_>,
         pred: &dyn PredicateFn,
         agg: Aggregate,
     ) -> DriftReport {
-        let truth = engine.label_batch(pred, agg, &self.probe, 2);
-        let preds: Vec<f64> = self.probe.iter().map(|q| sketch.answer(q)).collect();
+        let truth = engine.label_batch(pred, agg, &self.probe, self.threads);
+        let (preds, _) = deployment.answer_batch(&self.probe);
         let nmae = normalized_mae(&truth, &preds);
         DriftReport {
             nmae,
@@ -66,8 +121,384 @@ impl DriftMonitor {
     }
 }
 
-/// Retrain a sketch against the current data: relabel the training
-/// workload and rebuild with the same configuration.
+/// One refreshable unit's drift verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitDrift {
+    /// Unit index: kd-tree partition (leaf order) or data shard.
+    pub unit: usize,
+    /// Probe queries that landed in / scored this unit.
+    pub probes: usize,
+    /// Normalized MAE over those probes (0 when no probe reached the
+    /// unit — an unobserved unit is never declared stale).
+    pub nmae: f64,
+    /// Whether this unit breached the threshold.
+    pub stale: bool,
+}
+
+/// What one maintenance cycle found and did.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Per-unit drift verdicts, in unit order.
+    pub units: Vec<UnitDrift>,
+    /// Units retrained this cycle, worst first.
+    pub retrained: Vec<usize>,
+    /// Stale units deferred by the [`MaintenancePlan::max_retrain`]
+    /// budget — next cycle's work, worst first.
+    pub deferred: Vec<usize>,
+    /// Wall-clock of the drift check (labeling + batched answering).
+    pub check: Duration,
+    /// Wall-clock of relabeling + retraining the stale units.
+    pub retrain: Duration,
+}
+
+impl MaintenanceReport {
+    /// Stale units found this cycle (retrained + deferred).
+    pub fn stale_units(&self) -> usize {
+        self.units.iter().filter(|u| u.stale).count()
+    }
+}
+
+/// A per-unit drift check + budgeted partial retrain, in one reusable
+/// policy object. The same plan drives both deployment shapes:
+/// [`MaintenancePlan::refresh_monolithic`] retrains stale kd-tree
+/// partitions in place, [`MaintenancePlan::refresh_sharded`] rebuilds
+/// stale data shards — each leaving fresh units' models bitwise
+/// untouched.
+#[derive(Debug, Clone)]
+pub struct MaintenancePlan {
+    /// Probe workload, staleness threshold and check-thread knob.
+    pub monitor: DriftMonitor,
+    /// Configuration stale units retrain with. For bitwise parity with
+    /// a from-scratch rebuild (and stable per-unit seeds), use the
+    /// configuration the deployment was originally built with.
+    pub retrain: NeuroSketchConfig,
+    /// Per-cycle retrain budget: at most this many stale units retrain,
+    /// worst NMAE first, the rest are deferred to the next cycle.
+    /// `None` retrains every stale unit.
+    pub max_retrain: Option<usize>,
+}
+
+impl MaintenancePlan {
+    /// A plan with no retrain budget.
+    pub fn new(monitor: DriftMonitor, retrain: NeuroSketchConfig) -> MaintenancePlan {
+        MaintenancePlan {
+            monitor,
+            retrain,
+            max_retrain: None,
+        }
+    }
+
+    /// Split this cycle's stale units into (retrained, deferred) under
+    /// the budget, worst NMAE first.
+    fn triage(&self, units: &[UnitDrift]) -> (Vec<usize>, Vec<usize>) {
+        let mut stale: Vec<&UnitDrift> = units.iter().filter(|u| u.stale).collect();
+        stale.sort_by(|a, b| b.nmae.total_cmp(&a.nmae));
+        let budget = self.max_retrain.unwrap_or(stale.len());
+        let ids: Vec<usize> = stale.iter().map(|u| u.unit).collect();
+        let deferred = ids[budget.min(ids.len())..].to_vec();
+        let mut retrained = ids;
+        retrained.truncate(budget);
+        (retrained, deferred)
+    }
+
+    /// Check a **monolithic** deployment per kd-tree partition and
+    /// retrain only the stale partitions, in place.
+    ///
+    /// The check answers the whole probe through the batched
+    /// [`Deployment`] surface, labels it against `engine` (the exact
+    /// oracle over the *current* data), and scores each partition on
+    /// the probes that route to it. Stale partitions then relabel their
+    /// slice of `train_queries` and retrain on the worker pool with the
+    /// batched GEMM path — every fresh partition's model stays bitwise
+    /// identical, so answers outside the stale regions are unchanged.
+    ///
+    /// Errors: a stale partition none of `train_queries` route to
+    /// (nothing to retrain it with — widen the workload), and every
+    /// training error below.
+    pub fn refresh_monolithic(
+        &self,
+        sketch: &mut NeuroSketch,
+        engine: &QueryEngine<'_>,
+        pred: &dyn PredicateFn,
+        agg: Aggregate,
+        train_queries: &[Vec<f64>],
+    ) -> Result<MaintenanceReport, SketchError> {
+        let t0 = Instant::now();
+        let probe = self.monitor.probe();
+        let truth = engine.label_batch(pred, agg, probe, self.monitor.threads());
+        let (preds, _) = Deployment::answer_batch(&*sketch, probe);
+        let mut per_unit: Vec<Vec<usize>> = vec![Vec::new(); sketch.partitions()];
+        for (i, q) in probe.iter().enumerate() {
+            per_unit[sketch.leaf_index_of(q)].push(i);
+        }
+        let units: Vec<UnitDrift> = per_unit
+            .iter()
+            .enumerate()
+            .map(|(unit, idxs)| {
+                let t: Vec<f64> = idxs.iter().map(|&i| truth[i]).collect();
+                let p: Vec<f64> = idxs.iter().map(|&i| preds[i]).collect();
+                let nmae = if idxs.is_empty() {
+                    0.0
+                } else {
+                    normalized_mae(&t, &p)
+                };
+                UnitDrift {
+                    unit,
+                    probes: idxs.len(),
+                    nmae,
+                    stale: nmae > self.monitor.threshold(),
+                }
+            })
+            .collect();
+        let check = t0.elapsed();
+
+        let (retrained, deferred) = self.triage(&units);
+        let t1 = Instant::now();
+        // Gather each stale partition's slice of the training workload
+        // up front so the per-unit tasks are self-contained.
+        let mut slices: Vec<Vec<Vec<f64>>> = vec![Vec::new(); retrained.len()];
+        if !retrained.is_empty() {
+            for q in train_queries {
+                let unit = sketch.leaf_index_of(q);
+                if let Some(slot) = retrained.iter().position(|&u| u == unit) {
+                    slices[slot].push(q.clone());
+                }
+            }
+        }
+        // One task per stale unit on the shared pool; relabeling and
+        // training both run inside the task (single-threaded there, so
+        // U stale units use U workers).
+        let jobs: Vec<(usize, Vec<Vec<f64>>)> = retrained.iter().copied().zip(slices).collect();
+        let results = par::par_map(&jobs, self.retrain.threads, |_, (unit, qs)| {
+            let labels = engine.label_batch(pred, agg, qs, 1);
+            sketch
+                .train_partition_model(*unit, qs, &labels, &self.retrain)
+                .map(|(model, _)| (*unit, model))
+        });
+        // All-or-nothing install: surface any per-unit error *before*
+        // touching a model, so a failed cycle leaves the deployment
+        // exactly as it was — never half-refreshed under an Err.
+        let trained = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        for (unit, model) in trained {
+            sketch.install_partition_model(unit, model);
+        }
+        Ok(MaintenanceReport {
+            units,
+            retrained,
+            deferred,
+            check,
+            retrain: t1.elapsed(),
+        })
+    }
+
+    /// Check a **sharded** deployment per data shard and rebuild only
+    /// the stale shards, in place.
+    ///
+    /// Each shard is scored against its *own* rows of the current
+    /// table: the plan re-splits `data`, a per-shard exact engine
+    /// labels the probe with shard-local moments, and the shard's
+    /// predicted moments ([`crate::shard::ShardSketch`]'s batched path,
+    /// finished with the deployment's aggregate) are compared on
+    /// normalized MAE. Stale shards rebuild via [`retrain_shards`] —
+    /// same per-(shard, component) seeds as [`crate::shard::build_sharded`],
+    /// so a rebuilt shard is bitwise what a full rebuild would have
+    /// produced — and fresh shards' models stay bitwise untouched.
+    ///
+    /// Errors: a plan that is not row-stable (a [`crate::shard::ShardPlan::Blocks`]
+    /// table reassigns rows on append, invalidating *every* shard, so a
+    /// maintenance cycle — which retrains at most a stale subset —
+    /// cannot be sound; refused up front, before any checking work;
+    /// full-rebuild territory), an empty shard, and every build error
+    /// below.
+    pub fn refresh_sharded(
+        &self,
+        sketch: &mut ShardedSketch,
+        data: &Dataset,
+        measure: usize,
+        pred: &dyn PredicateFn,
+        train_queries: &[Vec<f64>],
+    ) -> Result<MaintenanceReport, SketchError> {
+        let t0 = Instant::now();
+        let plan = sketch.plan();
+        if !plan.row_stable() {
+            return Err(SketchError::BadConfig(format!(
+                "{plan:?} is not row-stable: appends reassign rows across shards, so a partial \
+                 refresh would leave untouched shards serving rows they never saw — rebuild the \
+                 whole deployment instead"
+            )));
+        }
+        plan.validate(data.rows())?;
+        let shard_data = plan.split(data);
+        if let Some(empty) = shard_data.iter().position(|s| s.rows() == 0) {
+            return Err(SketchError::BadConfig(format!(
+                "{plan:?} leaves shard {empty} with no rows: every shard needs data"
+            )));
+        }
+        let probe = self.monitor.probe();
+        let agg = sketch.aggregate();
+        let threshold = self.monitor.threshold();
+        let shards = sketch.shards();
+        let jobs: Vec<usize> = (0..shards.len()).collect();
+        let units: Vec<UnitDrift> = par::par_map_init(
+            &jobs,
+            self.monitor.threads(),
+            crate::sketch::BatchScratch::default,
+            |scratch, _, &unit| {
+                let engine = QueryEngine::new(&shard_data[unit], measure);
+                let truth: Vec<f64> = engine
+                    .label_moments_batch(pred, probe, 1)
+                    .into_iter()
+                    .map(|m| {
+                        m.finish(agg)
+                            .expect("sharded aggregates are moment-composable")
+                    })
+                    .collect();
+                let preds: Vec<f64> = shards[unit]
+                    .moments_batch_with(scratch, probe)
+                    .into_iter()
+                    .map(|m| sketch.finish_guarded(m))
+                    .collect();
+                let nmae = normalized_mae(&truth, &preds);
+                UnitDrift {
+                    unit,
+                    probes: probe.len(),
+                    nmae,
+                    stale: nmae > threshold,
+                }
+            },
+        );
+        let check = t0.elapsed();
+
+        let (retrained, deferred) = self.triage(&units);
+        let t1 = Instant::now();
+        // The check phase already split the table; rebuild straight from
+        // those per-shard tables instead of re-materializing them.
+        let kinds = required_kinds(sketch)?;
+        let jobs: Vec<(usize, &Dataset)> = retrained.iter().map(|&u| (u, &shard_data[u])).collect();
+        rebuild_shards(
+            sketch,
+            &jobs,
+            measure,
+            pred,
+            train_queries,
+            &self.retrain,
+            kinds,
+        )?;
+        Ok(MaintenanceReport {
+            units,
+            retrained,
+            deferred,
+            check,
+            retrain: t1.elapsed(),
+        })
+    }
+}
+
+/// The moment components this deployment's aggregate requires (always
+/// present for a constructible [`ShardedSketch`]; typed for hand-built
+/// edge cases).
+fn required_kinds(sketch: &ShardedSketch) -> Result<&'static [MomentKind], SketchError> {
+    sketch.aggregate().required_moments().ok_or_else(|| {
+        SketchError::BadConfig(format!(
+            "{} is not a function of (n, Σ, Σ²) and cannot be sharded by moment composition",
+            sketch.aggregate().name()
+        ))
+    })
+}
+
+/// Rebuild the given (shard index, shard table) pairs in parallel on
+/// the worker pool and install the results — the shared tail of
+/// [`MaintenancePlan::refresh_sharded`] and [`retrain_shards`].
+fn rebuild_shards(
+    sketch: &mut ShardedSketch,
+    jobs: &[(usize, &Dataset)],
+    measure: usize,
+    pred: &dyn PredicateFn,
+    train_queries: &[Vec<f64>],
+    cfg: &NeuroSketchConfig,
+    kinds: &'static [MomentKind],
+) -> Result<(), SketchError> {
+    let built = par::par_map(jobs, cfg.threads, |_, (unit, shard)| {
+        build_shard_sketch(*unit, shard, measure, pred, kinds, train_queries, cfg)
+            .map(|(s, _, _)| (*unit, s))
+    });
+    // All-or-nothing install, mirroring the monolithic path: any build
+    // error leaves every shard's models exactly as they were.
+    let rebuilt = built.into_iter().collect::<Result<Vec<_>, _>>()?;
+    for (unit, shard) in rebuilt {
+        sketch.replace_shard(unit, shard);
+    }
+    Ok(())
+}
+
+/// Rebuild the given shards of a deployment against the current table,
+/// leaving every other shard's models bitwise untouched — the partial
+/// refresh mechanism under [`MaintenancePlan::refresh_sharded`],
+/// exposed for callers that already know the stale set (benchmarks, an
+/// operator forcing a shard). Shards rebuild in parallel on the worker
+/// pool with the same per-(shard, component) seed derivation as
+/// [`crate::shard::build_sharded`], so with the original build
+/// configuration a rebuilt shard is bitwise what a full rebuild over
+/// the same table would produce.
+///
+/// A plan that is not row-stable is refused (typed) unless `stale`
+/// covers every shard — under [`crate::shard::ShardPlan::Blocks`],
+/// appends reassign rows, so any untouched shard's models would be
+/// serving rows they were never trained on.
+pub fn retrain_shards(
+    sketch: &mut ShardedSketch,
+    data: &Dataset,
+    measure: usize,
+    pred: &dyn PredicateFn,
+    train_queries: &[Vec<f64>],
+    cfg: &NeuroSketchConfig,
+    stale: &[usize],
+) -> Result<(), SketchError> {
+    let plan = sketch.plan();
+    let mut stale: Vec<usize> = stale.to_vec();
+    stale.sort_unstable();
+    stale.dedup();
+    if let Some(&unit) = stale.iter().find(|&&u| u >= sketch.shard_count()) {
+        return Err(SketchError::NoSuchUnit {
+            unit,
+            units: sketch.shard_count(),
+        });
+    }
+    // An empty stale set is a no-op regardless of the plan — a cycle
+    // that found nothing stale must not error on a Blocks deployment.
+    if stale.is_empty() {
+        return Ok(());
+    }
+    if !plan.row_stable() && stale.len() < sketch.shard_count() {
+        return Err(SketchError::BadConfig(format!(
+            "{plan:?} is not row-stable: appends reassign rows across shards, so a partial \
+             refresh would leave untouched shards serving rows they never saw — rebuild all \
+             shards (or the whole deployment) instead"
+        )));
+    }
+    let kinds = required_kinds(sketch)?;
+    plan.validate(data.rows())?;
+    let assignment = plan.assignment(data.rows());
+    if let Some(&empty) = stale.iter().find(|&&u| assignment[u].is_empty()) {
+        return Err(SketchError::BadConfig(format!(
+            "{plan:?} leaves shard {empty} with no rows: every shard needs data"
+        )));
+    }
+    // Materialize only the stale shards' tables; fresh shards' rows are
+    // never touched, read or re-labeled.
+    let tables: Vec<(usize, Dataset)> = stale
+        .iter()
+        .map(|&u| (u, data.select_rows(&assignment[u])))
+        .collect();
+    let jobs: Vec<(usize, &Dataset)> = tables.iter().map(|(u, d)| (*u, d)).collect();
+    rebuild_shards(sketch, &jobs, measure, pred, train_queries, cfg, kinds)
+}
+
+/// Retrain a sketch against the current data from scratch: relabel the
+/// training workload and rebuild with the same configuration. The
+/// degenerate full refresh — right when every unit is stale, when the
+/// *query* distribution moved (partitioning is not retrainable per
+/// unit), or under a non-row-stable shard plan.
 pub fn refresh(
     engine: &QueryEngine<'_>,
     pred: &dyn PredicateFn,
@@ -81,7 +512,8 @@ pub fn refresh(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datagen::simple::{gaussian, uniform};
+    use crate::shard::{build_sharded, ShardPlan};
+    use datagen::simple::{drift_batch, gaussian, uniform};
     use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
 
     fn workload(seed: u64) -> Workload {
@@ -104,7 +536,7 @@ mod tests {
         cfg.train.epochs = 120;
         let (sketch, _) =
             NeuroSketch::build(&engine, &wl.predicate, Aggregate::Avg, &wl.queries, &cfg).unwrap();
-        let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2);
+        let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2).unwrap();
         let report = monitor.check(&sketch, &engine, &wl.predicate, Aggregate::Avg);
         assert!(
             !report.stale,
@@ -133,7 +565,10 @@ mod tests {
 
         let new = gaussian(3_000, 1, 0.2, 0.05, 9);
         let new_engine = QueryEngine::new(&new, 0);
-        let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2);
+        let monitor = DriftMonitor::new(wl.queries[..100].to_vec(), 0.2)
+            .unwrap()
+            .with_threads(3);
+        assert_eq!(monitor.threads(), 3);
 
         let drifted = monitor.check(&sketch, &new_engine, &wl.predicate, Aggregate::Count);
         assert!(drifted.stale, "drift not detected (nmae {})", drifted.nmae);
@@ -156,8 +591,327 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "probe workload")]
-    fn empty_probe_panics() {
-        let _ = DriftMonitor::new(vec![], 0.1);
+    fn monitor_construction_errors_are_typed() {
+        assert_eq!(
+            DriftMonitor::new(vec![], 0.1).unwrap_err(),
+            SketchError::EmptyProbe
+        );
+        assert_eq!(
+            DriftMonitor::new(vec![vec![0.5, 0.5]], 0.0).unwrap_err(),
+            SketchError::BadThreshold { got: 0.0 }
+        );
+        assert!(matches!(
+            DriftMonitor::new(vec![vec![0.5, 0.5]], f64::NAN).unwrap_err(),
+            SketchError::BadThreshold { .. }
+        ));
+    }
+
+    /// Localized drift (a blob appended at x ≈ 0.2) must stale only the
+    /// query-space partitions whose probes cover the blob; the partial
+    /// refresh retrains those and provably leaves every fresh
+    /// partition's answers bitwise unchanged.
+    #[test]
+    fn monolithic_partial_refresh_touches_only_stale_partitions() {
+        let mut data = uniform(4_000, 1, 1);
+        let wl = workload(5);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 2;
+        cfg.target_partitions = 4;
+        cfg.train.epochs = 120;
+        let engine = QueryEngine::new(&data, 0);
+        let (mut sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+
+        // Ingest a hard localized shift through the incremental path.
+        let snapshot = engine.into_snapshot();
+        data.append(&drift_batch(2_000, 1, 1.0, 0.2, 7)).unwrap();
+        let engine = QueryEngine::resume(snapshot, &data).unwrap();
+
+        let monitor = DriftMonitor::new(wl.queries[..200].to_vec(), 0.15).unwrap();
+        let plan = MaintenancePlan::new(monitor, cfg.clone());
+        let before: Vec<f64> = wl.queries.iter().map(|q| sketch.answer(q)).collect();
+        let drifted = plan
+            .monitor
+            .check(&sketch, &engine, &wl.predicate, Aggregate::Count);
+        assert!(
+            drifted.stale,
+            "setup failed to drift (nmae {})",
+            drifted.nmae
+        );
+        let report = plan
+            .refresh_monolithic(
+                &mut sketch,
+                &engine,
+                &wl.predicate,
+                Aggregate::Count,
+                &wl.queries,
+            )
+            .unwrap();
+
+        assert!(!report.retrained.is_empty(), "no partition went stale");
+        assert!(
+            report.retrained.len() < sketch.partitions(),
+            "drift at one end of the domain staled every partition: {:?}",
+            report.units
+        );
+        assert!(report.deferred.is_empty());
+        // Fresh partitions: answers bitwise unchanged for every query
+        // routing to them. Stale partitions: actually retrained.
+        let mut stale_changed = false;
+        for (q, b) in wl.queries.iter().zip(&before) {
+            let unit = sketch.leaf_index_of(q);
+            let after = sketch.answer(q);
+            if report.retrained.contains(&unit) {
+                stale_changed |= after != *b;
+            } else {
+                assert_eq!(after, *b, "fresh partition {unit} drifted");
+            }
+        }
+        assert!(stale_changed, "retraining changed nothing");
+        // And the retrain substantially recovered the drifted error
+        // (the blob is genuinely harder to fit than uniform data, so
+        // assert improvement, not perfection).
+        let after_check = plan
+            .monitor
+            .check(&sketch, &engine, &wl.predicate, Aggregate::Count);
+        assert!(
+            after_check.nmae < drifted.nmae * 0.6,
+            "refresh barely helped: {} -> {}",
+            drifted.nmae,
+            after_check.nmae
+        );
+    }
+
+    /// The budget caps a cycle's work at the worst units and defers the
+    /// rest, and a stale unit with no training queries is a typed error.
+    #[test]
+    fn budget_defers_and_missing_train_queries_are_typed() {
+        let mut data = uniform(3_000, 1, 2);
+        let wl = workload(6);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 2;
+        cfg.target_partitions = 4;
+        cfg.train.epochs = 60;
+        let engine = QueryEngine::new(&data, 0);
+        let (mut sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        let snapshot = engine.into_snapshot();
+        // Global drift: everything goes stale.
+        data.append(&gaussian(6_000, 1, 0.3, 0.05, 11)).unwrap();
+        let engine = QueryEngine::resume(snapshot, &data).unwrap();
+
+        let monitor = DriftMonitor::new(wl.queries[..200].to_vec(), 0.05).unwrap();
+        let mut plan = MaintenancePlan::new(monitor, cfg.clone());
+        plan.max_retrain = Some(1);
+        let report = plan
+            .refresh_monolithic(
+                &mut sketch,
+                &engine,
+                &wl.predicate,
+                Aggregate::Count,
+                &wl.queries,
+            )
+            .unwrap();
+        assert_eq!(report.retrained.len(), 1);
+        assert!(
+            !report.deferred.is_empty(),
+            "nothing deferred: {:?}",
+            report.units
+        );
+        assert_eq!(
+            report.stale_units(),
+            report.retrained.len() + report.deferred.len()
+        );
+        // The retrained unit is the worst one.
+        let worst = report
+            .units
+            .iter()
+            .max_by(|a, b| a.nmae.total_cmp(&b.nmae))
+            .unwrap();
+        assert_eq!(report.retrained[0], worst.unit);
+
+        // A stale unit whose training slice is empty is a typed error:
+        // probe queries reach it but no training query does (here, an
+        // empty training workload makes every slice empty).
+        let monitor = DriftMonitor::new(wl.queries[..50].to_vec(), 0.05).unwrap();
+        let plan = MaintenancePlan::new(monitor, cfg.clone());
+        let err = plan
+            .refresh_monolithic(&mut sketch, &engine, &wl.predicate, Aggregate::Count, &[])
+            .unwrap_err();
+        assert!(matches!(err, SketchError::BadWorkload(_)), "{err:?}");
+    }
+
+    /// Sharded partial refresh: an explicitly forced stale set rebuilds
+    /// exactly those shards — bitwise equal to what a full rebuild
+    /// produces for them — and leaves the others' models untouched.
+    #[test]
+    fn sharded_partial_refresh_is_bitwise_full_rebuild_on_stale_shards() {
+        let mut data = uniform(1_200, 2, 3);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: 150,
+            seed: 9,
+        })
+        .unwrap();
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 15;
+        let plan = ShardPlan::Hash { shards: 4, seed: 2 };
+        let (mut sharded, _) = build_sharded(
+            &data,
+            1,
+            &plan,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
+
+        data.append(&drift_batch(600, 2, 1.0, 0.25, 13)).unwrap();
+        let before: Vec<Vec<f64>> = sharded
+            .shards()
+            .iter()
+            .map(|s| {
+                wl.queries
+                    .iter()
+                    .take(40)
+                    .map(|q| {
+                        s.model(query::aggregate::MomentKind::Count)
+                            .unwrap()
+                            .answer(q)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        retrain_shards(
+            &mut sharded,
+            &data,
+            1,
+            &wl.predicate,
+            &wl.queries,
+            &cfg,
+            &[1, 3],
+        )
+        .unwrap();
+
+        // Full rebuild over the same grown table for comparison.
+        let (full, _) = build_sharded(
+            &data,
+            1,
+            &plan,
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
+        for (k, shard) in sharded.shards().iter().enumerate() {
+            let model = shard.model(query::aggregate::MomentKind::Count).unwrap();
+            for (i, q) in wl.queries.iter().take(40).enumerate() {
+                if [1usize, 3].contains(&k) {
+                    // Rebuilt: bitwise what the full rebuild trained.
+                    let full_model = full.shards()[k]
+                        .model(query::aggregate::MomentKind::Count)
+                        .unwrap();
+                    assert_eq!(model.answer(q), full_model.answer(q), "shard {k}");
+                } else {
+                    // Untouched: bitwise the pre-refresh model.
+                    assert_eq!(model.answer(q), before[k][i], "shard {k}");
+                }
+            }
+        }
+    }
+
+    /// refresh_sharded runs the detect half too: with a threshold set
+    /// between per-shard errors, only the worst shards rebuild.
+    #[test]
+    fn sharded_refresh_respects_budget_and_blocks_is_refused() {
+        let mut data = uniform(1_000, 2, 5);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: 120,
+            seed: 11,
+        })
+        .unwrap();
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 15;
+        let (mut sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 4 },
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
+        data.append(&drift_batch(500, 2, 1.0, 0.3, 17)).unwrap();
+
+        let monitor = DriftMonitor::new(wl.queries[..80].to_vec(), 0.05).unwrap();
+        let mut plan = MaintenancePlan::new(monitor, cfg.clone());
+        plan.max_retrain = Some(1);
+        let report = plan
+            .refresh_sharded(&mut sharded, &data, 1, &wl.predicate, &wl.queries)
+            .unwrap();
+        assert_eq!(report.units.len(), 4);
+        assert!(report.retrained.len() <= 1);
+
+        // Blocks plans reassign rows on append: partial refresh is a
+        // typed refusal, full coverage is allowed — and an empty stale
+        // set (a cycle that found nothing) is a no-op, never an error.
+        let (mut blocks, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::Blocks { shards: 2 },
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg,
+        )
+        .unwrap();
+        let err = retrain_shards(
+            &mut blocks,
+            &data,
+            1,
+            &wl.predicate,
+            &wl.queries,
+            &cfg,
+            &[0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SketchError::BadConfig(_)), "{err:?}");
+        retrain_shards(&mut blocks, &data, 1, &wl.predicate, &wl.queries, &cfg, &[]).unwrap();
+        retrain_shards(
+            &mut blocks,
+            &data,
+            1,
+            &wl.predicate,
+            &wl.queries,
+            &cfg,
+            &[0, 1],
+        )
+        .unwrap();
+
+        // Out-of-range stale units are typed.
+        assert_eq!(
+            retrain_shards(
+                &mut blocks,
+                &data,
+                1,
+                &wl.predicate,
+                &wl.queries,
+                &cfg,
+                &[9],
+            )
+            .unwrap_err(),
+            SketchError::NoSuchUnit { unit: 9, units: 2 }
+        );
     }
 }

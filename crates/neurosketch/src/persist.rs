@@ -54,7 +54,8 @@
 //!
 //! ```text
 //! magic       u32 = 0x4D4B_534E ("NSKM")
-//! version     u32 = 1
+//! version     u32 = 2             (v1, without the generation, still reads)
+//! generation  u64                 (v2+ only; a v1 manifest is generation 0)
 //! aggregate   u8: 0 = COUNT, 1 = SUM, 2 = AVG, 3 = STD
 //! plan tag    u8: 0 = round-robin, 1 = blocks, 2 = hash
 //! plan shards u32;  hash only: seed u64
@@ -63,6 +64,19 @@
 //!   present u8: 0 | 1
 //!   present only: checksum u64, path_len u16, path (utf-8, relative)
 //! ```
+//!
+//! **Generations** are what make live maintenance's partial refresh
+//! atomic: [`save_refreshed`] writes fresh artifacts *only* for the
+//! replaced shards, under names suffixed with the new generation
+//! (`shard-NNN.<component>.gG.nsk2`), reuses the previous manifest's
+//! entries for every untouched shard verbatim, and lands a new
+//! `manifest.nskm` with the generation bumped — by the same
+//! write-fsync-rename dance as [`save_sharded`]. Generation `G`'s bytes
+//! are never touched, so a refresh torn at any point (new artifacts on
+//! disk, manifest rename never landed) leaves generation `G` fully
+//! loadable; once the rename lands, every load is `G + 1`.
+//! `docs/maintenance.md` covers the operator side (old-generation
+//! garbage collection, rollback).
 //!
 //! Failure modes are typed like NSK2's: a manifest entry whose file is
 //! gone is [`PersistError::MissingShard`], an artifact whose bytes
@@ -495,20 +509,18 @@ pub fn load(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
 /// NSKM manifest magic ("NSKM" little-endian).
 pub const NSKM_MAGIC: u32 = 0x4D4B_534E;
 
-/// Newest manifest version this build reads and writes.
-pub const NSKM_VERSION: u32 = 1;
+/// Newest manifest version this build writes. Version 1 — identical
+/// except for the absence of the generation field — still decodes (as
+/// generation 0).
+pub const NSKM_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash of an artifact's bytes — the checksum the NSKM
-/// manifest records per shard artifact. Not cryptographic: it detects
+/// manifest records per shard artifact (the workspace-shared
+/// [`query::exec::fnv1a_64`]). Not cryptographic: it detects
 /// truncation, bit rot and file swaps, which is the integrity model a
 /// trusted deployment directory needs.
 pub fn artifact_checksum(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    query::exec::fnv1a_64(bytes.iter().copied())
 }
 
 /// One shard artifact the manifest references.
@@ -530,6 +542,10 @@ pub struct ShardManifest {
     pub aggregate: Aggregate,
     /// The row-assignment plan.
     pub plan: ShardPlan,
+    /// Deployment generation: 0 for a fresh [`save_sharded`], bumped by
+    /// one per [`save_refreshed`]. A version-1 manifest (written before
+    /// generations existed) decodes as generation 0.
+    pub generation: u64,
     /// Per shard (in shard order), the artifact references in moment
     /// slot order.
     pub shards: Vec<Vec<ShardArtifactRef>>,
@@ -566,6 +582,7 @@ pub fn encode_manifest(manifest: &ShardManifest) -> Result<Bytes, PersistError> 
     let mut buf = BytesMut::with_capacity(64 + 64 * manifest.shards.len());
     buf.put_u32_le(NSKM_MAGIC);
     buf.put_u32_le(NSKM_VERSION);
+    buf.put_u64_le(manifest.generation);
     buf.put_u8(aggregate_tag(manifest.aggregate)?);
     // Same uniform hardening as the path length below: counts that do
     // not fit the format's fields are a typed refusal, never a
@@ -635,9 +652,19 @@ pub fn decode_manifest(mut data: Bytes) -> Result<ShardManifest, PersistError> {
         return Err(PersistError::BadMagic { found: magic });
     }
     let version = data.get_u32_le();
-    if version != NSKM_VERSION {
+    if version == 0 || version > NSKM_VERSION {
         return Err(PersistError::UnsupportedVersion { found: version });
     }
+    // Version 1 predates generations; everything after the generation
+    // field is byte-identical across versions.
+    let generation = if version >= 2 {
+        if data.remaining() < 8 {
+            return Err(PersistError::Truncated("manifest generation"));
+        }
+        data.get_u64_le()
+    } else {
+        0
+    };
     if data.remaining() < 6 {
         return Err(PersistError::Truncated("manifest plan"));
     }
@@ -758,6 +785,7 @@ pub fn decode_manifest(mut data: Bytes) -> Result<ShardManifest, PersistError> {
     Ok(ShardManifest {
         aggregate,
         plan,
+        generation,
         shards: table,
     })
 }
@@ -766,6 +794,18 @@ pub fn decode_manifest(mut data: Bytes) -> Result<ShardManifest, PersistError> {
 /// directory: `shard-NNN.<component>.nsk2`.
 pub fn shard_artifact_name(shard: usize, kind: MomentKind) -> String {
     format!("shard-{shard:03}.{}.nsk2", kind.name())
+}
+
+/// Generation-qualified artifact name: generation 0 keeps the plain
+/// [`shard_artifact_name`]; later generations append `.gG` before the
+/// extension (`shard-NNN.<component>.gG.nsk2`), so a refresh never
+/// writes over a byte the previous generation's manifest checksums.
+pub fn shard_artifact_name_gen(shard: usize, kind: MomentKind, generation: u64) -> String {
+    if generation == 0 {
+        shard_artifact_name(shard, kind)
+    } else {
+        format!("shard-{shard:03}.{}.g{generation}.nsk2", kind.name())
+    }
 }
 
 /// File name of the manifest inside a deployment directory.
@@ -802,18 +842,144 @@ pub fn save_sharded(
     let manifest = ShardManifest {
         aggregate: sketch.aggregate(),
         plan: sketch.plan(),
+        generation: 0,
         shards: table,
     };
+    // Artifacts first, manifest last. Note the fresh-save path writes
+    // artifacts under fixed generation-0 names, so re-running it into a
+    // live deployment directory overwrites bytes the old manifest
+    // checksums — save each *initial* build into its own directory.
+    // In-place evolution of a live directory is what [`save_refreshed`]
+    // (generation-suffixed names) is for.
+    land_manifest(dir, &manifest)
+}
+
+/// Land a **partial refresh** of an on-disk sharded deployment: write
+/// fresh NSK2 artifacts only for the shards in `replaced` (taken from
+/// `sketch`, which holds the refreshed deployment), reuse the existing
+/// manifest's entries verbatim for every other shard, and land a new
+/// manifest with the generation bumped by one. Returns the manifest
+/// path.
+///
+/// Atomicity: replaced shards' artifacts are written under
+/// generation-suffixed names ([`shard_artifact_name_gen`]) and fsynced
+/// *before* the manifest lands by the same write-fsync-rename dance as
+/// [`save_sharded`] — no byte of generation `G` is ever overwritten. A
+/// refresh torn anywhere before the rename leaves the gen-`G` manifest
+/// pointing at intact gen-`G` artifacts; after the rename every load
+/// sees `G + 1`. Superseded artifacts are *not* deleted (a serving
+/// process may still be draining batches on `G`): garbage-collect them
+/// once the swap is confirmed, as `docs/maintenance.md` describes.
+///
+/// Errors: a manifest whose plan or aggregate disagrees with `sketch`,
+/// a `replaced` index out of range, an *untouched* shard whose
+/// in-memory models do not checksum-match the artifacts the old
+/// manifest would be reused for (the caller's deployment disagrees
+/// with the directory — pass the shard in `replaced` or reload before
+/// refreshing), and every I/O or decode failure the manifest round
+/// trip can produce.
+pub fn save_refreshed(
+    manifest_path: impl AsRef<Path>,
+    sketch: &ShardedSketch,
+    replaced: &[usize],
+) -> Result<PathBuf, PersistError> {
+    let manifest_path = manifest_path.as_ref();
+    let raw = std::fs::read(manifest_path).map_err(|e| PersistError::Io(e.to_string()))?;
+    let old = decode_manifest(Bytes::from(raw))?;
+    if old.plan != sketch.plan() || old.aggregate != sketch.aggregate() {
+        return Err(PersistError::Corrupt(format!(
+            "refresh of a {:?}/{} deployment with a {:?}/{} sketch",
+            old.plan,
+            old.aggregate.name(),
+            sketch.plan(),
+            sketch.aggregate().name()
+        )));
+    }
+    if old.shards.len() != sketch.shard_count() {
+        return Err(PersistError::Corrupt(format!(
+            "manifest lists {} shards but the sketch has {}",
+            old.shards.len(),
+            sketch.shard_count()
+        )));
+    }
+    let generation = old
+        .generation
+        .checked_add(1)
+        .ok_or_else(|| PersistError::Corrupt("generation counter overflowed u64".to_string()))?;
+    // Before touching the disk: every shard the caller claims is
+    // untouched must actually encode to the artifacts whose manifest
+    // entries are about to be reused. Without this, a caller holding a
+    // deployment that diverged from the directory (rebuilt in memory,
+    // wrong directory, ...) would land a manifest that silently
+    // disagrees with what they think they saved. Encoding is CPU-only
+    // (no reads), and encode-after-quantize is byte-idempotent, so a
+    // loaded-then-refreshed deployment always passes. Deliberate cost:
+    // this serializes every untouched shard's models — linear in
+    // deployment size, milliseconds of memcpy-and-cast per refresh —
+    // which is noise next to retraining even one shard; what partial
+    // refresh avoids is the *retraining*, and that stays O(stale).
+    for (idx, artifacts) in old.shards.iter().enumerate() {
+        if replaced.contains(&idx) {
+            continue;
+        }
+        let shard = &sketch.shards()[idx];
+        for a in artifacts {
+            let matches = shard
+                .model(a.kind)
+                .is_some_and(|m| artifact_checksum(&encode_sketch(m)) == a.checksum);
+            if !matches {
+                return Err(PersistError::Corrupt(format!(
+                    "shard {idx} is not listed as replaced but its in-memory {} model does not \
+                     match the on-disk artifact `{}` — pass it in `replaced`, or reload the \
+                     deployment from this manifest before refreshing",
+                    a.kind.name(),
+                    a.path
+                )));
+            }
+        }
+    }
+    let dir = manifest_path.parent().unwrap_or(Path::new("."));
+    let mut table = old.shards;
+    for &idx in replaced {
+        let Some(shard) = sketch.shards().get(idx) else {
+            return Err(PersistError::Corrupt(format!(
+                "replaced shard {idx} out of range for {} shards",
+                sketch.shard_count()
+            )));
+        };
+        let mut artifacts = Vec::new();
+        for kind in MomentKind::ALL {
+            let Some(model) = shard.model(kind) else {
+                continue;
+            };
+            let bytes = encode_sketch(model);
+            let name = shard_artifact_name_gen(idx, kind, generation);
+            write_synced(&dir.join(&name), &bytes)?;
+            artifacts.push(ShardArtifactRef {
+                kind,
+                path: name,
+                checksum: artifact_checksum(&bytes),
+            });
+        }
+        table[idx] = artifacts;
+    }
+    let manifest = ShardManifest {
+        aggregate: old.aggregate,
+        plan: old.plan,
+        generation,
+        shards: table,
+    };
+    land_manifest(dir, &manifest)
+}
+
+/// Write `manifest` into `dir` as `manifest.nskm`, fsynced via a
+/// same-directory rename so a crash mid-save never leaves a truncated
+/// or half-old manifest. Shared tail of [`save_sharded`] and
+/// [`save_refreshed`].
+fn land_manifest(dir: &Path, manifest: &ShardManifest) -> Result<PathBuf, PersistError> {
     let path = dir.join(MANIFEST_NAME);
-    // Artifacts first, manifest last — and the manifest lands fsynced
-    // via a same-directory rename, so a crash mid-save never leaves a
-    // truncated manifest. Note this protects a *fresh* directory only:
-    // artifacts are written under fixed names, so re-saving into a live
-    // deployment directory overwrites bytes the old manifest checksums.
-    // Save each build into its own directory and flip a pointer
-    // (symlink, config) to switch deployments.
     let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
-    write_synced(&tmp, &encode_manifest(&manifest)?)?;
+    write_synced(&tmp, &encode_manifest(manifest)?)?;
     std::fs::rename(&tmp, &path).map_err(|e| PersistError::Io(e.to_string()))?;
     // Make the rename itself durable where the platform allows opening
     // a directory handle (POSIX); elsewhere the data is still synced
@@ -848,6 +1014,18 @@ fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
 /// [`ShardedSketch::quantized`][crate::shard::ShardedSketch::quantized]
 /// of the deployment that was saved.
 pub fn load_sharded(manifest_path: impl AsRef<Path>) -> Result<ShardedSketch, PersistError> {
+    load_sharded_with_manifest(manifest_path).map(|(sketch, _)| sketch)
+}
+
+/// [`load_sharded`], also returning the decoded manifest the artifacts
+/// were resolved against. The manifest is read and decoded **once**, so
+/// the (deployment, generation) pair is guaranteed consistent even when
+/// a concurrent [`save_refreshed`] lands between calls — the property
+/// [`crate::deploy::LiveDeployment::reload_sharded`] relies on to
+/// report the generation it actually serves.
+pub fn load_sharded_with_manifest(
+    manifest_path: impl AsRef<Path>,
+) -> Result<(ShardedSketch, ShardManifest), PersistError> {
     let manifest_path = manifest_path.as_ref();
     let raw = std::fs::read(manifest_path).map_err(|e| PersistError::Io(e.to_string()))?;
     let manifest = decode_manifest(Bytes::from(raw))?;
@@ -890,11 +1068,8 @@ pub fn load_sharded(manifest_path: impl AsRef<Path>) -> Result<ShardedSketch, Pe
         }
         shards.push(ShardSketch::from_models(models));
     }
-    Ok(ShardedSketch::from_parts(
-        manifest.plan,
-        manifest.aggregate,
-        shards,
-    ))
+    let sketch = ShardedSketch::from_parts(manifest.plan, manifest.aggregate, shards);
+    Ok((sketch, manifest))
 }
 
 #[cfg(test)]
@@ -1106,6 +1281,7 @@ mod tests {
         let manifest = ShardManifest {
             aggregate: Aggregate::Avg,
             plan: ShardPlan::Hash { shards: 2, seed: 9 },
+            generation: 7,
             shards: (0..2)
                 .map(|s| {
                     vec![
@@ -1125,6 +1301,24 @@ mod tests {
         };
         let blob = encode_manifest(&manifest).unwrap();
         assert_eq!(decode_manifest(blob.clone()).unwrap(), manifest);
+
+        // A version-1 manifest — same bytes minus the generation field —
+        // still decodes, as generation 0.
+        let mut v1 = blob.to_vec();
+        v1.drain(8..16);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let decoded = decode_manifest(Bytes::from(v1)).unwrap();
+        assert_eq!(decoded.generation, 0);
+        assert_eq!(decoded.shards, manifest.shards);
+        assert_eq!(decoded.plan, manifest.plan);
+
+        // Versions beyond the newest known stay a typed refusal.
+        let mut future = blob.to_vec();
+        future[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            decode_manifest(Bytes::from(future)),
+            Err(PersistError::UnsupportedVersion { found: 9 })
+        ));
 
         // Wrong component set for the aggregate is structural corruption.
         let mut wrong = manifest.clone();
@@ -1166,6 +1360,7 @@ mod tests {
         let mut blob = Vec::new();
         blob.extend_from_slice(&NSKM_MAGIC.to_le_bytes());
         blob.extend_from_slice(&NSKM_VERSION.to_le_bytes());
+        blob.extend_from_slice(&0u64.to_le_bytes()); // generation
         blob.push(0); // COUNT
         blob.push(0); // round-robin
         blob.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -1191,6 +1386,7 @@ mod tests {
             let manifest = ShardManifest {
                 aggregate: Aggregate::Count,
                 plan: ShardPlan::RoundRobin { shards: 1 },
+                generation: 0,
                 shards: vec![vec![ShardArtifactRef {
                     kind: MomentKind::Count,
                     path: bad.to_string(),

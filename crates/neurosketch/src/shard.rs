@@ -175,6 +175,17 @@ impl ShardPlan {
         Ok(())
     }
 
+    /// Whether appending rows to the table leaves every *existing* row's
+    /// shard assignment unchanged. `RoundRobin` and `Hash` place each
+    /// row index independently of the total, so they are row-stable;
+    /// `Blocks` assignment (`⌊i·K/n⌋`) depends on the total row count,
+    /// so appends reshuffle rows near every block boundary. Partial
+    /// refresh ([`crate::maintenance`]) requires a row-stable plan —
+    /// under `Blocks`, only a full rebuild is sound after ingestion.
+    pub fn row_stable(&self) -> bool {
+        !matches!(self, ShardPlan::Blocks { .. })
+    }
+
     /// Materialize the per-shard row-index assignment, shard by shard.
     /// Within a shard, rows keep their original order.
     pub fn assignment(&self, rows: usize) -> Vec<Vec<usize>> {
@@ -325,25 +336,36 @@ impl ShardedSketch {
         self.shards.len()
     }
 
-    /// Gather a query's answer from per-shard moments: merge in shard
-    /// order, then finish once. The merge is component-wise f64
-    /// addition, so the result is an exact composition of the shard
-    /// predictions.
-    ///
-    /// One guard on top of the raw composition: AVG and STD divide by
-    /// the *predicted* count, which on an empty-selectivity query is
-    /// model noise near zero (never the exact `0.0` true moments
-    /// produce), and a near-zero divisor would amplify that noise into
-    /// an arbitrary ratio. A gathered count below half a row therefore
-    /// takes the empty-range convention (`0.0`) instead of dividing.
-    pub fn gather(&self, per_shard: impl Iterator<Item = Moments>) -> f64 {
-        let total = per_shard.fold(Moments::ZERO, Moments::merge);
+    /// Swap in a rebuilt shard (crate-internal: the partial-refresh path
+    /// in [`crate::maintenance`] retrains stale shards in place; the
+    /// caller guarantees the replacement was trained for the same
+    /// aggregate's components).
+    pub(crate) fn replace_shard(&mut self, idx: usize, shard: ShardSketch) {
+        self.shards[idx] = shard;
+    }
+
+    /// Finish one set of (possibly predicted) moments into this
+    /// deployment's aggregate, with the near-empty guard
+    /// [`ShardedSketch::gather`] applies: AVG and STD divide by the
+    /// count, which for *predicted* moments on an empty-selectivity
+    /// query is model noise near zero, so a count below half a row takes
+    /// the empty-range convention (`0.0`) instead of amplifying the
+    /// noise into an arbitrary ratio.
+    pub fn finish_guarded(&self, total: Moments) -> f64 {
         if matches!(self.aggregate, Aggregate::Avg | Aggregate::Std) && total.n < 0.5 {
             return 0.0;
         }
         total
             .finish(self.aggregate)
             .expect("sharded aggregates are moment-composable by construction")
+    }
+
+    /// Gather a query's answer from per-shard moments: merge in shard
+    /// order, then finish once ([`ShardedSketch::finish_guarded`]). The
+    /// merge is component-wise f64 addition, so the result is an exact
+    /// composition of the shard predictions.
+    pub fn gather(&self, per_shard: impl Iterator<Item = Moments>) -> f64 {
+        self.finish_guarded(per_shard.fold(Moments::ZERO, Moments::merge))
     }
 
     /// Answer one query through the full scatter/gather path (a batch of
@@ -440,29 +462,9 @@ pub fn build_sharded(
 
     // One task per shard; the inner builds run single-threaded so K
     // shards use K workers, not K × cfg.threads.
-    let mut inner_cfg = cfg.clone();
-    inner_cfg.threads = 1;
     let built: Vec<Result<(ShardSketch, Duration, Duration), SketchError>> =
         par::par_map(&shard_data, cfg.threads, |shard_idx, shard| {
-            let engine = QueryEngine::new(shard, measure);
-            let t0 = Instant::now();
-            let moments = engine.label_moments_batch(predicate, queries, 1);
-            let labeling = t0.elapsed();
-            let t1 = Instant::now();
-            let mut models: [Option<NeuroSketch>; 3] = [None, None, None];
-            for kind in kinds {
-                let labels: Vec<f64> = moments.iter().map(|m| m.component(*kind)).collect();
-                let mut component_cfg = inner_cfg.clone();
-                // Decorrelate initializations across (shard, component)
-                // pairs; splitmix64 keeps the derivation stateless.
-                component_cfg.seed = cfg
-                    .seed
-                    .wrapping_add(splitmix64((shard_idx * 3 + kind.slot()) as u64 + 1));
-                let (sketch, _) =
-                    NeuroSketch::build_from_labeled(queries, &labels, &component_cfg)?;
-                models[kind.slot()] = Some(sketch);
-            }
-            Ok((ShardSketch::from_models(models), labeling, t1.elapsed()))
+            build_shard_sketch(shard_idx, shard, measure, predicate, kinds, queries, cfg)
         });
 
     let mut shards = Vec::with_capacity(built.len());
@@ -484,6 +486,43 @@ pub fn build_sharded(
             models_trained,
         },
     ))
+}
+
+/// Build one shard's per-component sketches against its own rows — the
+/// unit of work shared by [`build_sharded`] and the partial-refresh path
+/// in [`crate::maintenance`]. Per-(shard, component) seeds derive from
+/// (`cfg.seed`, `shard_idx`, slot) via splitmix64, and the inner build
+/// runs single-threaded, so rebuilding shard `i` alone yields **bitwise**
+/// the models a full [`build_sharded`] over the same data would give
+/// that shard. Returns the sketch plus (labeling, training) wall-clock.
+pub(crate) fn build_shard_sketch(
+    shard_idx: usize,
+    shard: &Dataset,
+    measure: usize,
+    predicate: &dyn PredicateFn,
+    kinds: &[MomentKind],
+    queries: &[Vec<f64>],
+    cfg: &NeuroSketchConfig,
+) -> Result<(ShardSketch, Duration, Duration), SketchError> {
+    let engine = QueryEngine::new(shard, measure);
+    let t0 = Instant::now();
+    let moments = engine.label_moments_batch(predicate, queries, 1);
+    let labeling = t0.elapsed();
+    let t1 = Instant::now();
+    let mut models: [Option<NeuroSketch>; 3] = [None, None, None];
+    for kind in kinds {
+        let labels: Vec<f64> = moments.iter().map(|m| m.component(*kind)).collect();
+        let mut component_cfg = cfg.clone();
+        component_cfg.threads = 1;
+        // Decorrelate initializations across (shard, component) pairs;
+        // splitmix64 keeps the derivation stateless.
+        component_cfg.seed = cfg
+            .seed
+            .wrapping_add(splitmix64((shard_idx * 3 + kind.slot()) as u64 + 1));
+        let (sketch, _) = NeuroSketch::build_from_labeled(queries, &labels, &component_cfg)?;
+        models[kind.slot()] = Some(sketch);
+    }
+    Ok((ShardSketch::from_models(models), labeling, t1.elapsed()))
 }
 
 /// Per-batch scatter/gather tally.
@@ -543,6 +582,35 @@ impl ShardedServer {
     /// Answer a batch: scatter to all shards, gather exact moment
     /// compositions. Returns answers in input order plus the tally.
     pub fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ShardedServeStats) {
+        let (per_shard, stats) = self.scatter(queries);
+        let answers = (0..queries.len())
+            .map(|i| self.sketch.gather(per_shard.iter().map(|s| s[i])))
+            .collect();
+        (answers, stats)
+    }
+
+    /// The gathered `(n, Σ, Σ²)` prediction per query — the same scatter
+    /// as [`ShardedServer::answer_batch`] with per-shard moments merged
+    /// in shard order but not yet finished into the aggregate. This is
+    /// the moment-level serving surface the [`crate::deploy::Deployment`]
+    /// trait exposes; `finish_guarded` of each entry is exactly the
+    /// corresponding `answer_batch` answer.
+    pub fn moments_batch(&self, queries: &[Vec<f64>]) -> (Vec<Moments>, ShardedServeStats) {
+        let (per_shard, stats) = self.scatter(queries);
+        let merged = (0..queries.len())
+            .map(|i| {
+                per_shard
+                    .iter()
+                    .map(|s| s[i])
+                    .fold(Moments::ZERO, Moments::merge)
+            })
+            .collect();
+        (merged, stats)
+    }
+
+    /// Scatter a batch to every shard on the worker pool; returns the
+    /// per-shard moment predictions (outer index = shard) and the tally.
+    fn scatter(&self, queries: &[Vec<f64>]) -> (Vec<Vec<Moments>>, ShardedServeStats) {
         let max_chunk = self.opts.max_shard.max(1);
         let total_kinds: usize = self.sketch.shards().iter().map(|s| s.kinds().count()).sum();
         let stats = ShardedServeStats {
@@ -565,10 +633,7 @@ impl ShardedServer {
                 moments
             },
         );
-        let answers = (0..queries.len())
-            .map(|i| self.sketch.gather(per_shard.iter().map(|s| s[i])))
-            .collect();
-        (answers, stats)
+        (per_shard, stats)
     }
 }
 
@@ -625,6 +690,51 @@ mod tests {
         ] {
             let sizes: Vec<usize> = plan.assignment(rows).iter().map(Vec::len).collect();
             assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+    }
+
+    /// Row stability is what partial refresh relies on: appending rows
+    /// must not move existing ones between shards.
+    #[test]
+    fn row_stability_matches_assignment_behavior() {
+        for (plan, stable) in [
+            (ShardPlan::RoundRobin { shards: 3 }, true),
+            (ShardPlan::Hash { shards: 3, seed: 5 }, true),
+            (ShardPlan::Blocks { shards: 3 }, false),
+        ] {
+            assert_eq!(plan.row_stable(), stable, "{plan:?}");
+            let before: Vec<usize> = (0..60).map(|r| plan.assign(r, 60)).collect();
+            let after: Vec<usize> = (0..60).map(|r| plan.assign(r, 90)).collect();
+            if stable {
+                assert_eq!(before, after, "{plan:?} moved a row on append");
+            } else {
+                assert_ne!(before, after, "{plan:?} unexpectedly stable");
+            }
+        }
+    }
+
+    /// `moments_batch` is the un-finished half of `answer_batch`:
+    /// finishing each gathered moment reproduces the served answers
+    /// bitwise.
+    #[test]
+    fn moments_batch_finishes_to_answers() {
+        let (data, wl) = setup(400, 90);
+        let (sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 2 },
+            &wl.predicate,
+            Aggregate::Avg,
+            &wl.queries,
+            &small_cfg(),
+        )
+        .unwrap();
+        let server = ShardedServer::new(sharded, ServeOptions::default());
+        let (answers, a_stats) = server.answer_batch(&wl.queries);
+        let (moments, m_stats) = server.moments_batch(&wl.queries);
+        assert_eq!(a_stats, m_stats);
+        for (m, a) in moments.iter().zip(&answers) {
+            assert_eq!(server.sketch().finish_guarded(*m), *a);
         }
     }
 

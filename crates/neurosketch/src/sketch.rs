@@ -435,6 +435,87 @@ impl NeuroSketch {
         }
     }
 
+    /// Train a replacement model for partition `unit` (leaf order, as in
+    /// [`BuildReport::leaf_aqcs`]) against fresh labels, with the
+    /// standardization and seed derivation the full build applies.
+    /// Deterministic given the inputs; it reproduces a full rebuild's
+    /// model **bitwise** only when `queries`/`labels` arrive in the
+    /// same order the build would train them (true for un-merged
+    /// trees; an AQC-merged leaf trains in subtree order, which a
+    /// caller slicing a workload in query order will not match — the
+    /// retrained model is then equally valid but not bit-equal).
+    /// Pure: nothing is installed; [`crate::maintenance`] fans these
+    /// out on the worker pool and installs the results with
+    /// [`NeuroSketch::install_partition_model`].
+    pub(crate) fn train_partition_model(
+        &self,
+        unit: usize,
+        queries: &[Vec<f64>],
+        labels: &[f64],
+        cfg: &NeuroSketchConfig,
+    ) -> Result<(LeafModel, TrainReport), SketchError> {
+        let leaf_ids = self.tree.leaf_ids();
+        let Some(&leaf) = leaf_ids.get(unit) else {
+            return Err(SketchError::NoSuchUnit {
+                unit,
+                units: leaf_ids.len(),
+            });
+        };
+        if queries.is_empty() {
+            return Err(SketchError::BadWorkload(format!(
+                "no training queries for partition {unit} retrain"
+            )));
+        }
+        if queries.len() != labels.len() {
+            return Err(SketchError::BadWorkload(format!(
+                "{} queries but {} labels",
+                queries.len(),
+                labels.len()
+            )));
+        }
+        if let Some(q) = queries.iter().find(|q| q.len() != self.query_dim) {
+            return Err(SketchError::BadQueryDim {
+                expected: self.query_dim,
+                got: q.len(),
+            });
+        }
+        let n = labels.len() as f64;
+        let y_mean = labels.iter().sum::<f64>() / n;
+        let var = labels.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
+        let y_std = var.sqrt().max(1e-12);
+        let ys: Vec<f64> = labels.iter().map(|y| (y - y_mean) / y_std).collect();
+        let sizes = cfg.layer_sizes(self.query_dim);
+        let mut mlp = Mlp::new(&sizes, cfg.seed ^ (leaf as u64).wrapping_mul(0x9E37_79B9));
+        let mut leaf_train = cfg.train.clone();
+        leaf_train.seed = cfg.seed.wrapping_add(leaf as u64);
+        let report = train(&mut mlp, queries, &ys, &leaf_train);
+        Ok((LeafModel { mlp, y_mean, y_std }, report))
+    }
+
+    /// Install a replacement model for partition `unit` (crate-internal:
+    /// paired with [`NeuroSketch::train_partition_model`]). Every other
+    /// partition's model is untouched — the bitwise-stability guarantee
+    /// partial refresh rests on.
+    pub(crate) fn install_partition_model(&mut self, unit: usize, model: LeafModel) {
+        let leaf = self.tree.leaf_ids()[unit];
+        self.models.insert(leaf, model);
+    }
+
+    /// Retrain one partition's model in place against fresh labels (the
+    /// single-unit form of [`crate::maintenance`]'s partial refresh);
+    /// all other partitions' models are left bitwise untouched.
+    pub fn retrain_partition(
+        &mut self,
+        unit: usize,
+        queries: &[Vec<f64>],
+        labels: &[f64],
+        cfg: &NeuroSketchConfig,
+    ) -> Result<TrainReport, SketchError> {
+        let (model, report) = self.train_partition_model(unit, queries, labels, cfg)?;
+        self.install_partition_model(unit, model);
+        Ok(report)
+    }
+
     /// Checked variant of [`NeuroSketch::answer`].
     pub fn try_answer(&self, q: &[f64]) -> Result<f64, SketchError> {
         if q.len() != self.query_dim {

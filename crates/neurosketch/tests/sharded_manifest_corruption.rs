@@ -168,12 +168,12 @@ fn manifest_bad_magic_and_version_are_typed() {
 
 #[test]
 fn manifest_shard_count_mismatch_is_corrupt() {
-    // Plan says 2 shards (offset 10: aggregate u8 + plan tag u8 after
-    // the 8-byte header, then shards u32); the shard table count sits
-    // right after. Bump the plan's count only.
+    // Plan says 2 shards (offset 18: aggregate u8 + plan tag u8 after
+    // the 8-byte header and 8-byte generation, then shards u32); the
+    // shard table count sits right after. Bump the plan's count only.
     let (manifest, _) = deployment_bytes();
     let mut bad = manifest.clone();
-    bad[10..14].copy_from_slice(&3u32.to_le_bytes());
+    bad[18..22].copy_from_slice(&3u32.to_le_bytes());
     assert!(matches!(
         persist::decode_manifest(Bytes::from(bad)),
         Err(PersistError::Corrupt(m)) if m.contains("shards")

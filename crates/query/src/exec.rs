@@ -37,11 +37,12 @@ struct AttrIndex {
 }
 
 impl AttrIndex {
-    fn build(data: &Dataset, attr: usize, measure: usize) -> AttrIndex {
-        let n = data.rows();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        let col = data.column(attr);
-        order.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+    /// Finish an index from a sorted row order: materialize the value
+    /// array and accumulate the prefix sums in that order. Both the full
+    /// build and the incremental merge end here, so their floating-point
+    /// accumulation order — and therefore every answer — is identical.
+    fn from_order(order: Vec<u32>, col: &[f64], data: &Dataset, measure: usize) -> AttrIndex {
+        let n = order.len();
         let vals: Vec<f64> = order.iter().map(|&r| col[r as usize]).collect();
         let mut prefix = Vec::with_capacity(n + 1);
         let mut prefix2 = Vec::with_capacity(n + 1);
@@ -65,6 +66,45 @@ impl AttrIndex {
         }
     }
 
+    fn build(data: &Dataset, attr: usize, measure: usize) -> AttrIndex {
+        let n = data.rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let col = data.column(attr);
+        order.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+        AttrIndex::from_order(order, &col, data, measure)
+    }
+
+    /// Merge the appended rows `old_rows..data.rows()` into this index
+    /// without re-sorting the existing rows: sort only the delta
+    /// (`O(m log m)`), then merge the two sorted runs (`O(n + m)`). Ties
+    /// break exactly as the stable full sort does — existing rows first
+    /// (their row ids all precede the delta's), delta rows in row order —
+    /// so the merged order, and with [`AttrIndex::from_order`] the
+    /// prefix sums, are **bitwise identical** to a from-scratch
+    /// [`AttrIndex::build`] over the grown table.
+    fn extended(self, data: &Dataset, attr: usize, measure: usize, old_rows: usize) -> AttrIndex {
+        let n = data.rows();
+        let col = data.column(attr);
+        let mut delta: Vec<u32> = (old_rows as u32..n as u32).collect();
+        delta.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+        let mut order = Vec::with_capacity(n);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.vals.len() && j < delta.len() {
+            // total_cmp, not `<=`: the full sort orders -0.0 before 0.0,
+            // and the merge must reproduce that exactly.
+            if self.vals[i].total_cmp(&col[delta[j] as usize]).is_le() {
+                order.push(self.rows[i]);
+                i += 1;
+            } else {
+                order.push(delta[j]);
+                j += 1;
+            }
+        }
+        order.extend_from_slice(&self.rows[i..]);
+        order.extend_from_slice(&delta[j..]);
+        AttrIndex::from_order(order, &col, data, measure)
+    }
+
     /// Half-open sorted range `[lo, hi)` of positions whose value is in
     /// `[lo_v, hi_v)`.
     fn range_half_open(&self, lo_v: f64, hi_v: f64) -> (usize, usize) {
@@ -82,11 +122,135 @@ impl AttrIndex {
     }
 }
 
+/// Why an [`IndexSnapshot`] could not be resumed over a grown table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The grown table has fewer rows than the snapshot indexed — rows
+    /// were deleted, which the append-only incremental path cannot
+    /// represent. Rebuild with [`QueryEngine::new`].
+    Shrunk {
+        /// Rows the snapshot's index covers.
+        indexed: usize,
+        /// Rows the offered table holds.
+        got: usize,
+    },
+    /// The grown table's column count differs from the snapshot's.
+    SchemaChanged {
+        /// Attribute count the snapshot indexed.
+        indexed: usize,
+        /// Attribute count of the offered table.
+        got: usize,
+    },
+    /// The grown table's first rows are not byte-identical to the rows
+    /// the snapshot indexed — the "old data is a prefix" contract is
+    /// broken (an update or re-sort happened, not an append).
+    PrefixChanged,
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Shrunk { indexed, got } => {
+                write!(
+                    f,
+                    "table shrank: snapshot indexed {indexed} rows, table has {got}"
+                )
+            }
+            ResumeError::SchemaChanged { indexed, got } => {
+                write!(
+                    f,
+                    "schema changed: snapshot indexed {indexed} columns, table has {got}"
+                )
+            }
+            ResumeError::PrefixChanged => {
+                write!(
+                    f,
+                    "existing rows changed: the snapshot's rows are not a prefix of the table"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// A [`QueryEngine`]'s sorted-column index, detached from the dataset
+/// borrow so ingestion can append rows between queries:
+///
+/// ```
+/// use datagen::Dataset;
+/// use query::exec::QueryEngine;
+///
+/// let mut data = Dataset::from_rows(
+///     vec!["a".into(), "m".into()],
+///     &[vec![0.1, 1.0], vec![0.9, 2.0]],
+/// ).unwrap();
+/// let delta = Dataset::from_rows(vec!["a".into(), "m".into()], &[vec![0.5, 3.0]]).unwrap();
+///
+/// let engine = QueryEngine::new(&data, 1);
+/// let snapshot = engine.into_snapshot(); // releases the borrow on `data`
+/// data.append(&delta).unwrap();
+/// let engine = QueryEngine::resume(snapshot, &data).unwrap();
+/// assert_eq!(engine.dataset().rows(), 3);
+/// ```
+///
+/// [`QueryEngine::resume`] merges the appended rows into each sorted
+/// column in `O(n + m log m)` instead of the `O((n + m) log (n + m))`
+/// full re-sort, and the resumed engine is **bitwise identical** to a
+/// freshly built one — same sorted orders, same prefix-sum accumulation
+/// order, same answers.
+#[derive(Debug, Clone)]
+pub struct IndexSnapshot {
+    measure: usize,
+    rows: usize,
+    dims: usize,
+    prefix_fingerprint: u64,
+    index: Vec<AttrIndex>,
+}
+
+impl IndexSnapshot {
+    /// Rows the snapshot's index covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The measure column the snapshot's prefix sums aggregate.
+    pub fn measure(&self) -> usize {
+        self.measure
+    }
+}
+
+/// FNV-1a 64-bit over a byte stream — the workspace's one
+/// non-cryptographic integrity hash, shared by the engine-snapshot
+/// prefix fingerprint here and `neurosketch::persist`'s artifact
+/// checksums. Detects truncation, bit rot and swapped content; it is
+/// *not* collision-resistant against an adversary.
+pub fn fnv1a_64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a over the row-major bytes of the first `rows` rows — the cheap
+/// integrity check behind [`ResumeError::PrefixChanged`].
+fn prefix_fingerprint(data: &Dataset, rows: usize) -> u64 {
+    fnv1a_64(
+        data.raw()[..rows * data.dims()]
+            .iter()
+            .flat_map(|v| v.to_le_bytes()),
+    )
+}
+
 /// Exact evaluator of query functions over a dataset.
 ///
 /// Construction sorts every attribute column once (`O(d · n log n)`);
 /// each engine is expected to label many queries, which is exactly how
-/// the build pipeline uses it.
+/// the build pipeline uses it. When the table grows by appends, the
+/// snapshot/resume pair ([`QueryEngine::into_snapshot`] /
+/// [`QueryEngine::resume`]) reindexes incrementally instead.
 #[derive(Debug, Clone)]
 pub struct QueryEngine<'a> {
     data: &'a Dataset,
@@ -118,6 +282,64 @@ impl<'a> QueryEngine<'a> {
     /// The underlying dataset.
     pub fn dataset(&self) -> &'a Dataset {
         self.data
+    }
+
+    /// Detach the engine's index from its dataset borrow, so the caller
+    /// can [`append`](datagen::Dataset::append) a delta and
+    /// [`resume`](QueryEngine::resume) without a full re-sort.
+    pub fn into_snapshot(self) -> IndexSnapshot {
+        IndexSnapshot {
+            measure: self.measure,
+            rows: self.data.rows(),
+            dims: self.data.dims(),
+            prefix_fingerprint: prefix_fingerprint(self.data, self.data.rows()),
+            index: self.index,
+        }
+    }
+
+    /// Rebuild an engine over `grown` — the snapshot's table with zero or
+    /// more rows appended — by merging only the delta into each sorted
+    /// column index (`O(d · (n + m log m))`). The result is bitwise
+    /// identical to `QueryEngine::new(grown, snapshot.measure())`.
+    ///
+    /// The contract — `grown`'s first `snapshot.rows()` rows are exactly
+    /// the rows the snapshot indexed — is verified with a byte
+    /// fingerprint, so an update-in-place or re-sort masquerading as an
+    /// append is a typed [`ResumeError`], never a silently wrong index.
+    pub fn resume(
+        snapshot: IndexSnapshot,
+        grown: &'a Dataset,
+    ) -> Result<QueryEngine<'a>, ResumeError> {
+        if grown.dims() != snapshot.dims {
+            return Err(ResumeError::SchemaChanged {
+                indexed: snapshot.dims,
+                got: grown.dims(),
+            });
+        }
+        if grown.rows() < snapshot.rows {
+            return Err(ResumeError::Shrunk {
+                indexed: snapshot.rows,
+                got: grown.rows(),
+            });
+        }
+        if prefix_fingerprint(grown, snapshot.rows) != snapshot.prefix_fingerprint {
+            return Err(ResumeError::PrefixChanged);
+        }
+        let index = if grown.rows() == snapshot.rows {
+            snapshot.index
+        } else {
+            snapshot
+                .index
+                .into_iter()
+                .enumerate()
+                .map(|(attr, ai)| ai.extended(grown, attr, snapshot.measure, snapshot.rows))
+                .collect()
+        };
+        Ok(QueryEngine {
+            data: grown,
+            measure: snapshot.measure,
+            index,
+        })
     }
 
     /// The measure column index.
@@ -531,5 +753,93 @@ mod tests {
     fn bad_measure_panics() {
         let d = grid_data();
         let _ = QueryEngine::new(&d, 5);
+    }
+
+    /// A resumed engine must be indistinguishable from a fresh one:
+    /// same sorted orders (including duplicate-value ties), same
+    /// prefix-sum accumulation, bitwise-equal answers on every
+    /// aggregate and index path.
+    #[test]
+    fn resumed_engine_matches_fresh_rebuild_bitwise() {
+        // Deliberate duplicate values across the old/new boundary so the
+        // merge's tie-breaking is exercised, plus an irrational-ish
+        // measure so prefix sums are order-sensitive.
+        let old_rows: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![((i % 10) as f64) / 10.0, (i as f64 * 0.731) % 5.0])
+            .collect();
+        let delta_rows: Vec<Vec<f64>> = (0..70)
+            .map(|i| vec![((i % 13) as f64) / 10.0 % 1.0, (i as f64 * 1.177) % 7.0])
+            .collect();
+        let cols = vec!["a".into(), "m".into()];
+        let mut data = Dataset::from_rows(cols.clone(), &old_rows).unwrap();
+        let delta = Dataset::from_rows(cols.clone(), &delta_rows).unwrap();
+
+        let snapshot = QueryEngine::new(&data, 1).into_snapshot();
+        assert_eq!(snapshot.rows(), 150);
+        assert_eq!(snapshot.measure(), 1);
+        data.append(&delta).unwrap();
+        let resumed = QueryEngine::resume(snapshot, &data).unwrap();
+        let fresh = QueryEngine::new(&data, 1);
+
+        // Index internals are identical, not just answer-equal.
+        for (a, b) in resumed.index.iter().zip(&fresh.index) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.vals, b.vals);
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(a.prefix2, b.prefix2);
+        }
+        let pred = Range::new(vec![0], 2).unwrap();
+        for i in 0..40 {
+            let q = [i as f64 / 45.0, 0.35];
+            for agg in Aggregate::ALL {
+                assert_eq!(
+                    resumed.answer(&pred, agg, &q),
+                    fresh.answer(&pred, agg, &q),
+                    "{} at {q:?}",
+                    agg.name()
+                );
+            }
+            assert_eq!(resumed.moments(&pred, &q), fresh.moments(&pred, &q));
+        }
+    }
+
+    #[test]
+    fn resume_with_no_delta_is_identity() {
+        let d = grid_data();
+        let snapshot = QueryEngine::new(&d, 1).into_snapshot();
+        let resumed = QueryEngine::resume(snapshot, &d).unwrap();
+        let pred = Range::new(vec![0], 2).unwrap();
+        let q = [0.0, 0.5];
+        assert_eq!(resumed.answer(&pred, Aggregate::Sum, &q), 10.0);
+    }
+
+    #[test]
+    fn resume_rejects_shrunk_changed_and_reshaped_tables() {
+        let d = grid_data();
+        let snap = || QueryEngine::new(&d, 1).into_snapshot();
+
+        let shrunk = d.take(5);
+        assert_eq!(
+            QueryEngine::resume(snap(), &shrunk).unwrap_err(),
+            ResumeError::Shrunk {
+                indexed: 10,
+                got: 5
+            }
+        );
+
+        let reshaped = d.project(&[0]).unwrap();
+        assert_eq!(
+            QueryEngine::resume(snap(), &reshaped).unwrap_err(),
+            ResumeError::SchemaChanged { indexed: 2, got: 1 }
+        );
+
+        // Same shape, but an existing row was edited: not an append.
+        let mut edited_rows: Vec<Vec<f64>> = d.iter_rows().map(|r| r.to_vec()).collect();
+        edited_rows[3][1] = 99.0;
+        let edited = Dataset::from_rows(vec!["a".into(), "m".into()], &edited_rows).unwrap();
+        assert_eq!(
+            QueryEngine::resume(snap(), &edited).unwrap_err(),
+            ResumeError::PrefixChanged
+        );
     }
 }

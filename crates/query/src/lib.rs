@@ -28,7 +28,7 @@ pub mod sql;
 pub mod workload;
 
 pub use aggregate::{Aggregate, MomentKind, Moments};
-pub use exec::QueryEngine;
+pub use exec::{IndexSnapshot, QueryEngine, ResumeError};
 pub use predicate::{
     DisjunctiveThresholds, FixedWidthRange, HalfSpace, HyperSphere, PredicateFn, Range, RotatedRect,
 };

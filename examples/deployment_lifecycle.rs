@@ -59,10 +59,11 @@ fn main() {
     }
     println!("router: {to_sketch} queries answered by the sketch, {to_exact} by the exact engine");
 
-    // Day 30: the data distribution drifts.
+    // Day 30: the data distribution drifts. The monitor checks any
+    // `Deployment` — here the bare sketch — through the batched path.
     let drifted = gaussian(20_000, 2, 0.25, 0.08, 9);
     let drifted_engine = QueryEngine::new(&drifted, 1);
-    let monitor = DriftMonitor::new(wl.queries[..200].to_vec(), 0.15);
+    let monitor = DriftMonitor::new(wl.queries[..200].to_vec(), 0.15).expect("monitor");
     let check = monitor.check(
         router.sketch(),
         &drifted_engine,

@@ -19,6 +19,7 @@
 //! ```
 
 use bench::perf::scenarios::query_scenario;
+use neurosketch::deploy::Deployment;
 use neurosketch::router::{DqdRouter, RoutingPolicy};
 use neurosketch::serve::{ServeOptions, SketchServer};
 use neurosketch::{persist, NeuroSketch, NeuroSketchConfig};
@@ -85,15 +86,19 @@ fn main() {
             ..ServeOptions::default()
         },
     );
+    // Serve through the unified `Deployment` trait — the surface every
+    // batch consumer (monitor, benches, front ends) is written against.
+    let serving: &dyn Deployment = &server;
     let t1 = Instant::now();
-    let (answers, stats) = server.answer_batch(&sc.wl.queries);
+    let (answers, stats) = serving.answer_batch(&sc.wl.queries);
     let elapsed = t1.elapsed();
     assert_eq!(answers, expected, "batched serving diverged");
     println!(
-        "served: {} queries in {:?} ({:.0} queries/sec, {} via sketch)",
-        stats.total(),
+        "served [{}]: {} queries in {:?} ({:.0} queries/sec, {} via sketch)",
+        serving.describe(),
+        stats.queries,
         elapsed,
-        stats.total() as f64 / elapsed.as_secs_f64(),
+        stats.queries as f64 / elapsed.as_secs_f64(),
         stats.sketch
     );
     println!("save -> load -> serve round trip verified");

@@ -24,6 +24,7 @@
 //! ```
 
 use datagen::simple::uniform;
+use neurosketch::deploy::Deployment;
 use neurosketch::serve::ServeOptions;
 use neurosketch::shard::{build_sharded, ShardPlan, ShardedServer};
 use neurosketch::{persist, NeuroSketchConfig};
@@ -102,11 +103,14 @@ fn main() {
                 ..ServeOptions::default()
             },
         );
+        // Both sides answer through the unified `Deployment` trait —
+        // the same surface the monolithic server exposes.
+        let serving: &dyn Deployment = &server;
         let quantized_server = ShardedServer::new(sharded.quantized(), ServeOptions::default());
-        let loaded_answers = server.answer_batch(&wl.queries).0;
+        let loaded_answers = serving.answer_batch(&wl.queries).0;
         assert_eq!(
             loaded_answers,
-            quantized_server.answer_batch(&wl.queries).0,
+            Deployment::answer_batch(&quantized_server, &wl.queries).0,
             "loaded deployment diverged from the quantized in-memory one"
         );
         println!(
@@ -152,7 +156,7 @@ fn main() {
 
         // 5b. Scatter/gather serving over the loaded artifacts.
         let t1 = Instant::now();
-        let (answers, stats) = server.answer_batch(&wl.queries);
+        let (answers, stats) = serving.answer_batch(&wl.queries);
         let elapsed = t1.elapsed();
         let truths: Vec<f64> = wl
             .queries
