@@ -537,6 +537,52 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
         );
     }
 
+    // Replicated cluster serving (`serve_replicated_k4x2`): the same
+    // stream through a `Cluster` of 4 shard groups x 2 replicas under
+    // round-robin routing. Versus `serve_sharded_k4` the delta is the
+    // coordinator overhead per batch — generation selection, routing,
+    // and the failover re-validation — on top of the identical
+    // scatter/gather; the answers themselves are bitwise the same.
+    {
+        use neurosketch::cluster::{Cluster, ClusterOptions, RoutePolicy};
+        use neurosketch::shard::{build_sharded, ShardPlan};
+        let (sharded, _) = build_sharded(
+            &sc.data,
+            sc.measure,
+            &ShardPlan::RoundRobin { shards: 4 },
+            &sc.wl.predicate,
+            Aggregate::Avg,
+            &sc.train,
+            &ns_cfg,
+        )
+        .expect("sharded build for cluster suite");
+        let mut cluster = Cluster::new(
+            &sharded,
+            2,
+            0,
+            RoutePolicy::RoundRobin,
+            ClusterOptions {
+                threads: 2,
+                max_shard: 1024,
+                quorum: 1.0,
+            },
+        )
+        .expect("cluster for query suite");
+        push(
+            "serve_replicated_k4x2",
+            iters,
+            time_reps(reps, || {
+                for _ in 0..iters {
+                    std::hint::black_box(
+                        cluster
+                            .answer_batch(&serve_queries)
+                            .expect("healthy cluster batch"),
+                    );
+                }
+            }),
+        );
+    }
+
     let mut scratch = Vec::new();
     let iters = 1200;
     push(

@@ -111,6 +111,9 @@ pub enum DeployKind {
     Monolithic,
     /// Scatter/gather over data shards; units are shards.
     Sharded,
+    /// Replicated scatter/gather over shard groups
+    /// ([`crate::cluster::Cluster`]); units are shard groups.
+    Replicated,
 }
 
 /// What a [`Deployment`] is serving — the `describe` surface monitoring
@@ -135,10 +138,12 @@ impl std::fmt::Display for DeploymentInfo {
         let kind = match self.kind {
             DeployKind::Monolithic => "monolithic",
             DeployKind::Sharded => "sharded",
+            DeployKind::Replicated => "replicated",
         };
         let unit = match self.kind {
             DeployKind::Monolithic => "partition",
             DeployKind::Sharded => "shard",
+            DeployKind::Replicated => "shard group",
         };
         write!(
             f,

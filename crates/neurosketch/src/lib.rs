@@ -47,6 +47,7 @@
 
 pub mod aqc;
 pub mod arch_search;
+pub mod cluster;
 pub mod deploy;
 pub mod dqd;
 pub mod ldq;
@@ -58,6 +59,10 @@ pub mod shard;
 pub mod sketch;
 
 pub use aqc::{aqc, normalized_aqc_std};
+pub use cluster::{
+    Cluster, ClusterBatchReport, ClusterError, ClusterEvent, ClusterOptions, ClusterReplicaView,
+    Fault, FaultPlan, RoutePolicy, UpgradeStep,
+};
 pub use deploy::{DeployKind, DeployStats, Deployment, DeploymentInfo, LiveDeployment};
 pub use maintenance::{DriftMonitor, DriftReport, MaintenancePlan, MaintenanceReport};
 pub use persist::{Artifact, PersistError};

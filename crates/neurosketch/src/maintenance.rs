@@ -112,8 +112,35 @@ impl DriftMonitor {
         agg: Aggregate,
     ) -> DriftReport {
         let truth = engine.label_batch(pred, agg, &self.probe, self.threads);
+        self.score(&truth, deployment)
+    }
+
+    /// [`DriftMonitor::check`] over several deployments at once: the
+    /// exact labels are computed **once** and every deployment is scored
+    /// against them, in input order. This is what a replicated cluster
+    /// ([`crate::cluster::Cluster`]) needs — one monitor, one probe
+    /// labeling, a [`DriftReport`] per replica handle — without cloning
+    /// the probe workload or re-running the exact oracle per replica. A
+    /// replica whose report disagrees with its peers' is drifting
+    /// *individually* (stale generation, corrupt artifact), which
+    /// whole-cluster checks average away.
+    pub fn check_many(
+        &self,
+        deployments: &[&dyn Deployment],
+        engine: &QueryEngine<'_>,
+        pred: &dyn PredicateFn,
+        agg: Aggregate,
+    ) -> Vec<DriftReport> {
+        let truth = engine.label_batch(pred, agg, &self.probe, self.threads);
+        deployments.iter().map(|d| self.score(&truth, *d)).collect()
+    }
+
+    /// Score one deployment against already-computed exact labels — the
+    /// shared tail of [`DriftMonitor::check`] and
+    /// [`DriftMonitor::check_many`].
+    fn score(&self, truth: &[f64], deployment: &dyn Deployment) -> DriftReport {
         let (preds, _) = deployment.answer_batch(&self.probe);
-        let nmae = normalized_mae(&truth, &preds);
+        let nmae = normalized_mae(truth, &preds);
         DriftReport {
             nmae,
             stale: nmae > self.threshold,

@@ -1033,43 +1033,82 @@ pub fn load_sharded_with_manifest(
     let mut shards = Vec::with_capacity(manifest.shards.len());
     let mut query_dim: Option<usize> = None;
     for artifacts in &manifest.shards {
-        let mut models: [Option<NeuroSketch>; 3] = [None, None, None];
-        for a in artifacts {
-            let path = dir.join(&a.path);
-            // Read first and classify by error kind — an exists()
-            // pre-check would race with concurrent deletion and
-            // misreport unreadable-but-present files as missing.
-            let bytes = std::fs::read(&path).map_err(|e| {
-                if e.kind() == std::io::ErrorKind::NotFound {
-                    PersistError::MissingShard {
-                        path: a.path.clone(),
-                    }
-                } else {
-                    PersistError::Io(e.to_string())
-                }
-            })?;
-            let found = artifact_checksum(&bytes);
-            if found != a.checksum {
-                return Err(PersistError::ChecksumMismatch {
-                    path: a.path.clone(),
-                    expected: a.checksum,
-                    found,
-                });
-            }
-            let artifact = decode(Bytes::from(bytes))?;
-            let dim = artifact.sketch.query_dim();
-            if *query_dim.get_or_insert(dim) != dim {
-                return Err(PersistError::Corrupt(format!(
-                    "shard artifact `{}` expects {dim}-dim queries, others disagree",
-                    a.path
-                )));
-            }
-            models[a.kind.slot()] = Some(artifact.sketch);
-        }
-        shards.push(ShardSketch::from_models(models));
+        shards.push(load_shard_models(dir, artifacts, &mut query_dim)?);
     }
     let sketch = ShardedSketch::from_parts(manifest.plan, manifest.aggregate, shards);
     Ok((sketch, manifest))
+}
+
+/// Load **one** shard of a manifested deployment: decode the manifest,
+/// then read, checksum-verify and decode only shard `shard`'s
+/// artifacts. Returns the shard sketch together with the decoded
+/// manifest (same one-read consistency contract as
+/// [`load_sharded_with_manifest`]), so the caller knows which
+/// generation the shard belongs to. This is the per-replica loading
+/// unit [`crate::cluster`]'s rolling upgrades use — a cluster of
+/// `K × N` replicas never has to read `K × N × K` artifacts to bring
+/// one replica to a new generation.
+pub fn load_shard(
+    manifest_path: impl AsRef<Path>,
+    shard: usize,
+) -> Result<(ShardSketch, ShardManifest), PersistError> {
+    let manifest_path = manifest_path.as_ref();
+    let raw = std::fs::read(manifest_path).map_err(|e| PersistError::Io(e.to_string()))?;
+    let manifest = decode_manifest(Bytes::from(raw))?;
+    let Some(artifacts) = manifest.shards.get(shard) else {
+        return Err(PersistError::Corrupt(format!(
+            "shard {shard} out of range for a {}-shard manifest",
+            manifest.shards.len()
+        )));
+    };
+    let dir = manifest_path.parent().unwrap_or(Path::new("."));
+    let sketch = load_shard_models(dir, artifacts, &mut None)?;
+    Ok((sketch, manifest))
+}
+
+/// Read, checksum-verify and decode one shard's artifact set — the
+/// per-shard unit shared by [`load_sharded_with_manifest`] (which
+/// threads `query_dim` across shards to enforce cross-shard dimension
+/// agreement) and [`load_shard`].
+fn load_shard_models(
+    dir: &Path,
+    artifacts: &[ShardArtifactRef],
+    query_dim: &mut Option<usize>,
+) -> Result<ShardSketch, PersistError> {
+    let mut models: [Option<NeuroSketch>; 3] = [None, None, None];
+    for a in artifacts {
+        let path = dir.join(&a.path);
+        // Read first and classify by error kind — an exists()
+        // pre-check would race with concurrent deletion and
+        // misreport unreadable-but-present files as missing.
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                PersistError::MissingShard {
+                    path: a.path.clone(),
+                }
+            } else {
+                PersistError::Io(e.to_string())
+            }
+        })?;
+        let found = artifact_checksum(&bytes);
+        if found != a.checksum {
+            return Err(PersistError::ChecksumMismatch {
+                path: a.path.clone(),
+                expected: a.checksum,
+                found,
+            });
+        }
+        let artifact = decode(Bytes::from(bytes))?;
+        let dim = artifact.sketch.query_dim();
+        if *query_dim.get_or_insert(dim) != dim {
+            return Err(PersistError::Corrupt(format!(
+                "shard artifact `{}` expects {dim}-dim queries, others disagree",
+                a.path
+            )));
+        }
+        models[a.kind.slot()] = Some(artifact.sketch);
+    }
+    Ok(ShardSketch::from_models(models))
 }
 
 #[cfg(test)]

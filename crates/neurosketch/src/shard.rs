@@ -123,8 +123,9 @@ pub enum ShardPlan {
     },
 }
 
-/// The splitmix64 finalizer, used by [`ShardPlan::Hash`] placement.
-fn splitmix64(mut x: u64) -> u64 {
+/// The splitmix64 finalizer, used by [`ShardPlan::Hash`] placement (and
+/// crate-internally by the fault-plan generator in [`crate::cluster`]).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -184,6 +185,43 @@ impl ShardPlan {
     /// under `Blocks`, only a full rebuild is sound after ingestion.
     pub fn row_stable(&self) -> bool {
         !matches!(self, ShardPlan::Blocks { .. })
+    }
+
+    /// Refine a round-robin plan in place: `K` shards become
+    /// `K × factor`, and every new shard's rows are a **subset** of one
+    /// old shard's rows — new shard `j` (under `K × factor`) owns
+    /// exactly the rows of old shard `j mod K` with
+    /// `i mod (K × factor) == j`, because
+    /// `(i mod K·f) mod K == i mod K`. That row-stability is what lets
+    /// [`crate::cluster::Cluster::rebalance`] split serving topology
+    /// without retraining a single model: each old shard's sketch keeps
+    /// answering for the union of its children until a child is
+    /// materialized.
+    ///
+    /// Only `RoundRobin` refines this way: `Blocks` boundaries move with
+    /// the shard count, and `Hash` placement under `K × factor` shards
+    /// is unrelated to placement under `K` — both are typed refusals.
+    /// `factor` 0 is a typed refusal; `factor` 1 is the identity.
+    pub fn refine(&self, factor: usize) -> Result<ShardPlan, SketchError> {
+        if factor == 0 {
+            return Err(SketchError::BadConfig(
+                "refinement factor must be at least 1".into(),
+            ));
+        }
+        match *self {
+            ShardPlan::RoundRobin { shards } => {
+                let refined = shards.checked_mul(factor).ok_or_else(|| {
+                    SketchError::BadConfig(format!(
+                        "{shards} shards × factor {factor} overflows the shard count"
+                    ))
+                })?;
+                Ok(ShardPlan::RoundRobin { shards: refined })
+            }
+            other => Err(SketchError::BadConfig(format!(
+                "{other:?} does not refine row-stably: only round-robin plans guarantee every \
+                 refined shard's rows are a subset of one coarse shard's rows"
+            ))),
+        }
     }
 
     /// Materialize the per-shard row-index assignment, shard by shard.
@@ -352,12 +390,7 @@ impl ShardedSketch {
     /// the empty-range convention (`0.0`) instead of amplifying the
     /// noise into an arbitrary ratio.
     pub fn finish_guarded(&self, total: Moments) -> f64 {
-        if matches!(self.aggregate, Aggregate::Avg | Aggregate::Std) && total.n < 0.5 {
-            return 0.0;
-        }
-        total
-            .finish(self.aggregate)
-            .expect("sharded aggregates are moment-composable by construction")
+        finish_guarded(self.aggregate, total)
     }
 
     /// Gather a query's answer from per-shard moments: merge in shard
@@ -401,6 +434,29 @@ impl ShardedSketch {
     pub fn artifact_bytes(&self) -> usize {
         self.shards.iter().map(ShardSketch::artifact_bytes).sum()
     }
+}
+
+/// Finish one set of (possibly predicted) moments into `agg` with the
+/// near-empty guard every gather path in this crate applies: AVG and
+/// STD divide by the count, which for *predicted* moments on an
+/// empty-selectivity query is model noise near zero, so a count below
+/// half a row takes the empty-range convention (`0.0`) instead of
+/// amplifying the noise into an arbitrary ratio. Shared by
+/// [`ShardedSketch::finish_guarded`] and the replicated gather in
+/// [`crate::cluster`], so a cluster's answers are bitwise the
+/// single-box scatter/gather answers whenever the same moments are
+/// merged in the same order.
+///
+/// # Panics
+/// Panics on an aggregate that is not moment-composable (MEDIAN);
+/// every constructor in this crate rejects those up front.
+pub fn finish_guarded(agg: Aggregate, total: Moments) -> f64 {
+    if matches!(agg, Aggregate::Avg | Aggregate::Std) && total.n < 0.5 {
+        return 0.0;
+    }
+    total
+        .finish(agg)
+        .expect("sharded aggregates are moment-composable by construction")
 }
 
 /// Timings and diagnostics from a sharded build.
@@ -736,6 +792,44 @@ mod tests {
         for (m, a) in moments.iter().zip(&answers) {
             assert_eq!(server.sketch().finish_guarded(*m), *a);
         }
+    }
+
+    /// Refinement is row-stable in the subset sense: every row's shard
+    /// under the refined plan reduces (mod K) to its shard under the
+    /// coarse plan, so refined shard `j`'s rows ⊆ coarse shard
+    /// `j mod K`'s rows. Non-round-robin plans and factor 0 are typed
+    /// refusals.
+    #[test]
+    fn refine_is_row_stable_and_typed() {
+        let rows = 131;
+        for k in [1usize, 2, 3] {
+            for factor in [1usize, 2, 3] {
+                let base = ShardPlan::RoundRobin { shards: k };
+                let fine = base.refine(factor).unwrap();
+                assert_eq!(fine.shards(), k * factor);
+                for row in 0..rows {
+                    assert_eq!(
+                        fine.assign(row, rows) % k,
+                        base.assign(row, rows),
+                        "row {row} escaped its coarse shard under K={k} × {factor}"
+                    );
+                }
+                // Refinement composes: (K → K·a) → K·a·b is K → K·a·b.
+                assert_eq!(fine.refine(2).unwrap().shards(), k * factor * 2);
+            }
+        }
+        assert!(matches!(
+            ShardPlan::RoundRobin { shards: 2 }.refine(0),
+            Err(SketchError::BadConfig(_))
+        ));
+        assert!(matches!(
+            ShardPlan::Blocks { shards: 2 }.refine(2),
+            Err(SketchError::BadConfig(_))
+        ));
+        assert!(matches!(
+            ShardPlan::Hash { shards: 2, seed: 1 }.refine(2),
+            Err(SketchError::BadConfig(_))
+        ));
     }
 
     #[test]
