@@ -99,6 +99,31 @@ fn main() {
                 single.median_ms / t2.median_ms
             );
         }
+        if let (Some(t1), Some(padded)) = (
+            entry("serve_throughput_batched_t1"),
+            entry("serve_layout_padded"),
+        ) {
+            println!(
+                "  padded serving layout: {:.0} qps plain t1, {:.0} qps padded ({:.2}x)",
+                qps(t1),
+                qps(padded),
+                t1.median_ms / padded.median_ms
+            );
+        }
+        if let (Some(f32b), Some(f16b), Some(i8b)) = (
+            report.median_of("artifact_bytes_f32"),
+            report.median_of("artifact_bytes_f16"),
+            report.median_of("artifact_bytes_i8"),
+        ) {
+            println!(
+                "  artifact bytes: f32 {:.0}, f16 {:.0} ({:.2}x), i8 {:.0} ({:.2}x)",
+                f32b,
+                f16b,
+                f16b / f32b,
+                i8b,
+                i8b / f32b
+            );
+        }
         if let (Some(k1), Some(k4)) = (entry("serve_sharded_k1"), entry("serve_sharded_k4")) {
             println!(
                 "  sharded scatter/gather: {:.0} qps k=1, {:.0} qps k=4 \

@@ -18,7 +18,11 @@
 //! `serve_sharded_k{1,4}` scenarios (the same stream through a
 //! `ShardedServer` over 1 and 4 data shards — the k1/k4 ratio is the
 //! per-query cost of scattering to more shards on one box; in a real
-//! deployment each shard runs on its own hardware), and the
+//! deployment each shard runs on its own hardware), the padded-layout
+//! and quantized serving entries (`serve_layout_padded` vs the plain
+//! `serve_throughput_batched_t1` tracks the pre-transposed GEMM win;
+//! `serve_batched_{f16,i8}` pin that quantized models serve at full
+//! speed) with the `artifact_bytes_{f32,f16,i8}` size curve, and the
 //! maintenance-path `refresh_full` vs `refresh_partial_1of4` pair
 //! (rebuild all four shards of a drifted deployment vs only the stale
 //! one; same iters, so the median ratio is the tracked partial-refresh
@@ -482,6 +486,10 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
                 threads,
                 max_shard: 1024,
                 active_attrs: None,
+                // Pinned to the plain per-batch-transpose path so these
+                // entries keep measuring what their committed baselines
+                // measured; `serve_layout_padded` tracks the layout win.
+                layout: false,
             },
         );
         // Served through the unified `Deployment` surface — what every
@@ -495,6 +503,61 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
                     std::hint::black_box(server.answer_batch(&serve_queries));
                 }
             }),
+        );
+    }
+
+    // The same t1 stream through the pre-transposed, block-padded
+    // serving layout (the `ServeOptions::layout` default): the median
+    // delta vs `serve_throughput_batched_t1` IS the tracked layout win —
+    // batches skip every per-batch weight transpose and run the dense
+    // padded GEMM kernel. `serve_batched_{f16,i8}` then serve the
+    // quantized sketches through the identical front, so the recorded
+    // medians document that quantization changes artifact size, not
+    // serving cost (both decode to plain f64 models at load).
+    {
+        use nn::QuantMode;
+        for (name, model) in [
+            ("serve_layout_padded", sketch.clone()),
+            ("serve_batched_f16", sketch.quantized_to(QuantMode::F16)),
+            ("serve_batched_i8", sketch.quantized_to(QuantMode::I8)),
+        ] {
+            let router = DqdRouter::new(
+                model,
+                build_report.leaf_aqcs.clone(),
+                RoutingPolicy::default(),
+            );
+            let server = SketchServer::new(
+                router,
+                ServeOptions {
+                    threads: 1,
+                    max_shard: 1024,
+                    active_attrs: None,
+                    layout: true,
+                },
+            );
+            let server: &dyn Deployment = &server;
+            push(
+                name,
+                iters,
+                time_reps(reps, || {
+                    for _ in 0..iters {
+                        std::hint::black_box(server.answer_batch(&serve_queries));
+                    }
+                }),
+            );
+        }
+    }
+
+    // Artifact size report (`artifact_bytes_{f32,f16,i8}`): exact NSK2
+    // bytes of this suite's sketch per parameter mode, recorded as
+    // "median" so the size curve rides the same tracked report as the
+    // timings. Deterministic — byte-stable across runs and machines.
+    for mode in nn::QuantMode::ALL {
+        let bytes = neurosketch::persist::encoded_len_with(&sketch, mode) as f64;
+        push(
+            &format!("artifact_bytes_{}", mode.name()),
+            1,
+            (bytes, bytes),
         );
     }
 
@@ -523,6 +586,8 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
                 threads: 2,
                 max_shard: 1024,
                 active_attrs: None,
+                // Plain path, matching the committed k1/k4 baselines.
+                layout: false,
             },
         );
         let server: &dyn Deployment = &server;

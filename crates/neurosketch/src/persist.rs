@@ -11,11 +11,11 @@
 //! (parameters dominate; the tree and headers are a few dozen bytes per
 //! partition).
 //!
-//! Layout (little-endian):
+//! Layout (little-endian, container version 3):
 //!
 //! ```text
 //! magic      u32 = 0x4E53_4B32 ("NSK2")
-//! version    u32 = 1
+//! version    u32 = 3             (v1/v2 — no quant byte, no trailer — still read)
 //! query_dim  u32
 //! node_count u32
 //! per node, preorder (root = 0):
@@ -25,20 +25,40 @@
 //! per model:
 //!   leaf u32                    (node-table index of its leaf)
 //!   y_mean f64, y_std f64       (output de-standardization)
-//!   blob_len u32, blob          (the MLP in NSK1 form, nn::binary)
+//!   quant u8                    (v3+: QuantMode tag — 0 f32, 1 f16, 2 i8)
+//!   blob_len u32, blob          (the MLP via nn::binary, in that mode)
 //! router u8: 0 = absent, 1 = present
 //! router only:
 //!   min_range_volume f64, max_leaf_aqc f64
 //!   aqc_count u32, aqc f64 per leaf (sketch leaf order)
+//! checksum u64                  (v3+: FNV-1a-64 of every preceding byte)
 //! ```
 //!
-//! Parameters are stored as `f32` (the paper's storage model), so saving
+//! ## Quantized parameter sections and the accuracy contract
+//!
+//! The default encoding stores parameters as `f32` (the paper's
+//! 4 B/param storage model); [`encode_sketch_with`] additionally offers
+//! [`QuantMode::F16`] (2 B/param) and [`QuantMode::I8`] (1 B/param +
+//! one `f32` power-of-two scale per tensor). For **every** mode, saving
 //! is lossy exactly once: a decoded sketch answers **bitwise
-//! identically** to [`NeuroSketch::quantized`] of the sketch it was
-//! saved from, and re-encoding a decoded sketch reproduces the byte
-//! stream exactly. Corrupt input — truncation, bad magic, an
-//! unsupported version, structural tree damage, or implausible layer
-//! dimensions — yields a typed [`PersistError`], never a panic.
+//! identically** to [`NeuroSketch::quantized_to`] of the sketch it was
+//! saved from, re-encoding a decoded sketch reproduces the byte stream
+//! exactly (the decoded sketch carries the artifact's mode as its
+//! [`NeuroSketch::quant_mode`], so plain [`encode_sketch`] round-trips
+//! too), and a second load answers bitwise identically to the first.
+//! What f16/i8 trade away is accuracy *against the data*, not
+//! reproducibility — `docs/serving.md` quantifies the NMAE curve.
+//!
+//! The version-3 trailing checksum ([`artifact_checksum`], same FNV-1a
+//! as NSKM) is verified before any section is parsed, closing the
+//! single-artifact integrity gap: flipped bits anywhere in the
+//! container are [`PersistError::TrailerMismatch`], not a
+//! silently-wrong weight. Corrupt input — truncation, bad magic, an
+//! unsupported version, structural tree damage, implausible layer
+//! dimensions, non-finite f16 bits, or a non-power-of-two i8 scale —
+//! yields a typed [`PersistError`], never a panic. Version-1/2
+//! artifacts (written before the quant byte and trailer existed) still
+//! decode, as pure-f32 containers without end-to-end verification.
 //!
 //! ## NSKM: the sharded-deployment manifest
 //!
@@ -91,6 +111,7 @@ use crate::router::{DqdRouter, RoutingPolicy};
 use crate::shard::{ShardPlan, ShardSketch, ShardedSketch};
 use crate::sketch::{LeafModel, NeuroSketch};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nn::QuantMode;
 use query::aggregate::{Aggregate, MomentKind};
 use spatial::kdtree::{FlatNode, FlatTreeError};
 use spatial::KdTree;
@@ -100,8 +121,14 @@ use std::path::{Path, PathBuf};
 /// NSK2 container magic ("NSK2" little-endian).
 pub const NSK2_MAGIC: u32 = 0x4E53_4B32;
 
-/// Newest container version this build reads and writes.
-pub const NSK2_VERSION: u32 = 1;
+/// Newest container version this build reads and writes. Versions 1
+/// and 2 — the pre-quantization layout without the per-model mode byte
+/// and trailing checksum — still decode.
+pub const NSK2_VERSION: u32 = 3;
+
+/// Oldest container version carrying the per-model quant byte and the
+/// trailing FNV-1a checksum.
+const NSK2_V3: u32 = 3;
 
 /// Why a persisted sketch could not be read.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +157,15 @@ pub enum PersistError {
     MissingShard {
         /// The manifest-relative path of the missing artifact.
         path: String,
+    },
+    /// A version-3 NSK2 container's trailing end-to-end checksum does
+    /// not match its bytes (partial write, bit rot, or tampering) —
+    /// detected before any section is parsed.
+    TrailerMismatch {
+        /// Checksum the trailer records.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
     },
     /// A shard artifact's bytes do not hash to the checksum its NSKM
     /// manifest recorded (partial write, bit rot, or a swapped file).
@@ -164,6 +200,10 @@ impl std::fmt::Display for PersistError {
             PersistError::MissingShard { path } => {
                 write!(f, "missing shard artifact `{path}`")
             }
+            PersistError::TrailerMismatch { expected, found } => write!(
+                f,
+                "NSK2 trailing checksum mismatch: trailer says {expected:#018x}, bytes hash to {found:#018x}"
+            ),
             PersistError::ChecksumMismatch {
                 path,
                 expected,
@@ -218,42 +258,68 @@ impl Artifact {
     }
 }
 
-/// Exact byte size [`encode_sketch`] produces for this sketch — the
-/// figure to compare against [`NeuroSketch::storage_bytes`] (the paper's
-/// accounting). Parameters dominate: the fixed overhead is 17 bytes of
-/// header/footer, 21 bytes per internal node, 1 per leaf, and 28 bytes +
-/// the NSK1 header per model.
+/// Exact byte size [`encode_sketch`] produces for this sketch (in its
+/// carried [`NeuroSketch::quant_mode`]) — the figure to compare against
+/// [`NeuroSketch::storage_bytes`] (the paper's accounting). Parameters
+/// dominate: the fixed overhead is 25 bytes of header/trailer, 21 bytes
+/// per internal node, 1 per leaf, and 29 bytes + the model-blob header
+/// per model.
 pub fn encoded_len(sketch: &NeuroSketch) -> usize {
+    encoded_len_with(sketch, sketch.quant_mode())
+}
+
+/// Exact byte size [`encode_sketch_with`] produces for this sketch in
+/// the given parameter encoding — the capacity-planning primitive
+/// (`docs/scaling.md`): per-replica artifact bytes at 4/2/1 bytes per
+/// parameter for f32/f16/i8.
+pub fn encoded_len_with(sketch: &NeuroSketch, mode: QuantMode) -> usize {
     let leaves = sketch.partitions();
     let internals = leaves.saturating_sub(1);
     let models: usize = sketch
         .models()
         .values()
-        .map(|m| 24 + nn::binary::encoded_len(&m.mlp))
+        .map(|m| 25 + nn::binary::encoded_len_with(&m.mlp, mode))
         .sum();
-    12 + 4 + internals * 21 + leaves + 4 + models + 1
+    12 + 4 + internals * 21 + leaves + 4 + models + 1 + 8
 }
 
-/// Encode a sketch (no router section) into an NSK2 container.
+/// Encode a sketch (no router section) into an NSK2 container, in the
+/// sketch's carried [`NeuroSketch::quant_mode`] — `F32` for freshly
+/// built sketches, the artifact's recorded mode for loaded ones (which
+/// is what makes load → re-encode byte-idempotent for every mode).
 pub fn encode_sketch(sketch: &NeuroSketch) -> Bytes {
-    encode(sketch, None)
+    encode(sketch, None, sketch.quant_mode())
 }
 
-/// Encode a router — sketch + AQCs + policy — into an NSK2 container.
+/// Encode a sketch with an explicit parameter encoding — the save-API
+/// entry point for choosing f16/i8 storage. The decoded artifact
+/// answers bitwise identically to `sketch.quantized_to(mode)`.
+pub fn encode_sketch_with(sketch: &NeuroSketch, mode: QuantMode) -> Bytes {
+    encode(sketch, None, mode)
+}
+
+/// Encode a router — sketch + AQCs + policy — into an NSK2 container,
+/// in the sketch's carried quant mode.
 pub fn encode_router(router: &DqdRouter) -> Bytes {
+    encode_router_with(router, router.sketch().quant_mode())
+}
+
+/// Encode a router with an explicit parameter encoding.
+pub fn encode_router_with(router: &DqdRouter, mode: QuantMode) -> Bytes {
     encode(
         router.sketch(),
         Some(&RouterMeta {
             leaf_aqcs: router.leaf_aqcs().to_vec(),
             policy: router.policy(),
         }),
+        mode,
     )
 }
 
-fn encode(sketch: &NeuroSketch, router: Option<&RouterMeta>) -> Bytes {
+fn encode(sketch: &NeuroSketch, router: Option<&RouterMeta>, mode: QuantMode) -> Bytes {
     let flat = sketch.tree().to_flat();
     let mut buf = BytesMut::with_capacity(
-        encoded_len(sketch) + router.map_or(0, |m| 20 + 8 * m.leaf_aqcs.len()),
+        encoded_len_with(sketch, mode) + router.map_or(0, |m| 20 + 8 * m.leaf_aqcs.len()),
     );
     buf.put_u32_le(NSK2_MAGIC);
     buf.put_u32_le(NSK2_VERSION);
@@ -294,7 +360,8 @@ fn encode(sketch: &NeuroSketch, router: Option<&RouterMeta>) -> Bytes {
         buf.put_u32_le(flat_leaf as u32);
         buf.put_f64_le(model.y_mean);
         buf.put_f64_le(model.y_std);
-        let blob = nn::binary::encode(&model.mlp);
+        buf.put_u8(mode.tag());
+        let blob = nn::binary::encode_with(&model.mlp, mode);
         buf.put_u32_le(blob.len() as u32);
         buf.put_slice(&blob);
     }
@@ -311,23 +378,45 @@ fn encode(sketch: &NeuroSketch, router: Option<&RouterMeta>) -> Bytes {
             }
         }
     }
+    // End-to-end trailer: FNV-1a over every byte written so far, NSKM
+    // parity for single artifacts.
+    let checksum = artifact_checksum(buf.as_ref());
+    buf.put_u64_le(checksum);
     buf.freeze()
 }
 
 /// Decode an NSK2 container produced by [`encode_sketch`] /
-/// [`encode_router`].
+/// [`encode_router`] (any version this build reads — see
+/// [`NSK2_VERSION`]).
 pub fn decode(mut data: Bytes) -> Result<Artifact, PersistError> {
     if data.remaining() < 12 {
         return Err(PersistError::Truncated("header"));
     }
-    let magic = data.get_u32_le();
+    let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
     if magic != NSK2_MAGIC {
         return Err(PersistError::BadMagic { found: magic });
     }
-    let version = data.get_u32_le();
-    if version != NSK2_VERSION {
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version == 0 || version > NSK2_VERSION {
         return Err(PersistError::UnsupportedVersion { found: version });
     }
+    if version >= NSK2_V3 {
+        // Verify the end-to-end trailer before parsing anything: a
+        // flipped bit anywhere in the container must surface as the
+        // integrity error, not as whatever section-level symptom it
+        // happens to cause (or worse, a silently-wrong weight).
+        if data.remaining() < 12 + 8 {
+            return Err(PersistError::Truncated("checksum trailer"));
+        }
+        let body = data.remaining() - 8;
+        let expected = u64::from_le_bytes(data[body..].try_into().expect("8 bytes"));
+        let found = artifact_checksum(&data[..body]);
+        if found != expected {
+            return Err(PersistError::TrailerMismatch { expected, found });
+        }
+        data = data.split_to(body);
+    }
+    data.advance(8); // magic + version, validated above
     let query_dim = data.get_u32_le() as usize;
 
     // kd-tree section.
@@ -383,9 +472,11 @@ pub fn decode(mut data: Bytes) -> Result<Artifact, PersistError> {
             leaves.len()
         )));
     }
+    let record_head = if version >= NSK2_V3 { 25 } else { 24 };
+    let mut container_mode: Option<QuantMode> = None;
     let mut models = BTreeMap::new();
     for _ in 0..model_count {
-        if data.remaining() < 24 {
+        if data.remaining() < record_head {
             return Err(PersistError::Truncated("model section"));
         }
         let leaf = data.get_u32_le() as usize;
@@ -404,12 +495,37 @@ pub fn decode(mut data: Bytes) -> Result<Artifact, PersistError> {
                 "model attached to non-leaf node {leaf}"
             )));
         }
+        let mode = if version >= NSK2_V3 {
+            let tag = data.get_u8();
+            QuantMode::from_tag(tag)
+                .ok_or_else(|| PersistError::Corrupt(format!("unknown quant mode tag {tag}")))?
+        } else {
+            QuantMode::F32
+        };
+        // The save API writes one mode for the whole container; a mixed
+        // container could not re-encode byte-idempotently, so it is
+        // structural corruption, not a feature.
+        if *container_mode.get_or_insert(mode) != mode {
+            return Err(PersistError::Corrupt(format!(
+                "mixed quant modes in one container ({} then {})",
+                container_mode.expect("just inserted").name(),
+                mode.name()
+            )));
+        }
         let blob_len = data.get_u32_le() as usize;
         if data.remaining() < blob_len {
             return Err(PersistError::Truncated("model blob"));
         }
         let blob = data.split_to(blob_len);
-        let mlp = nn::binary::decode(blob).map_err(|e| PersistError::Model(e.to_string()))?;
+        let (mlp, blob_mode) =
+            nn::binary::decode_any(blob).map_err(|e| PersistError::Model(e.to_string()))?;
+        if blob_mode != mode {
+            return Err(PersistError::Corrupt(format!(
+                "model blob stored as {} but the record declares {}",
+                blob_mode.name(),
+                mode.name()
+            )));
+        }
         if mlp.input_dim() != query_dim || mlp.output_dim() != 1 {
             return Err(PersistError::Corrupt(format!(
                 "model shape {}→{} does not fit a {query_dim}-dim sketch",
@@ -481,9 +597,74 @@ pub fn decode(mut data: Bytes) -> Result<Artifact, PersistError> {
     }
 
     Ok(Artifact {
-        sketch: NeuroSketch::from_parts(tree, models, query_dim),
+        sketch: NeuroSketch::from_parts(
+            tree,
+            models,
+            query_dim,
+            container_mode.unwrap_or(QuantMode::F32),
+        ),
         router,
     })
+}
+
+/// Write a sketch with an explicit parameter encoding — the on-disk
+/// counterpart of [`encode_sketch_with`].
+pub fn save_sketch_with(
+    path: impl AsRef<Path>,
+    sketch: &NeuroSketch,
+    mode: QuantMode,
+) -> Result<(), PersistError> {
+    std::fs::write(path, encode_sketch_with(sketch, mode))
+        .map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Encode a sketch in the **legacy version-1 layout**: f32 parameters,
+/// no per-model quant byte, no trailing checksum. Today's builds only
+/// ever write version 3 ([`encode_sketch`]); this writer exists so
+/// backward-compatibility tests (and interop with a pre-v3 reader)
+/// can produce genuine old-format bytes instead of hand-patched ones.
+pub fn encode_sketch_legacy_v1(sketch: &NeuroSketch) -> Bytes {
+    let flat = sketch.tree().to_flat();
+    let mut buf = BytesMut::with_capacity(encoded_len_with(sketch, QuantMode::F32));
+    buf.put_u32_le(NSK2_MAGIC);
+    buf.put_u32_le(1);
+    buf.put_u32_le(sketch.query_dim() as u32);
+    buf.put_u32_le(flat.len() as u32);
+    for node in &flat {
+        match *node {
+            FlatNode::Internal {
+                dim,
+                val,
+                left,
+                right,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(dim as u32);
+                buf.put_f64_le(val);
+                buf.put_u32_le(left as u32);
+                buf.put_u32_le(right as u32);
+            }
+            FlatNode::Leaf => buf.put_u8(1),
+        }
+    }
+    let flat_leaves: Vec<usize> = flat
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| matches!(n, FlatNode::Leaf).then_some(i))
+        .collect();
+    let arena_leaves = sketch.tree().leaf_ids();
+    buf.put_u32_le(flat_leaves.len() as u32);
+    for (&flat_leaf, arena_leaf) in flat_leaves.iter().zip(arena_leaves) {
+        let model = &sketch.models()[&arena_leaf];
+        buf.put_u32_le(flat_leaf as u32);
+        buf.put_f64_le(model.y_mean);
+        buf.put_f64_le(model.y_std);
+        let blob = nn::binary::encode(&model.mlp);
+        buf.put_u32_le(blob.len() as u32);
+        buf.put_slice(&blob);
+    }
+    buf.put_u8(0);
+    buf.freeze()
 }
 
 /// Write a sketch to `path` in NSK2 form.
@@ -494,6 +675,17 @@ pub fn save_sketch(path: impl AsRef<Path>, sketch: &NeuroSketch) -> Result<(), P
 /// Write a router (sketch + AQCs + policy) to `path` in NSK2 form.
 pub fn save_router(path: impl AsRef<Path>, router: &DqdRouter) -> Result<(), PersistError> {
     std::fs::write(path, encode_router(router)).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Write a router with an explicit parameter encoding — the on-disk
+/// counterpart of [`encode_router_with`].
+pub fn save_router_with(
+    path: impl AsRef<Path>,
+    router: &DqdRouter,
+    mode: QuantMode,
+) -> Result<(), PersistError> {
+    std::fs::write(path, encode_router_with(router, mode))
+        .map_err(|e| PersistError::Io(e.to_string()))
 }
 
 /// Read an NSK2 container from `path`.
@@ -1129,6 +1321,15 @@ mod tests {
         (s, r.leaf_aqcs)
     }
 
+    /// Recompute a v3 blob's trailing checksum after test corruption of
+    /// its body, so the corruption under test — not the trailer — is
+    /// what the decoder trips on.
+    fn patch_trailer(blob: &mut [u8]) {
+        let body = blob.len() - 8;
+        let c = artifact_checksum(&blob[..body]);
+        blob[body..].copy_from_slice(&c.to_le_bytes());
+    }
+
     #[test]
     fn roundtrip_matches_quantized_sketch_bitwise() {
         let (sketch, _) = trained_sketch();
@@ -1243,9 +1444,20 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         let (sketch, _) = trained_sketch();
+        // v3: appended bytes shift the trailer window, so the end-to-end
+        // checksum is what trips.
         let mut blob = encode_sketch(&sketch).to_vec();
         blob.extend_from_slice(b"leftover");
         let err = decode(Bytes::from(blob)).unwrap_err();
+        assert!(
+            matches!(err, PersistError::TrailerMismatch { .. }),
+            "expected trailer mismatch, got {err}"
+        );
+        // Legacy v1 has no trailer; the structural trailing-bytes check
+        // still catches concatenation.
+        let mut v1 = encode_sketch_legacy_v1(&sketch).to_vec();
+        v1.extend_from_slice(b"leftover");
+        let err = decode(Bytes::from(v1)).unwrap_err();
         assert!(
             matches!(&err, PersistError::Corrupt(m) if m.contains("trailing")),
             "expected trailing-bytes error, got {err}"
@@ -1257,14 +1469,15 @@ mod tests {
         let (sketch, aqcs) = trained_sketch();
         let router = DqdRouter::new(sketch, aqcs, RoutingPolicy::default());
         let blob = encode_router(&router).to_vec();
-        // The router section sits at the end: tag byte, two policy f64s,
-        // count u32, then the AQC array.
+        // The router section sits just before the 8-byte trailer: tag
+        // byte, two policy f64s, count u32, then the AQC array.
         let n_aqcs = router.leaf_aqcs().len();
-        let aqc_array = blob.len() - 8 * n_aqcs;
+        let aqc_array = blob.len() - 8 - 8 * n_aqcs;
         let policy_floats = aqc_array - 4 - 16;
         for offset in [policy_floats, policy_floats + 8, aqc_array] {
             let mut bad = blob.clone();
             bad[offset..offset + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+            patch_trailer(&mut bad);
             let err = decode(Bytes::from(bad)).unwrap_err();
             assert!(
                 matches!(&err, PersistError::Corrupt(m) if m.contains("NaN")),
@@ -1460,15 +1673,107 @@ mod tests {
         // Zero the node count: structurally empty tree.
         let mut no_nodes = blob.clone();
         no_nodes[12..16].copy_from_slice(&0u32.to_le_bytes());
+        patch_trailer(&mut no_nodes);
         assert!(decode(Bytes::from(no_nodes)).is_err());
 
         // Corrupt the first internal node's left-child pointer.
         let mut bad_child = blob.clone();
         // header(12) + node_count(4) + tag(1) + dim(4) + val(8) = 29.
         bad_child[29..33].copy_from_slice(&u32::MAX.to_le_bytes());
+        patch_trailer(&mut bad_child);
         assert!(matches!(
             decode(Bytes::from(bad_child)),
             Err(PersistError::Tree(_))
         ));
+    }
+
+    #[test]
+    fn quantized_modes_roundtrip_and_reencode_byte_idempotently() {
+        let (sketch, _) = trained_sketch();
+        let f32_len = encoded_len_with(&sketch, QuantMode::F32);
+        for mode in QuantMode::ALL {
+            let blob = encode_sketch_with(&sketch, mode);
+            assert_eq!(blob.len(), encoded_len_with(&sketch, mode), "{mode:?}");
+            let loaded = decode(blob.clone()).unwrap().sketch;
+            assert_eq!(loaded.quant_mode(), mode);
+            // The artifact answers exactly like the in-memory
+            // quantization of its source...
+            let q = sketch.quantized_to(mode);
+            for i in 0..40 {
+                let query = vec![(i as f64 * 0.173) % 1.0, (i as f64 * 0.419) % 1.0];
+                assert_eq!(loaded.answer(&query), q.answer(&query), "{mode:?}");
+            }
+            // ...re-encodes to the same bytes without the caller naming
+            // the mode (the sketch carries it)...
+            assert_eq!(&encode_sketch(&loaded)[..], &blob[..], "{mode:?}");
+            // ...and a second load is bitwise-reproducible.
+            let again = decode(blob).unwrap().sketch;
+            let query = [0.31, 0.77];
+            assert_eq!(loaded.answer(&query), again.answer(&query));
+        }
+        // The size ordering that motivates the whole feature.
+        assert!(
+            encoded_len_with(&sketch, QuantMode::I8) < encoded_len_with(&sketch, QuantMode::F16)
+        );
+        assert!(encoded_len_with(&sketch, QuantMode::F16) < f32_len);
+    }
+
+    #[test]
+    fn legacy_v1_and_v2_artifacts_still_decode() {
+        let (sketch, _) = trained_sketch();
+        let v1 = encode_sketch_legacy_v1(&sketch);
+        let loaded = decode(v1.clone()).unwrap().sketch;
+        assert_eq!(loaded.quant_mode(), QuantMode::F32);
+        let q = sketch.quantized();
+        for i in 0..40 {
+            let query = vec![(i as f64 * 0.137) % 1.0, (i as f64 * 0.311) % 1.0];
+            assert_eq!(loaded.answer(&query), q.answer(&query), "v1 query {i}");
+        }
+        // v2 shares the v1 layout; only the version field differs.
+        let mut v2 = v1.to_vec();
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let loaded2 = decode(Bytes::from(v2)).unwrap().sketch;
+        let query = [0.5, 0.25];
+        assert_eq!(loaded2.answer(&query), q.answer(&query));
+        // Re-encoding a legacy load writes today's v3 container, which
+        // still answers identically.
+        let upgraded = decode(encode_sketch(&loaded)).unwrap().sketch;
+        assert_eq!(upgraded.answer(&query), q.answer(&query));
+        // Version 0 stays a typed refusal.
+        let mut v0 = v1.to_vec();
+        v0[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(v0)),
+            Err(PersistError::UnsupportedVersion { found: 0 })
+        ));
+    }
+
+    #[test]
+    fn trailer_catches_every_single_byte_flip() {
+        let (sketch, _) = trained_sketch();
+        let blob = encode_sketch_with(&sketch, QuantMode::I8).to_vec();
+        let body = blob.len() - 8;
+        // Stride through the body; every flip must be the integrity
+        // error specifically — the trailer runs before section parsing.
+        for offset in (0..body).step_by(37) {
+            let mut bad = blob.clone();
+            bad[offset] ^= 0x40;
+            let err = decode(Bytes::from(bad)).unwrap_err();
+            if offset < 8 {
+                // Magic/version damage is classified before the trailer.
+                assert!(
+                    matches!(
+                        err,
+                        PersistError::BadMagic { .. } | PersistError::UnsupportedVersion { .. }
+                    ),
+                    "offset {offset}: got {err}"
+                );
+            } else {
+                assert!(
+                    matches!(err, PersistError::TrailerMismatch { .. }),
+                    "offset {offset}: got {err}"
+                );
+            }
+        }
     }
 }

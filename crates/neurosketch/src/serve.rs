@@ -12,7 +12,12 @@
 //! * within a shard, sketch-routed queries are grouped by kd-tree leaf
 //!   and answered with [`Mlp::forward_batch`](nn::Mlp::forward_batch) —
 //!   one GEMM per (partition, layer) instead of one matvec per query,
-//!   so batching pays even on a single core;
+//!   so batching pays even on a single core. With
+//!   [`ServeOptions::layout`] on (the default) those GEMMs run through
+//!   a pre-transposed, block-padded copy of every leaf's weights
+//!   ([`crate::sketch::SketchLayout`], built once at construction), so
+//!   steady-state batches skip the per-batch weight transpose entirely
+//!   and take [`nn::linalg::matmul_padded`]'s dense fast path;
 //! * every query first passes the wrapped [`DqdRouter`]'s DQD rules
 //!   (Sec. 4.3): too-small ranges and too-complex partitions go to the
 //!   configured exact engine instead of the sketch.
@@ -48,7 +53,7 @@
 //! ```
 
 use crate::router::{range_volume, DqdRouter, Route};
-use crate::sketch::{BatchScratch, NeuroSketch};
+use crate::sketch::{BatchScratch, NeuroSketch, SketchLayout};
 use query::aggregate::Aggregate;
 use query::exec::QueryEngine;
 use query::predicate::PredicateFn;
@@ -65,15 +70,23 @@ pub struct ServeOptions {
     /// the range volume for the router's range rule (Lemma 3.6). `None`
     /// skips the range rule (predicates without a meaningful volume).
     pub active_attrs: Option<usize>,
+    /// Serve through pre-transposed, block-padded weight copies
+    /// ([`crate::sketch::SketchLayout`], built once at server
+    /// construction): batches skip the per-batch weight transpose and
+    /// run the dense padded GEMM kernel. Answers are bitwise identical
+    /// either way; turning this off only trades serving throughput for
+    /// the layout's extra resident copy of the weights.
+    pub layout: bool,
 }
 
 impl Default for ServeOptions {
-    /// Four workers, 1024-query shards, range rule off.
+    /// Four workers, 1024-query shards, range rule off, padded layout on.
     fn default() -> Self {
         ServeOptions {
             threads: 4,
             max_shard: 1024,
             active_attrs: None,
+            layout: true,
         }
     }
 }
@@ -119,6 +132,9 @@ pub struct SketchServer<'a> {
     router: DqdRouter,
     fallback: Option<ExactBackend<'a>>,
     opts: ServeOptions,
+    /// Built once at construction when `opts.layout` is on; workers
+    /// share it read-only.
+    layout: Option<SketchLayout>,
 }
 
 impl<'a> SketchServer<'a> {
@@ -126,10 +142,12 @@ impl<'a> SketchServer<'a> {
     /// is ignored (there is nowhere to fall back to): every query goes
     /// to the sketch.
     pub fn new(router: DqdRouter, opts: ServeOptions) -> SketchServer<'static> {
+        let layout = opts.layout.then(|| router.sketch().serving_layout());
         SketchServer {
             router,
             fallback: None,
             opts,
+            layout,
         }
     }
 
@@ -140,10 +158,12 @@ impl<'a> SketchServer<'a> {
         fallback: ExactBackend<'a>,
         opts: ServeOptions,
     ) -> SketchServer<'a> {
+        let layout = opts.layout.then(|| router.sketch().serving_layout());
         SketchServer {
             router,
             fallback: Some(fallback),
             opts,
+            layout,
         }
     }
 
@@ -231,8 +251,14 @@ impl<'a> SketchServer<'a> {
             }
         }
         stats.sketch += to_sketch.len();
-        self.sketch()
-            .answer_subset_with(scratch, chunk, &to_sketch, &mut out);
+        match &self.layout {
+            Some(l) => self
+                .sketch()
+                .answer_subset_with_layout(l, scratch, chunk, &to_sketch, &mut out),
+            None => self
+                .sketch()
+                .answer_subset_with(scratch, chunk, &to_sketch, &mut out),
+        }
         if let Some(fb) = &self.fallback {
             for &i in &to_exact {
                 out[i] =
@@ -282,24 +308,29 @@ mod tests {
             .iter()
             .map(|q| router.sketch().answer(q))
             .collect();
-        for threads in [1, 2, 4] {
-            let (_, _, router) = {
-                // Rebuild per thread count: SketchServer consumes the router.
-                let (d, w, r) = served_setup();
-                (d, w, r)
-            };
-            let server = SketchServer::new(
-                router,
-                ServeOptions {
-                    threads,
-                    max_shard: 64,
-                    active_attrs: None,
-                },
-            );
-            let (answers, stats) = server.answer_batch(&wl.queries);
-            assert_eq!(answers, expected, "threads={threads}");
-            assert_eq!(stats.sketch, wl.queries.len());
-            assert_eq!(stats.total(), wl.queries.len());
+        // Both serving paths — the plain per-batch-transpose one and the
+        // pre-transposed padded layout — must be bitwise the scalar loop.
+        for layout in [false, true] {
+            for threads in [1, 2, 4] {
+                let (_, _, router) = {
+                    // Rebuild per thread count: SketchServer consumes the router.
+                    let (d, w, r) = served_setup();
+                    (d, w, r)
+                };
+                let server = SketchServer::new(
+                    router,
+                    ServeOptions {
+                        threads,
+                        max_shard: 64,
+                        active_attrs: None,
+                        layout,
+                    },
+                );
+                let (answers, stats) = server.answer_batch(&wl.queries);
+                assert_eq!(answers, expected, "threads={threads} layout={layout}");
+                assert_eq!(stats.sketch, wl.queries.len());
+                assert_eq!(stats.total(), wl.queries.len());
+            }
         }
     }
 
@@ -325,6 +356,7 @@ mod tests {
                 threads: 2,
                 max_shard: 128,
                 active_attrs: Some(1),
+                layout: true,
             },
         );
         let (answers, stats) = server.answer_batch(&wl.queries);

@@ -80,9 +80,10 @@
 //! ```
 
 use crate::serve::ServeOptions;
-use crate::sketch::{BatchScratch, NeuroSketch, NeuroSketchConfig};
+use crate::sketch::{BatchScratch, NeuroSketch, NeuroSketchConfig, SketchLayout};
 use crate::SketchError;
 use datagen::Dataset;
+use nn::QuantMode;
 use query::aggregate::{Aggregate, MomentKind, Moments};
 use query::exec::QueryEngine;
 use query::predicate::PredicateFn;
@@ -297,13 +298,60 @@ impl ShardSketch {
     /// what the per-shard NSK2 artifacts store. See
     /// [`NeuroSketch::quantized`].
     pub fn quantized(&self) -> ShardSketch {
+        self.quantized_to(QuantMode::F32)
+    }
+
+    /// Every component model quantized through `mode` — the in-memory
+    /// equivalent of saving this shard's artifacts with that
+    /// [`QuantMode`] and loading them back. See
+    /// [`NeuroSketch::quantized_to`].
+    pub fn quantized_to(&self, mode: QuantMode) -> ShardSketch {
         ShardSketch {
             models: [
-                self.models[0].as_ref().map(NeuroSketch::quantized),
-                self.models[1].as_ref().map(NeuroSketch::quantized),
-                self.models[2].as_ref().map(NeuroSketch::quantized),
+                self.models[0].as_ref().map(|m| m.quantized_to(mode)),
+                self.models[1].as_ref().map(|m| m.quantized_to(mode)),
+                self.models[2].as_ref().map(|m| m.quantized_to(mode)),
             ],
         }
+    }
+
+    /// Prebuilt serving layouts for this shard's component models
+    /// (see [`NeuroSketch::serving_layout`]), for
+    /// [`ShardSketch::moments_batch_with_layout`]. Build once per
+    /// deployed shard; rebuild after any model change.
+    pub fn serving_layout(&self) -> ShardLayout {
+        ShardLayout {
+            layouts: [
+                self.models[0].as_ref().map(NeuroSketch::serving_layout),
+                self.models[1].as_ref().map(NeuroSketch::serving_layout),
+                self.models[2].as_ref().map(NeuroSketch::serving_layout),
+            ],
+        }
+    }
+
+    /// [`ShardSketch::moments_batch_with`] through prebuilt
+    /// [`ShardLayout`]s: each component's forward passes take the
+    /// pre-transposed, block-padded GEMM fast path. Predictions are
+    /// **bitwise identical** to the plain path.
+    pub fn moments_batch_with_layout(
+        &self,
+        layout: &ShardLayout,
+        scratch: &mut BatchScratch,
+        queries: &[Vec<f64>],
+    ) -> Vec<Moments> {
+        let mut out = vec![Moments::ZERO; queries.len()];
+        for kind in MomentKind::ALL {
+            if let Some(model) = &self.models[kind.slot()] {
+                let l = layout.layouts[kind.slot()]
+                    .as_ref()
+                    .expect("layout built from a shard with the same components");
+                let component = model.answer_batch_with_layout(l, scratch, queries);
+                for (m, v) in out.iter_mut().zip(component) {
+                    m.set_component(kind, v);
+                }
+            }
+        }
+        out
     }
 
     /// Total trainable parameters across this shard's component models.
@@ -322,6 +370,25 @@ impl ShardSketch {
             .iter()
             .flatten()
             .map(crate::persist::encoded_len)
+            .sum()
+    }
+}
+
+/// Prebuilt serving layouts for one shard's component models, in
+/// `(n, Σ, Σ²)` slot order — the sharded analog of [`SketchLayout`].
+/// Derived, in-memory-only state: never persisted.
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    layouts: [Option<SketchLayout>; 3],
+}
+
+impl ShardLayout {
+    /// Approximate heap footprint of the padded weight copies, in bytes.
+    pub fn padded_bytes(&self) -> usize {
+        self.layouts
+            .iter()
+            .flatten()
+            .map(SketchLayout::padded_bytes)
             .sum()
     }
 }
@@ -417,10 +484,17 @@ impl ShardedSketch {
     /// save/load round trip through the NSKM manifest yields. See
     /// [`NeuroSketch::quantized`].
     pub fn quantized(&self) -> ShardedSketch {
+        self.quantized_to(QuantMode::F32)
+    }
+
+    /// The deployment with every model quantized through `mode` — what
+    /// saving the manifest with that [`QuantMode`] and loading it back
+    /// yields. See [`NeuroSketch::quantized_to`].
+    pub fn quantized_to(&self, mode: QuantMode) -> ShardedSketch {
         ShardedSketch {
             plan: self.plan,
             aggregate: self.aggregate,
-            shards: self.shards.iter().map(ShardSketch::quantized).collect(),
+            shards: self.shards.iter().map(|s| s.quantized_to(mode)).collect(),
         }
     }
 
@@ -609,15 +683,33 @@ pub struct ShardedServeStats {
 pub struct ShardedServer {
     sketch: ShardedSketch,
     opts: ServeOptions,
+    /// One prebuilt layout per shard when `opts.layout` is on; empty
+    /// otherwise. Workers share them read-only.
+    layouts: Vec<ShardLayout>,
 }
 
 impl ShardedServer {
     /// Serve a sharded deployment. `opts.threads` bounds the cross-shard
     /// fan-out and `opts.max_shard` the per-GEMM sub-batch;
-    /// `opts.active_attrs` is ignored (scatter/gather has no DQD
-    /// routing — shard sketches answer everything).
+    /// `opts.layout` serves through pre-transposed padded weight copies
+    /// (built here, once per shard); `opts.active_attrs` is ignored
+    /// (scatter/gather has no DQD routing — shard sketches answer
+    /// everything).
     pub fn new(sketch: ShardedSketch, opts: ServeOptions) -> ShardedServer {
-        ShardedServer { sketch, opts }
+        let layouts = if opts.layout {
+            sketch
+                .shards()
+                .iter()
+                .map(ShardSketch::serving_layout)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ShardedServer {
+            sketch,
+            opts,
+            layouts,
+        }
     }
 
     /// The served deployment.
@@ -681,10 +773,13 @@ impl ShardedServer {
             self.sketch.shards(),
             self.opts.threads.max(1),
             BatchScratch::default,
-            |scratch, _, shard| {
+            |scratch, si, shard| {
                 let mut moments = Vec::with_capacity(queries.len());
                 for chunk in queries.chunks(max_chunk) {
-                    moments.extend(shard.moments_batch_with(scratch, chunk));
+                    moments.extend(match self.layouts.get(si) {
+                        Some(l) => shard.moments_batch_with_layout(l, scratch, chunk),
+                        None => shard.moments_batch_with(scratch, chunk),
+                    });
                 }
                 moments
             },
@@ -918,27 +1013,32 @@ mod tests {
         .unwrap();
         assert_eq!(report.models_trained, 3);
         assert_eq!(report.shard_rows.iter().sum::<usize>(), 600);
-        for threads in [1, 4] {
-            let server = ShardedServer::new(
-                sharded.clone(),
-                ServeOptions {
-                    threads,
-                    max_shard: 64,
-                    active_attrs: None,
-                },
-            );
-            let (answers, stats) = server.answer_batch(&wl.queries);
-            assert_eq!(stats.queries, wl.queries.len());
-            // 3 shards × 1 component × ⌈160 / 64⌉ chunks.
-            assert_eq!(stats.model_batches, 9);
-            for (q, a) in wl.queries.iter().zip(&answers) {
-                let manual: f64 = sharded
-                    .shards()
-                    .iter()
-                    .map(|s| s.model(MomentKind::Count).unwrap().answer(q))
-                    .fold(0.0, |acc, v| acc + v);
-                assert_eq!(*a, manual, "threads={threads}");
-                assert_eq!(*a, sharded.answer(q), "threads={threads}");
+        // The padded-layout scatter path must recombine bitwise like the
+        // plain one at any thread count.
+        for layout in [false, true] {
+            for threads in [1, 4] {
+                let server = ShardedServer::new(
+                    sharded.clone(),
+                    ServeOptions {
+                        threads,
+                        max_shard: 64,
+                        active_attrs: None,
+                        layout,
+                    },
+                );
+                let (answers, stats) = server.answer_batch(&wl.queries);
+                assert_eq!(stats.queries, wl.queries.len());
+                // 3 shards × 1 component × ⌈160 / 64⌉ chunks.
+                assert_eq!(stats.model_batches, 9);
+                for (q, a) in wl.queries.iter().zip(&answers) {
+                    let manual: f64 = sharded
+                        .shards()
+                        .iter()
+                        .map(|s| s.model(MomentKind::Count).unwrap().answer(q))
+                        .fold(0.0, |acc, v| acc + v);
+                    assert_eq!(*a, manual, "threads={threads} layout={layout}");
+                    assert_eq!(*a, sharded.answer(q), "threads={threads} layout={layout}");
+                }
             }
         }
     }
@@ -1010,6 +1110,17 @@ mod tests {
         let (mono, _) = NeuroSketch::build_from_labeled(&wl.queries, &labels, &mono_cfg).unwrap();
         for q in wl.queries.iter().take(25) {
             assert_eq!(sharded.answer(q), mono.answer(q));
+        }
+        // The equivalence survives quantization: a k=1 i8 deployment
+        // answers bitwise like the i8-quantized monolithic sketch, both
+        // directly and through the layout-serving front.
+        let sharded_i8 = sharded.quantized_to(QuantMode::I8);
+        let mono_i8 = mono.quantized_to(QuantMode::I8);
+        let server = ShardedServer::new(sharded_i8.clone(), ServeOptions::default());
+        let (served, _) = server.answer_batch(&wl.queries);
+        for (q, s) in wl.queries.iter().zip(&served).take(25) {
+            assert_eq!(sharded_i8.answer(q), mono_i8.answer(q));
+            assert_eq!(*s, mono_i8.answer(q));
         }
     }
 

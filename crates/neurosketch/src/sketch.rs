@@ -6,7 +6,7 @@ use crate::SketchError;
 use nn::linalg::Matrix;
 use nn::mlp::{BatchWorkspace, Workspace};
 use nn::train::{train, TrainConfig, TrainReport};
-use nn::Mlp;
+use nn::{Mlp, QuantMode, ServingLayout};
 use query::aggregate::Aggregate;
 use query::exec::QueryEngine;
 use query::predicate::PredicateFn;
@@ -131,6 +131,35 @@ pub struct NeuroSketch {
     tree: KdTree,
     models: BTreeMap<usize, LeafModel>,
     query_dim: usize,
+    /// The parameter encoding this sketch's models are stored (or will
+    /// be stored) under. Freshly built sketches default to `F32`; a
+    /// sketch decoded from a quantized NSK2 artifact carries the
+    /// artifact's mode so re-encoding reproduces the artifact bytes.
+    quant: QuantMode,
+}
+
+/// Pre-built per-partition serving layouts for a [`NeuroSketch`] —
+/// one [`ServingLayout`] per leaf model (pre-transposed, block-padded
+/// weight copies; see `nn::mlp::ServingLayout`).
+///
+/// Derived, in-memory-only state: build it once per deployed sketch
+/// with [`NeuroSketch::serving_layout`] and pass it to
+/// [`NeuroSketch::answer_subset_with_layout`]. It must be rebuilt after
+/// any model change (e.g. [`NeuroSketch::retrain_partition`]) — the
+/// serving layer constructs it together with the sketch borrow, so it
+/// can never outlive the parameters it mirrors there.
+#[derive(Debug, Clone)]
+pub struct SketchLayout {
+    layouts: BTreeMap<usize, ServingLayout>,
+    /// Padded input width shared by every leaf layout.
+    input_cols: usize,
+}
+
+impl SketchLayout {
+    /// Approximate heap footprint of the padded weight copies, in bytes.
+    pub fn padded_bytes(&self) -> usize {
+        self.layouts.values().map(|l| l.padded_bytes()).sum()
+    }
 }
 
 /// Reusable scratch for [`NeuroSketch::answer_batch_with`]: the GEMM
@@ -269,6 +298,7 @@ impl NeuroSketch {
                 tree,
                 models,
                 query_dim,
+                quant: QuantMode::F32,
             },
             BuildReport {
                 labeling: Duration::ZERO,
@@ -329,6 +359,25 @@ impl NeuroSketch {
         out
     }
 
+    /// [`NeuroSketch::answer_batch_with`] through a prebuilt
+    /// [`SketchLayout`] — the whole-batch form of
+    /// [`NeuroSketch::answer_subset_with_layout`]. Answers are
+    /// **bitwise identical** to the plain path.
+    pub fn answer_batch_with_layout(
+        &self,
+        layout: &SketchLayout,
+        scratch: &mut BatchScratch,
+        queries: &[Vec<f64>],
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; queries.len()];
+        scratch.all.clear();
+        scratch.all.extend(0..queries.len());
+        let idxs = std::mem::take(&mut scratch.all);
+        self.answer_subset_with_layout(layout, scratch, queries, &idxs, &mut out);
+        scratch.all = idxs;
+        out
+    }
+
     /// Batched answering of a subset: for every `i` in `idxs`, write the
     /// sketch's answer to `queries[i]` into `out[i]`; other slots of
     /// `out` are left untouched. This is the primitive the serving layer
@@ -344,6 +393,37 @@ impl NeuroSketch {
         queries: &[Vec<f64>],
         idxs: &[usize],
         out: &mut [f64],
+    ) {
+        self.answer_subset_inner(scratch, queries, idxs, out, None);
+    }
+
+    /// [`NeuroSketch::answer_subset_with`] through a prebuilt
+    /// [`SketchLayout`]: per-group forward passes take the
+    /// pre-transposed, block-padded GEMM fast path instead of
+    /// re-transposing each leaf's weights per batch. Answers are
+    /// **bitwise identical** to the plain path.
+    ///
+    /// # Panics
+    /// Panics like [`NeuroSketch::answer_subset_with`], or if `layout`
+    /// was built from a different sketch.
+    pub fn answer_subset_with_layout(
+        &self,
+        layout: &SketchLayout,
+        scratch: &mut BatchScratch,
+        queries: &[Vec<f64>],
+        idxs: &[usize],
+        out: &mut [f64],
+    ) {
+        self.answer_subset_inner(scratch, queries, idxs, out, Some(layout));
+    }
+
+    fn answer_subset_inner(
+        &self,
+        scratch: &mut BatchScratch,
+        queries: &[Vec<f64>],
+        idxs: &[usize],
+        out: &mut [f64],
+        layout: Option<&SketchLayout>,
     ) {
         assert!(out.len() >= queries.len(), "output slice too short");
         scratch.keyed.clear();
@@ -371,11 +451,29 @@ impl NeuroSketch {
                 end += 1;
             }
             let model = self.models.get(&leaf).expect("every leaf has a model");
-            scratch.x.resize(end - start, self.query_dim);
-            for (row, &(_, qi)) in keyed[start..end].iter().enumerate() {
-                scratch.x.row_mut(row).copy_from_slice(&queries[qi]);
-            }
-            let y = model.mlp.forward_batch(&mut scratch.ws, &scratch.x);
+            let y = match layout {
+                None => {
+                    scratch.x.resize(end - start, self.query_dim);
+                    for (row, &(_, qi)) in keyed[start..end].iter().enumerate() {
+                        scratch.x.row_mut(row).copy_from_slice(&queries[qi]);
+                    }
+                    model.mlp.forward_batch(&mut scratch.ws, &scratch.x)
+                }
+                Some(l) => {
+                    // Assemble at the layout's padded width; the padding
+                    // columns must be zero (resize may leave stale data).
+                    scratch.x.resize(end - start, l.input_cols);
+                    for (row, &(_, qi)) in keyed[start..end].iter().enumerate() {
+                        let xrow = scratch.x.row_mut(row);
+                        xrow[..self.query_dim].copy_from_slice(&queries[qi]);
+                        xrow[self.query_dim..].fill(0.0);
+                    }
+                    let leaf_layout = l.layouts.get(&leaf).expect("layout covers every leaf");
+                    model
+                        .mlp
+                        .forward_batch_layout(leaf_layout, &mut scratch.ws, &scratch.x)
+                }
+            };
             for (row, &(_, qi)) in keyed[start..end].iter().enumerate() {
                 out[qi] = y.row(row)[0] * model.y_std + model.y_mean;
             }
@@ -391,6 +489,17 @@ impl NeuroSketch {
     /// `persist::decode(persist::encode_sketch(&s))` answers bitwise
     /// identically to `s.quantized()`.
     pub fn quantized(&self) -> NeuroSketch {
+        self.quantized_to(QuantMode::F32)
+    }
+
+    /// The sketch with every model parameter rounded through the given
+    /// storage encoding — exactly the values an NSK2 artifact saved with
+    /// that [`QuantMode`] decodes to. Each mode is lossy exactly once:
+    /// `s.quantized_to(mode)` is a fixed point of itself, so load →
+    /// re-encode is byte-idempotent and answers are bitwise reproducible
+    /// across loads. The result carries `mode` as its
+    /// [`NeuroSketch::quant_mode`].
+    pub fn quantized_to(&self, mode: QuantMode) -> NeuroSketch {
         NeuroSketch {
             tree: self.tree.clone(),
             models: self
@@ -400,7 +509,7 @@ impl NeuroSketch {
                     (
                         leaf,
                         LeafModel {
-                            mlp: m.mlp.quantized(),
+                            mlp: m.mlp.quantized_to(mode),
                             y_mean: m.y_mean,
                             y_std: m.y_std,
                         },
@@ -408,6 +517,35 @@ impl NeuroSketch {
                 })
                 .collect(),
             query_dim: self.query_dim,
+            quant: mode,
+        }
+    }
+
+    /// The parameter encoding this sketch saves under by default: `F32`
+    /// for freshly built sketches, or the artifact's recorded mode for
+    /// a sketch decoded from a quantized NSK2 container.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.quant
+    }
+
+    /// Build the per-partition serving layouts (pre-transposed,
+    /// block-padded weight copies) for
+    /// [`NeuroSketch::answer_subset_with_layout`]. Build once per
+    /// deployed sketch; rebuild after any model change.
+    pub fn serving_layout(&self) -> SketchLayout {
+        let layouts: BTreeMap<usize, ServingLayout> = self
+            .models
+            .iter()
+            .map(|(&leaf, m)| (leaf, m.mlp.serving_layout()))
+            .collect();
+        let input_cols = layouts
+            .values()
+            .next()
+            .map(|l| l.input_cols())
+            .unwrap_or(self.query_dim);
+        SketchLayout {
+            layouts,
+            input_cols,
         }
     }
 
@@ -427,11 +565,13 @@ impl NeuroSketch {
         tree: KdTree,
         models: BTreeMap<usize, LeafModel>,
         query_dim: usize,
+        quant: QuantMode,
     ) -> NeuroSketch {
         NeuroSketch {
             tree,
             models,
             query_dim,
+            quant,
         }
     }
 
@@ -792,6 +932,57 @@ mod tests {
             assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
             // ...and is idempotent (bitwise).
             assert_eq!(q.answer(query), q.quantized().answer(query));
+        }
+    }
+
+    #[test]
+    fn layout_answers_are_bitwise_identical_to_plain_path() {
+        let (data, wl) = count_setup(800, 300);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.tree_height = 2;
+        cfg.target_partitions = 4;
+        cfg.train.epochs = 20;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        let layout = sketch.serving_layout();
+        assert!(layout.padded_bytes() > 0);
+        let idxs: Vec<usize> = (0..wl.queries.len()).collect();
+        let mut plain = vec![0.0; wl.queries.len()];
+        let mut padded = vec![0.0; wl.queries.len()];
+        let mut scratch = BatchScratch::default();
+        sketch.answer_subset_with(&mut scratch, &wl.queries, &idxs, &mut plain);
+        // Same scratch across both paths: shapes must not leak.
+        sketch.answer_subset_with_layout(&layout, &mut scratch, &wl.queries, &idxs, &mut padded);
+        assert_eq!(plain, padded);
+        // And for a quantized model, same story.
+        let q = sketch.quantized_to(QuantMode::I8);
+        let qlayout = q.serving_layout();
+        let mut qp = vec![0.0; wl.queries.len()];
+        q.answer_subset_with_layout(&qlayout, &mut scratch, &wl.queries, &idxs, &mut qp);
+        for (i, q1) in wl.queries.iter().enumerate() {
+            assert_eq!(qp[i], q.answer(q1), "query {i}");
+        }
+    }
+
+    #[test]
+    fn quantized_to_is_idempotent_per_mode() {
+        let (data, wl) = count_setup(300, 150);
+        let engine = QueryEngine::new(&data, 1);
+        let mut cfg = NeuroSketchConfig::small();
+        cfg.train.epochs = 5;
+        let (sketch, _) =
+            NeuroSketch::build(&engine, &wl.predicate, Aggregate::Count, &wl.queries, &cfg)
+                .unwrap();
+        assert_eq!(sketch.quant_mode(), QuantMode::F32);
+        for mode in QuantMode::ALL {
+            let q = sketch.quantized_to(mode);
+            assert_eq!(q.quant_mode(), mode);
+            let qq = q.quantized_to(mode);
+            for query in wl.queries.iter().take(10) {
+                assert_eq!(q.answer(query), qq.answer(query), "{mode:?}");
+            }
         }
     }
 

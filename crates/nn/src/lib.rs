@@ -48,8 +48,9 @@ pub mod prune;
 pub mod train;
 
 pub use activation::Activation;
+pub use binary::QuantMode;
 pub use linalg::Matrix;
-pub use mlp::Mlp;
+pub use mlp::{Mlp, ServingLayout};
 
 /// Errors produced by the nn crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -5,10 +5,11 @@
 //! example drives that pipeline with the repo's production pieces:
 //!
 //! 1. build a sketch + DQD router on a synthetic workload,
-//! 2. save it as an NSK2 artifact (`neurosketch::persist`),
+//! 2. save it as an NSK2 artifact (`neurosketch::persist`) in the
+//!    requested parameter encoding (`--quant f32|f16|i8`),
 //! 3. load it back and verify the loaded sketch answers **bitwise
-//!    identically** to the quantized in-memory sketch on the full
-//!    workload,
+//!    identically** to the same quantization applied to the in-memory
+//!    sketch on the full workload,
 //! 4. serve the workload through the batched, multi-threaded
 //!    [`SketchServer`] and verify batched serving matches the loaded
 //!    sketch's single-query answers bitwise.
@@ -16,6 +17,7 @@
 //! ```text
 //! cargo run --release --example save_load_serve            # full scale
 //! cargo run --release --example save_load_serve -- --fast  # CI smoke
+//! cargo run --release --example save_load_serve -- --fast --quant i8
 //! ```
 
 use bench::perf::scenarios::query_scenario;
@@ -23,10 +25,22 @@ use neurosketch::deploy::Deployment;
 use neurosketch::router::{DqdRouter, RoutingPolicy};
 use neurosketch::serve::{ServeOptions, SketchServer};
 use neurosketch::{persist, NeuroSketch, NeuroSketchConfig};
+use nn::QuantMode;
 use std::time::Instant;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let quant = match args.iter().position(|a| a == "--quant") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            QuantMode::parse(name).unwrap_or_else(|| {
+                eprintln!("--quant needs one of: f32, f16, i8");
+                std::process::exit(2);
+            })
+        }
+        None => QuantMode::F32,
+    };
 
     // 1. Build. Same scenario the tracked query-perf suite uses.
     let sc = query_scenario(fast);
@@ -42,23 +56,31 @@ fn main() {
         t0.elapsed()
     );
 
-    // 2. Save the routed sketch as one NSK2 artifact.
+    // 2. Save the routed sketch as one NSK2 artifact in the chosen
+    // parameter encoding.
     let router = DqdRouter::new(sketch.clone(), report.leaf_aqcs, RoutingPolicy::default());
     let path = std::env::temp_dir().join("neurosketch_demo.nsk2");
-    persist::save_router(&path, &router).expect("save");
+    persist::save_router_with(&path, &router, quant).expect("save");
     let on_disk = std::fs::metadata(&path).expect("stat").len() as usize;
     println!(
-        "saved: {} bytes on disk vs {} paper-accounted (4 B/param + tree)",
+        "saved [{}]: {} bytes on disk ({} at f32) vs {} paper-accounted (4 B/param + tree)",
+        quant.name(),
         on_disk,
+        persist::encoded_len_with(&sketch, QuantMode::F32),
         sketch.storage_bytes()
     );
 
-    // 3. Load and verify: storing parameters as f32 quantizes exactly
-    // once, so the loaded sketch must equal the quantized in-memory
-    // sketch bitwise on every workload query.
+    // 3. Load and verify: each encoding quantizes exactly once at save
+    // time, so the loaded sketch must equal the same quantization of
+    // the in-memory sketch bitwise on every workload query.
     let artifact = persist::load(&path).expect("load");
     std::fs::remove_file(&path).ok();
-    let quantized = sketch.quantized();
+    assert_eq!(
+        artifact.sketch.quant_mode(),
+        quant,
+        "mode survives the round trip"
+    );
+    let quantized = sketch.quantized_to(quant);
     for q in &sc.wl.queries {
         assert_eq!(
             artifact.sketch.answer(q),
@@ -72,7 +94,8 @@ fn main() {
     );
 
     // 4. Serve. Batched multi-threaded serving must agree bitwise with
-    // the loaded sketch's own single-query path.
+    // the loaded sketch's own single-query path (the server's padded
+    // serving layout changes scheduling, not arithmetic).
     let expected: Vec<f64> = sc
         .wl
         .queries
