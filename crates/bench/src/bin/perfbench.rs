@@ -124,6 +124,19 @@ fn main() {
                 i8b / f32b
             );
         }
+        if let (Some(serial), Some(coalesced)) =
+            (entry("net_serial_loop"), entry("net_saturation_qps"))
+        {
+            println!(
+                "  network serving: {:.0} qps serial loop, {:.0} qps coalesced ({:.2}x)",
+                qps(serial),
+                qps(coalesced),
+                serial.median_ms / coalesced.median_ms
+            );
+        }
+        if let (Some(p50), Some(p99)) = (report.median_of("net_p50"), report.median_of("net_p99")) {
+            println!("  network latency under saturation: p50 {p50:.3} ms, p99 {p99:.3} ms");
+        }
         if let (Some(k1), Some(k4)) = (entry("serve_sharded_k1"), entry("serve_sharded_k4")) {
             println!(
                 "  sharded scatter/gather: {:.0} qps k=1, {:.0} qps k=4 \

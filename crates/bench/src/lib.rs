@@ -18,7 +18,9 @@
 
 pub mod common;
 pub mod experiments;
+pub mod netload;
 pub mod perf;
 
 pub use common::{EngineRow, ExperimentContext};
+pub use netload::{run_load, spawn_server, NetLoadReport};
 pub use perf::{PerfEntry, PerfReport};

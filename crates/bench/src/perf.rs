@@ -628,8 +628,8 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
             RoutePolicy::RoundRobin,
             ClusterOptions {
                 threads: 2,
-                max_shard: 1024,
                 quorum: 1.0,
+                ..ClusterOptions::default()
             },
         )
         .expect("cluster for query suite");
@@ -646,6 +646,69 @@ pub fn run_query_suite(fast: bool, reps: usize) -> PerfReport {
                 }
             }),
         );
+    }
+
+    // Network serving (`net_serial_loop` / `net_saturation_qps`): the
+    // same [`SERVE_STREAM_LEN`]-query stream through the NSKW protocol
+    // server over TCP loopback — once as a strict request-per-round-trip
+    // serial connection (window 1, the pre-coalescing service model) and
+    // once as 4 pipelined clients the server coalesces into adaptive
+    // micro-batches. Both entries time identical total work, so the
+    // median ratio IS the tracked coalescing win; `net_p50`/`net_p99`
+    // record the saturation run's per-request latency percentiles
+    // (median across reps), riding the report like `artifact_bytes_*`.
+    {
+        use crate::netload;
+        use neurosketch::deploy::LiveDeployment;
+        use neurosketch::net::NetOptions;
+        use std::sync::Arc;
+
+        let router = DqdRouter::new(
+            sketch.clone(),
+            build_report.leaf_aqcs.clone(),
+            RoutingPolicy::default(),
+        );
+        let server = SketchServer::new(
+            router,
+            ServeOptions {
+                threads: 2,
+                ..ServeOptions::default()
+            },
+        );
+        let live = Arc::new(LiveDeployment::new(server, 0));
+        let dims = serve_queries[0].len();
+        let under_test = netload::spawn_server(live, dims, NetOptions::default());
+        let addr = under_test.addr;
+
+        let iters = 1;
+        push(
+            "net_serial_loop",
+            iters,
+            time_reps(reps, || {
+                std::hint::black_box(netload::run_load(addr, &serve_queries, 1, 1));
+            }),
+        );
+        let mut p50s = Vec::new();
+        let mut p99s = Vec::new();
+        push(
+            "net_saturation_qps",
+            iters,
+            time_reps(reps, || {
+                let report = netload::run_load(addr, &serve_queries, 4, 64);
+                assert_eq!(report.rejected, 0, "saturation run must not shed load");
+                p50s.push(report.p50_ms);
+                p99s.push(report.p99_ms);
+            }),
+        );
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite percentiles"));
+            v[v.len() / 2]
+        };
+        let p50 = median(&mut p50s);
+        let p99 = median(&mut p99s);
+        push("net_p50", 1, (p50, p50));
+        push("net_p99", 1, (p99, p99));
+        under_test.stop();
     }
 
     let mut scratch = Vec::new();

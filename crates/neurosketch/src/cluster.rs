@@ -27,7 +27,8 @@
 use crate::deploy::{DeployKind, DeployStats, Deployment, DeploymentInfo};
 use crate::persist::{self, PersistError};
 use crate::shard::{
-    build_shard_sketch, finish_guarded, splitmix64, ShardPlan, ShardSketch, ShardedSketch,
+    build_shard_sketch, finish_guarded, splitmix64, ShardLayout, ShardPlan, ShardSketch,
+    ShardedSketch,
 };
 use crate::sketch::{BatchScratch, NeuroSketchConfig};
 use crate::SketchError;
@@ -67,6 +68,13 @@ pub struct ClusterOptions {
     /// partial (quorum) answer with the uncovered groups contributing
     /// nothing to the merge.
     pub quorum: f64,
+    /// Build a pre-transposed block-padded serving layout
+    /// ([`ShardLayout`]) per replica and scatter through the dense
+    /// GEMM path, as [`crate::serve::ServeOptions::layout`] does for
+    /// the single-node server. Answers are bitwise identical either
+    /// way; this trades memory (one padded parameter copy per replica)
+    /// for batch throughput.
+    pub layout: bool,
 }
 
 impl Default for ClusterOptions {
@@ -75,6 +83,7 @@ impl Default for ClusterOptions {
             threads: 4,
             max_shard: 1024,
             quorum: 1.0,
+            layout: true,
         }
     }
 }
@@ -99,6 +108,10 @@ pub enum ReplicaHealth {
 #[derive(Debug, Clone)]
 pub struct Replica {
     sketch: ShardSketch,
+    /// Pre-transposed serving layout for `sketch`, rebuilt on every
+    /// artifact swap; `None` when [`ClusterOptions::layout`] is off or
+    /// the slot holds no loadable sketch.
+    layout: Option<ShardLayout>,
     generation: u64,
     health: ReplicaHealth,
     pinned: bool,
@@ -569,20 +582,24 @@ impl Cluster {
             .shards()
             .iter()
             .enumerate()
-            .map(|(i, shard)| ShardGroup {
-                logical: vec![i],
-                physical: Some(i),
-                replicas: (0..replicas)
-                    .map(|_| Replica {
-                        sketch: shard.clone(),
-                        generation,
-                        health: ReplicaHealth::Healthy,
-                        pinned: false,
-                        served: 0,
-                        upgrade_seq: 0,
-                    })
-                    .collect(),
-                rr_cursor: 0,
+            .map(|(i, shard)| {
+                let layout = opts.layout.then(|| shard.serving_layout());
+                ShardGroup {
+                    logical: vec![i],
+                    physical: Some(i),
+                    replicas: (0..replicas)
+                        .map(|_| Replica {
+                            sketch: shard.clone(),
+                            layout: layout.clone(),
+                            generation,
+                            health: ReplicaHealth::Healthy,
+                            pinned: false,
+                            served: 0,
+                            upgrade_seq: 0,
+                        })
+                        .collect(),
+                    rr_cursor: 0,
+                }
             })
             .collect();
         Ok(Cluster {
@@ -671,6 +688,7 @@ impl Cluster {
                         if !usable[r] {
                             return Replica {
                                 sketch: ShardSketch::from_models([None, None, None]),
+                                layout: None,
                                 generation: 0,
                                 health: ReplicaHealth::LoadFailed,
                                 pinned: false,
@@ -681,8 +699,10 @@ impl Cluster {
                         match persist::load_shard(path.as_ref(), g) {
                             Ok((sketch, manifest)) => {
                                 healthy_total += 1;
+                                let layout = opts.layout.then(|| sketch.serving_layout());
                                 Replica {
                                     sketch,
+                                    layout,
                                     generation: manifest.generation,
                                     health: ReplicaHealth::Healthy,
                                     pinned: false,
@@ -698,6 +718,7 @@ impl Cluster {
                                 });
                                 Replica {
                                     sketch: ShardSketch::from_models([None, None, None]),
+                                    layout: None,
                                     generation: 0,
                                     health: ReplicaHealth::LoadFailed,
                                     pinned: false,
@@ -1136,8 +1157,10 @@ impl Cluster {
                 Ok((sketch, m)) => {
                     let from = self.groups[gi].replicas[ri].generation;
                     self.upgrade_seq += 1;
+                    let layout = self.opts.layout.then(|| sketch.serving_layout());
                     let rep = &mut self.groups[gi].replicas[ri];
                     rep.sketch = sketch;
+                    rep.layout = layout;
                     rep.generation = m.generation;
                     rep.upgrade_seq = self.upgrade_seq;
                     self.events.push(ClusterEvent::UpgradeApplied {
@@ -1219,8 +1242,10 @@ impl Cluster {
         }
         let (sketch, m) = persist::load_shard(manifest_path.as_ref(), phys)?;
         self.upgrade_seq += 1;
+        let layout = self.opts.layout.then(|| sketch.serving_layout());
         let rep = &mut self.groups[group].replicas[replica];
         rep.sketch = sketch;
+        rep.layout = layout;
         rep.generation = m.generation;
         rep.health = ReplicaHealth::Healthy;
         rep.pinned = false;
@@ -1321,11 +1346,13 @@ impl Cluster {
         }
         let parent = self.groups.remove(group);
         for (l, sketch) in fine {
+            let layout = self.opts.layout.then(|| sketch.serving_layout());
             let replicas = parent
                 .replicas
                 .iter()
                 .map(|r| Replica {
                     sketch: sketch.clone(),
+                    layout: layout.clone(),
                     generation: r.generation,
                     health: r.health,
                     pinned: r.pinned,
@@ -1390,10 +1417,17 @@ fn scatter_moments(
         threads,
         BatchScratch::default,
         |scratch, _, &(g, r)| {
-            let sketch = &groups[g].replicas[r].sketch;
+            let rep = &groups[g].replicas[r];
             let mut moments = Vec::with_capacity(queries.len());
             for chunk in queries.chunks(max_chunk) {
-                moments.extend(sketch.moments_batch_with(scratch, chunk));
+                // The layout path is bitwise identical to the plain
+                // path (`ShardSketch::moments_batch_with_layout`'s
+                // contract), so routing through it never perturbs the
+                // cluster's replica-interchangeability guarantees.
+                moments.extend(match &rep.layout {
+                    Some(layout) => rep.sketch.moments_batch_with_layout(layout, scratch, chunk),
+                    None => rep.sketch.moments_batch_with(scratch, chunk),
+                });
             }
             moments
         },

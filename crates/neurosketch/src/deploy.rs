@@ -339,6 +339,19 @@ impl LiveDeployment {
         self.snapshot().generation
     }
 
+    /// [`Deployment::answer_batch`] plus the generation that answered:
+    /// the answers and the stamp come from **one** snapshot, so a swap
+    /// landing concurrently can never tag generation `G`'s answers with
+    /// `G + 1` (or vice versa). This is the serving surface
+    /// [`crate::net`] stamps every response frame from — the
+    /// batch-level guarantee behind its never-blend-generations
+    /// contract.
+    pub fn answer_batch_tagged(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats, u64) {
+        let state = self.snapshot();
+        let (answers, stats) = state.deployment.answer_batch(queries);
+        (answers, stats, state.generation)
+    }
+
     /// Clone the current state under a brief read lock; the caller then
     /// works lock-free on the snapshot.
     fn snapshot(&self) -> Arc<LiveState> {
@@ -481,10 +494,15 @@ mod tests {
         assert_eq!(live.describe().generation, Some(4));
         assert_eq!(live.answer_batch(&wl.queries).0, expect_a);
 
+        let (tagged, _, generation) = live.answer_batch_tagged(&wl.queries);
+        assert_eq!((tagged, generation), (expect_a.clone(), 4));
+
         let replaced = live.swap(gen_b, 5);
         assert_eq!(replaced, 4);
         assert_eq!(live.generation(), 5);
         assert_eq!(live.answer_batch(&wl.queries).0, expect_b);
+        let (tagged, _, generation) = live.answer_batch_tagged(&wl.queries);
+        assert_eq!((tagged, generation), (expect_b.clone(), 5));
         assert_ne!(expect_a, expect_b, "test must distinguish generations");
     }
 

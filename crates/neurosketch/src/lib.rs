@@ -52,6 +52,7 @@ pub mod deploy;
 pub mod dqd;
 pub mod ldq;
 pub mod maintenance;
+pub mod net;
 pub mod persist;
 pub mod router;
 pub mod serve;
@@ -65,6 +66,10 @@ pub use cluster::{
 };
 pub use deploy::{DeployKind, DeployStats, Deployment, DeploymentInfo, LiveDeployment};
 pub use maintenance::{DriftMonitor, DriftReport, MaintenancePlan, MaintenanceReport};
+pub use net::{
+    Frame, NetAnswer, NetClient, NetError, NetOptions, NetResponse, NetServer, NetStats,
+    RejectCode, ServerInfo,
+};
 pub use persist::{Artifact, PersistError};
 pub use serve::{ServeOptions, ServeStats, SketchServer};
 pub use shard::{build_sharded, ShardPlan, ShardedServer, ShardedSketch};

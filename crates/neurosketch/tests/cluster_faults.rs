@@ -79,8 +79,8 @@ fn fresh_dir(name: &str) -> PathBuf {
 fn opts(quorum: f64) -> ClusterOptions {
     ClusterOptions {
         threads: 4,
-        max_shard: 1024,
         quorum,
+        ..ClusterOptions::default()
     }
 }
 
@@ -105,6 +105,39 @@ fn healthy_cluster_is_bitwise_a_single_box() {
         assert!(!report.stale);
         assert_eq!(report.covered, SHARDS);
         assert_eq!(report.failovers, 0);
+    }
+}
+
+/// The pre-transposed per-replica serving layout
+/// ([`ClusterOptions::layout`]) is a pure speed knob: scattering
+/// through the padded GEMM path is bitwise identical to the plain
+/// path at every thread count — and both match the single box.
+#[test]
+fn replica_serving_layout_is_bitwise_invisible() {
+    let b = base();
+    let expect = single_box(&b.sharded);
+    for threads in [1usize, 4] {
+        let mut answers = Vec::new();
+        for layout in [false, true] {
+            let mut cluster = Cluster::new(
+                &b.sharded,
+                2,
+                0,
+                RoutePolicy::RoundRobin,
+                ClusterOptions {
+                    threads,
+                    layout,
+                    ..ClusterOptions::default()
+                },
+            )
+            .unwrap();
+            answers.push(cluster.answer_batch(&b.wl.queries).unwrap().0);
+        }
+        assert_eq!(
+            answers[0], answers[1],
+            "layout on/off diverged at {threads} threads"
+        );
+        assert_eq!(answers[1], expect, "layout path drifted from single-box");
     }
 }
 
@@ -379,8 +412,8 @@ fn run_embedded_scenario(
         RoutePolicy::RoundRobin,
         ClusterOptions {
             threads,
-            max_shard: 1024,
             quorum: 0.5,
+            ..ClusterOptions::default()
         },
     )
     .unwrap()
@@ -458,8 +491,8 @@ fn generated_plans_replay_identically_from_their_seed() {
                 RoutePolicy::RoundRobin,
                 ClusterOptions {
                     threads,
-                    max_shard: 1024,
                     quorum: 0.5,
+                    ..ClusterOptions::default()
                 },
             )
             .unwrap()

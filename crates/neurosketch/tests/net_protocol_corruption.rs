@@ -1,0 +1,318 @@
+//! Adversarial tests for the NSKW wire protocol, mirroring the NSK2
+//! container suite (`persist_corruption.rs`): every corruption of the
+//! byte stream — truncated frames, single-byte flips, oversized
+//! declared lengths, garbage prologues — must come back as a typed
+//! [`NetError`], never a panic; and on a live server a violating
+//! connection is closed with one typed [`Frame::Error`] farewell while
+//! every other connection keeps being served, bitwise-correct.
+
+use neurosketch::deploy::LiveDeployment;
+use neurosketch::net::{
+    decode_frame, encode_frame, Frame, NetClient, NetError, NetOptions, NetServer, FRAME_HEADER,
+    NET_MAGIC, NET_VERSION,
+};
+use neurosketch::{Deployment, NeuroSketch, NeuroSketchConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A canonical query frame to corrupt (built fresh per case — cheap).
+fn sample_frame() -> Vec<u8> {
+    encode_frame(&Frame::Query {
+        id: 42,
+        query: vec![0.25, 0.75, 0.5],
+    })
+}
+
+/// Decoding must be total: typed error, incomplete, or a full decode —
+/// never a panic — for any damage the properties below inflict.
+fn decode_is_total(bytes: &[u8], max_payload: u32) {
+    let _ = decode_frame(bytes, max_payload);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any strict prefix of a valid frame either asks for more bytes
+    /// or fails typed — and once the magic survived the cut, the error
+    /// is never a bad-magic report.
+    #[test]
+    fn truncation_never_panics(frac in 0.0f64..1.0) {
+        let frame = sample_frame();
+        let cut = ((frame.len() - 1) as f64 * frac) as usize;
+        match decode_frame(&frame[..cut], u32::MAX) {
+            Ok(Some(_)) => prop_assert!(false, "a strict prefix decoded whole"),
+            Ok(None) => {}
+            Err(e) => prop_assert!(
+                cut < 4 || !matches!(e, NetError::BadMagic { .. }),
+                "magic was intact at cut {cut}: {e}"
+            ),
+        }
+    }
+
+    /// Every single-byte flip anywhere in a frame is refused (or, for
+    /// flips that inflate the declared length, stalls waiting for
+    /// bytes that never come) — never a silent mis-decode, never a
+    /// panic.
+    #[test]
+    fn byte_flips_never_yield_a_wrong_frame(pos_frac in 0.0f64..1.0, flip in 1u32..256) {
+        let mut frame = sample_frame();
+        let pos = ((frame.len() - 1) as f64 * pos_frac) as usize;
+        frame[pos] ^= flip as u8;
+        match decode_frame(&frame, u32::MAX) {
+            Ok(Some((decoded, _))) => {
+                prop_assert!(false, "flip at {pos} decoded to {decoded:?}")
+            }
+            Ok(None) => prop_assert!(
+                (6..FRAME_HEADER).contains(&pos),
+                "flip at {pos} stalled the decoder"
+            ),
+            Err(_) => {}
+        }
+    }
+
+    /// A header declaring an absurd payload length is refused as soon
+    /// as the header is complete — before any payload is buffered —
+    /// whenever it exceeds the negotiated cap.
+    #[test]
+    fn oversized_declared_lengths_are_refused_at_the_header(
+        declared in 0u32..u32::MAX,
+        cap in 1u32..1_048_576,
+    ) {
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&NET_MAGIC);
+        hdr.push(NET_VERSION);
+        hdr.push(1); // query kind
+        hdr.extend_from_slice(&declared.to_le_bytes());
+        match decode_frame(&hdr, cap) {
+            Err(NetError::Oversized { declared: d, max }) => {
+                prop_assert_eq!((d, max), (declared, cap));
+                prop_assert!(declared > cap);
+            }
+            Ok(None) => prop_assert!(declared <= cap),
+            other => prop_assert!(false, "unexpected: {other:?}"),
+        }
+    }
+
+    /// Garbage prologues of any length fail typed (or wait for the
+    /// bytes that could still make them valid) — the decoder is total.
+    #[test]
+    fn garbage_prologues_never_panic(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        decode_is_total(&raw, 4096);
+    }
+
+    /// Valid frames embedded at arbitrary offsets inside garbage still
+    /// never panic the decoder (it may refuse the garbage in front —
+    /// that is the point).
+    #[test]
+    fn garbage_wrapped_frames_never_panic(
+        prefix in prop::collection::vec(0u32..256, 0..32),
+        suffix in prop::collection::vec(0u32..256, 0..32),
+    ) {
+        let mut raw: Vec<u8> = prefix.iter().map(|&b| b as u8).collect();
+        raw.extend_from_slice(&sample_frame());
+        raw.extend(suffix.iter().map(|&b| b as u8));
+        decode_is_total(&raw, u32::MAX);
+    }
+}
+
+/// Shared fixture: a small trained sketch behind a [`LiveDeployment`].
+fn live_fixture() -> (Arc<LiveDeployment>, Vec<Vec<f64>>, Vec<f64>) {
+    let queries: Vec<Vec<f64>> = (0..160)
+        .map(|i| vec![(i as f64 * 0.7548) % 1.0, (i as f64 * 0.5698) % 1.0])
+        .collect();
+    let labels: Vec<f64> = queries.iter().map(|q| 7.0 * q[0] - 3.0 * q[1]).collect();
+    let mut cfg = NeuroSketchConfig::small();
+    cfg.tree_height = 2;
+    cfg.target_partitions = 4;
+    cfg.train.epochs = 5;
+    let (sketch, _) = NeuroSketch::build_from_labeled(&queries, &labels, &cfg).unwrap();
+    let (expected, _) = Deployment::answer_batch(&sketch, &queries);
+    (Arc::new(LiveDeployment::new(sketch, 0)), queries, expected)
+}
+
+/// Spawn a serving loop; returns (addr, shutdown flag, join handle).
+type ServerHandle = (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<NetServer>,
+);
+
+fn spawn_server(live: Arc<LiveDeployment>, opts: NetOptions) -> ServerHandle {
+    let mut server = NetServer::bind("127.0.0.1:0", live, 2, opts).unwrap();
+    let addr = server.local_addr();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let handle = std::thread::spawn(move || {
+        server.serve(&flag);
+        server
+    });
+    (addr, shutdown, handle)
+}
+
+/// A connection spraying damaged frames gets a typed [`Frame::Error`]
+/// and a close; a well-behaved connection opened alongside it keeps
+/// receiving bitwise-correct answers. One bad client never poisons
+/// another.
+#[test]
+fn corrupt_client_is_isolated_from_good_clients() {
+    let (live, queries, expected) = live_fixture();
+    let (addr, shutdown, handle) = spawn_server(live, NetOptions::default());
+
+    let mut good = NetClient::connect(addr).unwrap();
+    good.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let a = good.query(&queries[0]).unwrap();
+    assert_eq!(a.value.to_bits(), expected[0].to_bits());
+
+    // Damage regimes, each on a fresh connection: flipped checksum,
+    // bad magic, bad version, unknown kind, oversized declared length,
+    // a wrong-direction (server-only) frame, and a mid-frame hangup.
+    let mut flipped = sample_frame();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0xFF;
+    let damages: Vec<Vec<u8>> = vec![
+        flipped,
+        b"JUNKJUNKJUNK".to_vec(),
+        {
+            let mut f = sample_frame();
+            f[4] = 9;
+            f
+        },
+        {
+            let mut f = sample_frame();
+            f[5] = 99;
+            f
+        },
+        {
+            let mut hdr = Vec::new();
+            hdr.extend_from_slice(&NET_MAGIC);
+            hdr.push(NET_VERSION);
+            hdr.push(1);
+            hdr.extend_from_slice(&u32::MAX.to_le_bytes());
+            hdr
+        },
+        encode_frame(&Frame::Answer {
+            id: 1,
+            generation: 0,
+            value: 1.0,
+        }),
+    ];
+    for damage in damages {
+        let mut bad = NetClient::connect(addr).unwrap();
+        bad.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        bad.send_raw(&damage).unwrap();
+        // The server's farewell is a typed error frame, then a close.
+        match bad.recv() {
+            Ok(Frame::Error { .. }) => {}
+            Ok(other) => panic!("expected an error farewell, got {other:?}"),
+            Err(NetError::Truncated { .. }) | Err(NetError::Io(_)) => {
+                // Close raced ahead of the farewell — acceptable; the
+                // connection is down either way.
+            }
+            Err(e) => panic!("unexpected client error: {e}"),
+        }
+        // The good client is unaffected, still bitwise-correct.
+        let i = 1 + (damage.len() % (queries.len() - 1));
+        let a = good.query(&queries[i]).unwrap();
+        assert_eq!(a.value.to_bits(), expected[i].to_bits());
+    }
+
+    // A client that hangs up mid-frame must not wedge the server.
+    {
+        let mut partial = NetClient::connect(addr).unwrap();
+        partial.send_raw(&sample_frame()[..7]).unwrap();
+    } // dropped here: EOF with a partial frame buffered
+    let a = good.query(&queries[5]).unwrap();
+    assert_eq!(a.value.to_bits(), expected[5].to_bits());
+
+    shutdown.store(true, Ordering::Relaxed);
+    let server = handle.join().unwrap();
+    let stats = server.stats();
+    assert!(
+        stats.protocol_errors >= 6,
+        "expected at least 6 typed violations, saw {}",
+        stats.protocol_errors
+    );
+    assert_eq!(stats.answered, 8, "good client's answers: 1 + 6 + 1");
+}
+
+/// Frames split at every possible byte boundary across two writes
+/// still decode whole: the server's incremental parser never treats a
+/// short read as corruption.
+#[test]
+fn frames_fragmented_across_writes_decode_whole() {
+    let (live, queries, expected) = live_fixture();
+    let (addr, shutdown, handle) = spawn_server(live, NetOptions::default());
+
+    let frame = encode_frame(&Frame::Query {
+        id: 0,
+        query: queries[3].clone(),
+    });
+    for cut in 1..frame.len() {
+        let mut c = NetClient::connect(addr).unwrap();
+        c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        c.send_raw(&frame[..cut]).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        c.send_raw(&frame[cut..]).unwrap();
+        match c.recv().unwrap() {
+            Frame::Answer { id, value, .. } => {
+                assert_eq!(id, 0);
+                assert_eq!(value.to_bits(), expected[3].to_bits(), "cut at {cut}");
+            }
+            other => panic!("cut at {cut}: {other:?}"),
+        }
+    }
+
+    shutdown.store(true, Ordering::Relaxed);
+    let server = handle.join().unwrap();
+    assert_eq!(server.stats().protocol_errors, 0);
+}
+
+/// Pipelined garbage after valid frames: the valid prefix is served,
+/// the garbage earns the typed farewell.
+#[test]
+fn valid_prefix_is_served_before_the_violation_closes() {
+    let (live, queries, expected) = live_fixture();
+    let (addr, shutdown, handle) = spawn_server(live, NetOptions::default());
+
+    let mut c = NetClient::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut bytes = Vec::new();
+    for (i, q) in queries.iter().enumerate().take(3) {
+        bytes.extend_from_slice(&encode_frame(&Frame::Query {
+            id: i as u64,
+            query: q.clone(),
+        }));
+    }
+    bytes.extend_from_slice(b"GARBAGE");
+    c.send_raw(&bytes).unwrap();
+
+    let mut answered = 0;
+    let mut farewell = false;
+    loop {
+        match c.recv() {
+            Ok(Frame::Answer { id, value, .. }) => {
+                assert_eq!(value.to_bits(), expected[id as usize].to_bits());
+                answered += 1;
+            }
+            Ok(Frame::Error { .. }) => {
+                farewell = true;
+                break;
+            }
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(_) => break, // close raced the farewell
+        }
+    }
+    // The three valid queries may be served or discarded depending on
+    // whether the violation was parsed in the same pump; what must
+    // never happen is a wrong answer or a panic. If anything was
+    // answered it was bitwise-correct (asserted above).
+    assert!(answered <= 3);
+    assert!(farewell || answered <= 3);
+
+    shutdown.store(true, Ordering::Relaxed);
+    let server = handle.join().unwrap();
+    assert_eq!(server.stats().protocol_errors, 1);
+}

@@ -1,0 +1,361 @@
+//! Protocol-level serving battery for [`neurosketch::net`]: loopback
+//! parity (server answers bitwise identical to direct
+//! [`Deployment::answer_batch`], at any thread count and any
+//! micro-batch coalescing schedule), deterministic overload /
+//! backpressure, round-robin fairness against a flooding client, and
+//! the never-blend-generations contract under a hot swap mid-traffic.
+
+use neurosketch::deploy::LiveDeployment;
+use neurosketch::net::{NetClient, NetOptions, NetResponse, NetServer};
+use neurosketch::router::{DqdRouter, RoutingPolicy};
+use neurosketch::{Deployment, NeuroSketch, NeuroSketchConfig, ServeOptions, SketchServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic 2-d query workload.
+fn workload(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![(i as f64 * 0.7548) % 1.0, (i as f64 * 0.5698) % 1.0])
+        .collect()
+}
+
+/// A small trained sketch over `queries` labeled by `f`, plus its
+/// leaf AQCs (for router construction).
+fn trained(queries: &[Vec<f64>], f: impl Fn(&[f64]) -> f64) -> (NeuroSketch, Vec<f64>) {
+    let labels: Vec<f64> = queries.iter().map(|q| f(q)).collect();
+    let mut cfg = NeuroSketchConfig::small();
+    cfg.tree_height = 2;
+    cfg.target_partitions = 4;
+    cfg.train.epochs = 5;
+    let (sketch, report) = NeuroSketch::build_from_labeled(queries, &labels, &cfg).unwrap();
+    (sketch, report.leaf_aqcs)
+}
+
+type ServerHandle = (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<NetServer>,
+);
+
+fn spawn_server(live: Arc<LiveDeployment>, opts: NetOptions) -> ServerHandle {
+    let mut server = NetServer::bind("127.0.0.1:0", live, 2, opts).unwrap();
+    let addr = server.local_addr();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let handle = std::thread::spawn(move || {
+        server.serve(&flag);
+        server
+    });
+    (addr, shutdown, handle)
+}
+
+/// N concurrent pipelined clients through the server receive answers
+/// bitwise identical to a direct [`Deployment::answer_batch`] on the
+/// same queries — across serving thread counts and micro-batch caps
+/// (1 = fully serial, 5 = mid-batch coalescing, 1024 = everything
+/// pending in one batch). The coalescing schedule under concurrency is
+/// nondeterministic by construction; bitwise parity must hold for all
+/// of them.
+#[test]
+fn loopback_parity_any_threads_any_coalescing() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 40;
+    let queries = workload(CLIENTS * PER_CLIENT);
+    let (sketch, aqcs) = trained(&queries, |q| 7.0 * q[0] - 3.0 * q[1]);
+
+    for threads in [1usize, 4] {
+        for max_batch in [1usize, 5, 1024] {
+            let router = DqdRouter::new(sketch.clone(), aqcs.clone(), RoutingPolicy::default());
+            let deploy = SketchServer::new(
+                router,
+                ServeOptions {
+                    threads,
+                    ..ServeOptions::default()
+                },
+            );
+            let (expected, _) = deploy.answer_batch(&queries);
+            let live = Arc::new(LiveDeployment::new(deploy, 0));
+            let (addr, shutdown, handle) = spawn_server(
+                live,
+                NetOptions {
+                    max_batch,
+                    ..NetOptions::default()
+                },
+            );
+
+            let workers: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let slice = queries[c * PER_CLIENT..(c + 1) * PER_CLIENT].to_vec();
+                    std::thread::spawn(move || {
+                        let mut client = NetClient::connect(addr).unwrap();
+                        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                        client.query_stream(&slice, 16).unwrap()
+                    })
+                })
+                .collect();
+            for (c, worker) in workers.into_iter().enumerate() {
+                let responses = worker.join().unwrap();
+                assert_eq!(responses.len(), PER_CLIENT);
+                for resp in responses {
+                    match resp {
+                        NetResponse::Answered(a) => {
+                            let want = expected[c * PER_CLIENT + a.id as usize];
+                            assert_eq!(
+                                a.value.to_bits(),
+                                want.to_bits(),
+                                "threads={threads} max_batch={max_batch} client={c} id={}",
+                                a.id
+                            );
+                            assert_eq!(a.generation, 0);
+                        }
+                        NetResponse::Rejected { id, code } => {
+                            panic!("request {id} rejected ({code}) under light load")
+                        }
+                    }
+                }
+            }
+            shutdown.store(true, Ordering::Relaxed);
+            let server = handle.join().unwrap();
+            let stats = server.stats();
+            assert_eq!(stats.answered, (CLIENTS * PER_CLIENT) as u64);
+            assert_eq!(stats.rejected, 0);
+            assert_eq!(stats.protocol_errors, 0);
+            assert!(stats.largest_batch <= max_batch);
+        }
+    }
+}
+
+/// Deterministic overload: with a queue bound of 4, ten pipelined
+/// queries yield exactly six typed [`RejectCode::QueueFull`] frames —
+/// no hang, no silent drop — and the four queued ones are still
+/// answered. Driven by stepping `pump_io` / `serve_pending_batch`
+/// directly so the outcome is exact, not timing-dependent.
+#[test]
+fn overload_yields_typed_rejections_not_hangs_or_drops() {
+    let queries = workload(10);
+    let (sketch, _) = trained(&queries, |q| q[0] + q[1]);
+    let expected = {
+        let (a, _) = Deployment::answer_batch(&sketch, &queries);
+        a
+    };
+    let live = Arc::new(LiveDeployment::new(sketch, 0));
+    let mut server = NetServer::bind(
+        "127.0.0.1:0",
+        live,
+        2,
+        NetOptions {
+            queue_cap: 4,
+            max_batch: 64,
+            ..NetOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for q in &queries {
+        client.send_query(q).unwrap();
+    }
+
+    // Pump until every frame is decoded; the deadline only guards
+    // against a wedged kernel, the assertions are exact.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.stats().queries < 10 {
+        server.pump_io();
+        assert!(std::time::Instant::now() < deadline, "server wedged");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert_eq!(server.stats().rejected, 6, "queries past the bound of 4");
+    assert_eq!(server.pending(), 4);
+
+    let batch = server.serve_pending_batch().expect("four queued queries");
+    assert_eq!(batch.size, 4, "the whole queue fits one micro-batch");
+    assert_eq!(server.pending(), 0);
+    server.pump_io(); // flush answers
+
+    let mut answered = Vec::new();
+    let mut rejected = Vec::new();
+    for _ in 0..10 {
+        // Keep the single-threaded server flushing while we read.
+        server.pump_io();
+        match client.recv() {
+            Ok(neurosketch::net::Frame::Answer { id, value, .. }) => {
+                answered.push((id, value));
+            }
+            Ok(neurosketch::net::Frame::Reject { id, code }) => {
+                assert_eq!(code, neurosketch::net::RejectCode::QueueFull);
+                rejected.push(id);
+            }
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(e) => panic!("client error: {e}"),
+        }
+    }
+    answered.sort_by_key(|&(id, _)| id);
+    rejected.sort_unstable();
+    assert_eq!(rejected, vec![4, 5, 6, 7, 8, 9]);
+    assert_eq!(
+        answered.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    for &(id, value) in &answered {
+        assert_eq!(value.to_bits(), expected[id as usize].to_bits());
+    }
+}
+
+/// Round-robin fairness: a client with 64 queries queued cannot starve
+/// a client with 4. While both have pending work every micro-batch
+/// splits evenly between them; the slow client's entire workload is
+/// served in the first batch, not after the flooder's.
+#[test]
+fn flooding_client_cannot_starve_others() {
+    let queries = workload(68);
+    let (sketch, _) = trained(&queries, |q| 2.0 * q[0]);
+    let live = Arc::new(LiveDeployment::new(sketch, 0));
+    let mut server = NetServer::bind(
+        "127.0.0.1:0",
+        live,
+        2,
+        NetOptions {
+            max_batch: 8,
+            ..NetOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut flooder = NetClient::connect(addr).unwrap();
+    let mut slow = NetClient::connect(addr).unwrap();
+    flooder.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    slow.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for q in queries.iter().take(64) {
+        flooder.send_query(q).unwrap();
+    }
+    for q in queries.iter().skip(64) {
+        slow.send_query(q).unwrap();
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.stats().queries < 68 {
+        server.pump_io();
+        assert!(std::time::Instant::now() < deadline, "server wedged");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Batch 1: both clients pending → an even 4/4 split of the 8 slots.
+    let b1 = server.serve_pending_batch().expect("work pending");
+    assert_eq!(b1.size, 8);
+    assert_eq!(b1.per_client.len(), 2, "both clients in the first batch");
+    for &(client, taken) in &b1.per_client {
+        assert_eq!(taken, 4, "client {client} did not get an even share");
+    }
+
+    // Batch 2: the slow client is fully served; the flooder gets the
+    // whole batch — fairness is about admission, not throttling.
+    let b2 = server.serve_pending_batch().expect("flooder still pending");
+    assert_eq!(b2.size, 8);
+    assert_eq!(b2.per_client.len(), 1);
+
+    // Drain the rest; the flooder still gets everything it queued.
+    let mut total = b1.size + b2.size;
+    while let Some(b) = server.serve_pending_batch() {
+        total += b.size;
+    }
+    assert_eq!(total, 68, "no query was dropped");
+    server.pump_io();
+
+    // The slow client's 4 answers are all available immediately.
+    for _ in 0..4 {
+        server.pump_io();
+        match slow.recv().unwrap() {
+            neurosketch::net::Frame::Answer { .. } => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+}
+
+/// Hot-swap under load: generation G → G+1 lands mid-traffic; every
+/// response is answered from exactly one generation — an answer
+/// stamped G is bitwise G's, an answer stamped G+1 is bitwise G+1's,
+/// and nothing in between. Both generations are provably observed.
+#[test]
+fn hot_swap_under_load_never_blends_generations() {
+    let queries = workload(80);
+    let (sketch_a, _) = trained(&queries, |q| 7.0 * q[0] - 3.0 * q[1]);
+    let (sketch_b, _) = trained(&queries, |q| 20.0 * q[1] + 5.0);
+    let (expected_a, _) = Deployment::answer_batch(&sketch_a, &queries);
+    let (expected_b, _) = Deployment::answer_batch(&sketch_b, &queries);
+    // The two generations must actually disagree for the test to bite.
+    assert!(queries
+        .iter()
+        .enumerate()
+        .any(|(i, _)| expected_a[i].to_bits() != expected_b[i].to_bits()));
+
+    let live = Arc::new(LiveDeployment::new(sketch_a, 0));
+    let (addr, shutdown, handle) = spawn_server(live.clone(), NetOptions::default());
+
+    // A background flooder streams across the swap; every response it
+    // sees must be internally consistent (stamp ⇒ that generation's
+    // bitwise answer).
+    let flood_queries = queries.clone();
+    let (fa, fb) = (expected_a.clone(), expected_b.clone());
+    let flooder = std::thread::spawn(move || {
+        let mut client = NetClient::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        let stream: Vec<Vec<f64>> = (0..800)
+            .map(|i| flood_queries[i % flood_queries.len()].clone())
+            .collect();
+        let responses = client.query_stream(&stream, 32).unwrap();
+        let mut seen = [0usize; 2];
+        for r in responses {
+            match r {
+                NetResponse::Answered(a) => {
+                    let qi = (a.id as usize) % flood_queries.len();
+                    let want = match a.generation {
+                        0 => fa[qi],
+                        1 => fb[qi],
+                        g => panic!("unknown generation {g}"),
+                    };
+                    assert_eq!(
+                        a.value.to_bits(),
+                        want.to_bits(),
+                        "id {} stamped gen {} but value is not that generation's",
+                        a.id,
+                        a.generation
+                    );
+                    seen[a.generation as usize] += 1;
+                }
+                NetResponse::Rejected { id, code } => {
+                    panic!("request {id} rejected ({code}) under light load")
+                }
+            }
+        }
+        seen
+    });
+
+    // Phase 1: all responses received before the swap are generation 0.
+    let mut client = NetClient::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for (i, q) in queries.iter().enumerate().take(40) {
+        let a = client.query(q).unwrap();
+        assert_eq!(a.generation, 0);
+        assert_eq!(a.value.to_bits(), expected_a[i].to_bits());
+    }
+
+    // The swap: atomic, mid-traffic.
+    live.swap(sketch_b, 1);
+
+    // Phase 2: everything sent after the swap is generation 1.
+    for (i, q) in queries.iter().enumerate().skip(40) {
+        let a = client.query(q).unwrap();
+        assert_eq!(a.generation, 1);
+        assert_eq!(a.value.to_bits(), expected_b[i].to_bits());
+    }
+
+    let seen = flooder.join().unwrap();
+    assert_eq!(seen[0] + seen[1], 800);
+    shutdown.store(true, Ordering::Relaxed);
+    let server = handle.join().unwrap();
+    assert_eq!(server.stats().protocol_errors, 0);
+}

@@ -222,8 +222,8 @@ fn with_replicas(
         RoutePolicy::RoundRobin,
         ClusterOptions {
             threads: 2,
-            max_shard: 1024,
             quorum,
+            ..ClusterOptions::default()
         },
     );
     std::fs::remove_dir_all(&root).ok();
