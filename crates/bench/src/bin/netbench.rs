@@ -18,6 +18,11 @@
 //! ```text
 //! netbench --addr 127.0.0.1:7878 --queries 10000
 //! ```
+//!
+//! Remote targets trained on non-unit domains take `--range LO:HI` —
+//! once to scale every dimension, or repeated to give each dimension
+//! its own interval (without it, queries land in the unit cube and a
+//! target trained elsewhere serves nothing but empty ranges).
 
 use bench::netload;
 use bench::perf::scenarios;
@@ -28,8 +33,8 @@ use neurosketch::serve::{ServeOptions, SketchServer};
 use neurosketch::NeuroSketchConfig;
 use std::sync::Arc;
 
-const USAGE: &str =
-    "usage: netbench [--fast] [--serial] [--clients N] [--window N] [--queries N] [--addr HOST:PORT]";
+const USAGE: &str = "usage: netbench [--fast] [--serial] [--clients N] [--window N] \
+     [--queries N] [--addr HOST:PORT] [--range LO:HI]...";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +44,7 @@ fn main() {
     let mut window = 64usize;
     let mut queries = 0usize;
     let mut addr: Option<String> = None;
+    let mut ranges: Vec<(f64, f64)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +70,10 @@ fn main() {
                         .unwrap_or_else(|| die("--addr needs HOST:PORT")),
                 );
             }
+            "--range" => {
+                i += 1;
+                ranges.push(parse_range(args.get(i).map(String::as_str)));
+            }
             other => die(&format!("unknown flag {other}\n{USAGE}")),
         }
         i += 1;
@@ -72,8 +82,11 @@ fn main() {
         queries = if fast { 4_000 } else { 20_000 };
     }
 
+    if addr.is_none() && !ranges.is_empty() {
+        die("--range only applies to --addr mode (the local suite carries its own domain)");
+    }
     match addr {
-        Some(addr) => remote(&addr, clients, window, queries),
+        Some(addr) => remote(&addr, clients, window, queries, &ranges),
         None => local(fast, serial, clients, window, queries),
     }
 }
@@ -131,10 +144,14 @@ fn local(fast: bool, serial: bool, clients: usize, window: usize, queries: usize
         "server: {} batches, largest {} queries, {} answered, {} rejected, {} protocol errors",
         stats.batches, stats.largest_batch, stats.answered, stats.rejected, stats.protocol_errors
     );
+    println!(
+        "server front: {} cache hits, {} cache misses, {} deduped in-batch",
+        stats.cache_hits, stats.cache_misses, stats.deduped
+    );
 }
 
 /// Load an external server, discovering its dimensionality on the wire.
-fn remote(addr: &str, clients: usize, window: usize, queries: usize) {
+fn remote(addr: &str, clients: usize, window: usize, queries: usize, ranges: &[(f64, f64)]) {
     let sock = std::net::ToSocketAddrs::to_socket_addrs(addr)
         .ok()
         .and_then(|mut a| a.next())
@@ -145,12 +162,30 @@ fn remote(addr: &str, clients: usize, window: usize, queries: usize) {
         "target {addr}: dims {}, generation {}, queue_cap {}, max_batch {}",
         info.dims, info.generation, info.queue_cap, info.max_batch
     );
-    // Deterministic uniform queries in the unit cube — the target's
-    // accuracy is not under test here, only its serving path.
+    // Deterministic uniform queries, scaled per dimension by --range
+    // (default: the unit cube) — the target's accuracy is not under
+    // test here, only its serving path.
+    let span = |d: usize| -> (f64, f64) {
+        match ranges {
+            [] => (0.0, 1.0),
+            [one] => *one,
+            many => *many.get(d).unwrap_or_else(|| {
+                die(&format!(
+                    "{} --range flags for {} target dimensions (give one, or one per dimension)",
+                    many.len(),
+                    info.dims
+                ))
+            }),
+        }
+    };
     let stream: Vec<Vec<f64>> = (0..queries)
         .map(|i| {
             (0..info.dims)
-                .map(|d| ((i * (d + 3) * 2_654_435_761usize) % 1_000_000) as f64 / 1e6)
+                .map(|d| {
+                    let (lo, hi) = span(d);
+                    let u = ((i * (d + 3) * 2_654_435_761usize) % 1_000_000) as f64 / 1e6;
+                    lo + u * (hi - lo)
+                })
                 .collect()
         })
         .collect();
@@ -168,6 +203,23 @@ fn print_report(label: &str, load: &netload::NetLoadReport, queries: usize) {
          p50 {:.3} ms, p99 {:.3} ms",
         load.answered, load.rejected, load.elapsed_ms, load.qps, load.p50_ms, load.p99_ms
     );
+}
+
+/// Parse a `LO:HI` interval (both finite, `LO < HI`).
+fn parse_range(arg: Option<&str>) -> (f64, f64) {
+    fn bad() -> ! {
+        die("--range needs LO:HI with finite LO < HI")
+    }
+    let arg = arg.unwrap_or_else(|| bad());
+    let (lo, hi) = arg.split_once(':').unwrap_or_else(|| bad());
+    let (lo, hi): (f64, f64) = match (lo.parse(), hi.parse()) {
+        (Ok(lo), Ok(hi)) => (lo, hi),
+        _ => bad(),
+    };
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        bad();
+    }
+    (lo, hi)
 }
 
 fn parse(args: &[String], i: usize, flag: &str) -> usize {

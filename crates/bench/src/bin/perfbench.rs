@@ -124,6 +124,30 @@ fn main() {
                 i8b / f32b
             );
         }
+        if let (Some(t1), Some(cold), Some(hot)) = (
+            entry("serve_throughput_batched_t1"),
+            entry("serve_cached_cold"),
+            entry("serve_cached_hot"),
+        ) {
+            println!(
+                "  answer cache: cold {:.0} qps ({:+.1}% vs uncached t1), hot {:.0} qps ({:.2}x cold)",
+                qps(cold),
+                (cold.median_ms / t1.median_ms - 1.0) * 100.0,
+                qps(hot),
+                cold.median_ms / hot.median_ms
+            );
+        }
+        if let (Some(t1), Some(dedup)) = (
+            entry("serve_throughput_batched_t1"),
+            entry("serve_dedup_batch"),
+        ) {
+            println!(
+                "  in-batch dedup (100 distinct per {}): {:.0} qps ({:.2}x uncached t1)",
+                bench::perf::SERVE_STREAM_LEN,
+                qps(dedup),
+                t1.median_ms / dedup.median_ms
+            );
+        }
         if let (Some(serial), Some(coalesced)) =
             (entry("net_serial_loop"), entry("net_saturation_qps"))
         {
@@ -136,6 +160,15 @@ fn main() {
         }
         if let (Some(p50), Some(p99)) = (report.median_of("net_p50"), report.median_of("net_p99")) {
             println!("  network latency under saturation: p50 {p50:.3} ms, p99 {p99:.3} ms");
+        }
+        if let (Some(sat), Some(repeat)) =
+            (entry("net_saturation_qps"), entry("net_repeat_traffic"))
+        {
+            println!(
+                "  network repeat traffic (64 distinct): {:.0} qps ({:.2}x coalesced-unique)",
+                qps(repeat),
+                sat.median_ms / repeat.median_ms
+            );
         }
         if let (Some(k1), Some(k4)) = (entry("serve_sharded_k1"), entry("serve_sharded_k4")) {
             println!(

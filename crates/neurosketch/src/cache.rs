@@ -1,0 +1,1400 @@
+//! Generation-keyed answer caching and in-batch deduplication.
+//!
+//! The paper's query-time cost is one forward pass; real AQP dashboard
+//! traffic is repeat-heavy (the same COUNT/AVG tiles refresh on a
+//! cadence, many clients ask identical ranges), so the cheapest query
+//! is the one never recomputed. This module is the shared front every
+//! serving layer can put in front of its compute path:
+//!
+//! * [`AnswerCache`] — a bounded, striped-lock LRU cache of finished
+//!   answers keyed by `(canonical query bytes, aggregate, generation)`.
+//!   The canonical bytes are the raw [`f64::to_bits`] patterns of the
+//!   query vector, compared exactly: `-0.0` and `0.0` are *different*
+//!   keys (the exact backend's `total_cmp` binary searches can tell
+//!   them apart, and a cache must never blur what the engine
+//!   distinguishes). Including the NSKM generation in the key replaces
+//!   an invalidation protocol entirely: a hot swap bumps the
+//!   generation, so stale entries simply stop being addressable and
+//!   age out of the LRU.
+//! * in-batch deduplication ([`serve_cached`] with
+//!   [`CachePolicy::dedup`]) — identical queries inside one batch
+//!   collapse to a single computation and the result is fanned back
+//!   out in input order, before anything reaches the GEMM path.
+//! * [`CachedDeployment`] — a [`Deployment`] wrapper that pins an
+//!   explicit generation stamp to a shared [`AnswerCache`], the
+//!   composition [`crate::deploy::LiveDeployment`] hot-swaps.
+//!
+//! The contract is the repo's house rule: a cached or deduplicated
+//! answer is **bitwise identical** to the uncached computation at any
+//! thread count. That is exactly why the front is sound — the serving
+//! stack already guarantees the answer to a query does not depend on
+//! the batch it arrives in (see [`crate::serve`]), so serving a stored
+//! copy of the same bits, or computing a representative once, cannot
+//! be observed in the output.
+//!
+//! Memory is bounded: every entry is charged [`entry_bytes`] against a
+//! byte budget split evenly across stripes, with least-recently-used
+//! eviction per stripe. Once a stripe is full, the batch front admits
+//! a new key only on its *second* miss (a doorkeeper of fingerprints,
+//! in the spirit of TinyLFU's admission filter): a one-shot scan of
+//! never-repeated queries costs no inserts and cannot flush the
+//! resident working set, while genuinely repeating keys become
+//! resident from their second occurrence. The admission gate is probed
+//! lock-free, and a batch whose generation falls outside the cache's
+//! resident generation range (the steady state right after a hot swap)
+//! skips the stripe locks entirely — the cold path costs one hash, one
+//! dedup probe and one doorkeeper mark per query on top of the compute
+//! it was going to do anyway.
+
+use crate::deploy::{DeployStats, Deployment, DeploymentInfo};
+use query::aggregate::Aggregate;
+use std::sync::atomic::{AtomicU16, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Caching/deduplication knob carried by serving options
+/// ([`crate::serve::ServeOptions::cache`],
+/// [`crate::cluster::ClusterOptions::cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Total answer-cache budget in bytes, split evenly across
+    /// stripes; `0` disables caching entirely (deduplication may still
+    /// be on). Entries are charged [`entry_bytes`].
+    pub capacity_bytes: usize,
+    /// Lock stripes the budget and the key space are sharded across
+    /// (rounded up to a power of two, minimum 1). More stripes means
+    /// less contention between concurrent batches.
+    pub stripes: usize,
+    /// Collapse bitwise-identical queries within one batch to a single
+    /// computation, fanning the answer back out in input order.
+    pub dedup: bool,
+}
+
+impl CachePolicy {
+    /// Everything off: batches go straight to the compute path.
+    pub const OFF: CachePolicy = CachePolicy {
+        capacity_bytes: 0,
+        stripes: 1,
+        dedup: false,
+    };
+
+    /// Cache `capacity_bytes` of answers across 8 stripes, with
+    /// in-batch deduplication on — the one-knob production setting.
+    pub fn cached(capacity_bytes: usize) -> CachePolicy {
+        CachePolicy {
+            capacity_bytes,
+            stripes: 8,
+            dedup: true,
+        }
+    }
+
+    /// In-batch deduplication without any answer retention — bounded
+    /// memory use of exactly nothing, still collapses repeat-heavy
+    /// batches.
+    pub fn dedup_only() -> CachePolicy {
+        CachePolicy {
+            capacity_bytes: 0,
+            stripes: 1,
+            dedup: true,
+        }
+    }
+
+    /// Whether the front does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0 || self.dedup
+    }
+
+    /// Whether answers are retained across batches.
+    pub fn caching(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+}
+
+impl Default for CachePolicy {
+    /// Off. Caching changes no answers, but it does retain memory and
+    /// alter tallies — production deployments opt in explicitly.
+    fn default() -> CachePolicy {
+        CachePolicy::OFF
+    }
+}
+
+/// The aggregate byte folded into every cache key, so one shared
+/// [`AnswerCache`] can serve deployments answering different
+/// aggregates over the same query vectors without collisions. `0` is
+/// reserved for deployments whose aggregate is not declared (a bare
+/// routed sketch serves whatever it was trained for).
+pub fn aggregate_tag(agg: Aggregate) -> u8 {
+    match agg {
+        Aggregate::Count => 1,
+        Aggregate::Sum => 2,
+        Aggregate::Avg => 3,
+        Aggregate::Std => 4,
+        Aggregate::Median => 5,
+    }
+}
+
+/// Bytes one cached entry of a `dims`-dimensional query is charged
+/// against the budget: the canonical key bytes (`8 × dims` coordinate
+/// bit patterns plus the 9-byte generation + aggregate prefix), the
+/// 8-byte answer, and a flat 47-byte accounting constant for the
+/// index, chain and LRU bookkeeping around it. The same
+/// `encoded_len`-style arithmetic as [`crate::net`]'s frame
+/// accounting: capacity planning is `budget / entry_bytes(dims)`
+/// entries, no measurement needed.
+pub const fn entry_bytes(dims: usize) -> usize {
+    8 * dims + 9 + 8 + 47
+}
+
+/// Cumulative counters and current occupancy of an [`AnswerCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to compute.
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the budget.
+    pub bytes: usize,
+    /// The configured budget.
+    pub capacity_bytes: usize,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// The probe half of an entry: everything a chain walk reads, packed
+/// into 16 bytes so a miss touches a quarter cache line per hop — the
+/// miss path is the front's steady state on uncacheable traffic, and
+/// the less it drags through the data cache, the less it slows the
+/// compute the misses still have to do.
+#[derive(Clone, Copy)]
+struct ProbeSlot {
+    hash: u64,
+    /// Next slot in the bucket chain.
+    chain: u32,
+    /// `tag | dims << 8` — the non-coordinate half of the key.
+    meta: u32,
+}
+
+/// The payload half, only touched on a hash match (hit verification,
+/// LRU maintenance) or an insert/eviction.
+#[derive(Clone, Copy)]
+struct Payload {
+    generation: u64,
+    value: f64,
+    lru_prev: u32,
+    lru_next: u32,
+}
+
+/// Doorkeeper slots per cache (8 KB of `u16` fingerprints, fixed
+/// metadata outside the byte budget). On an uncacheable stream every
+/// miss writes one doorkeeper slot, so the table is sized to sit in L1
+/// rather than drag through the data cache the compute behind the
+/// misses still needs. A collision, fingerprint false-positive, or
+/// racing mark from another thread only delays (or spuriously grants)
+/// one admission — never affects answers.
+const DOOR_SLOTS: usize = 4096;
+
+/// One lock stripe: a chained hash index over a slab of entries with
+/// an intrusive LRU list, all flat `Vec`s — no per-entry allocation on
+/// the steady-state path (slots are recycled through a free list).
+struct Stripe {
+    /// Bucket heads (slot index or `NIL`); length is a power of two.
+    buckets: Vec<u32>,
+    /// The probe half of the entry slab (chain walks read only this).
+    slots: Vec<ProbeSlot>,
+    /// The payload half, parallel to `slots`.
+    pay: Vec<Payload>,
+    /// Coordinate bit patterns, `stride` words per slot.
+    coords: Vec<u64>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+    live: usize,
+    bytes: usize,
+    /// Coordinate words per entry, fixed by the first insert (a cache
+    /// fronts one deployment, whose queries share a dimensionality);
+    /// other widths are served uncached.
+    stride: usize,
+    /// Range of generations with entries in this stripe (`lo > hi`
+    /// means none). A lookup whose generation falls outside the range
+    /// cannot match and skips the index probe — after a hot swap this
+    /// keeps new-generation traffic from walking chains of stale
+    /// entries while they age out. Eviction leaves the range alone
+    /// (conservative: it can only widen), so the filter is never wrong,
+    /// merely less sharp until the stripe turns over.
+    gen_lo: u64,
+    gen_hi: u64,
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            buckets: vec![NIL; 16],
+            slots: Vec::new(),
+            pay: Vec::new(),
+            coords: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            live: 0,
+            bytes: 0,
+            stride: 0,
+            gen_lo: u64::MAX,
+            gen_hi: 0,
+        }
+    }
+
+    fn key_matches(&self, slot: usize, h: u64, meta: u32, gen: u64, q: &[f64]) -> bool {
+        let s = &self.slots[slot];
+        if s.hash != h || s.meta != meta || self.pay[slot].generation != gen {
+            return false;
+        }
+        let base = slot * self.stride;
+        q.iter()
+            .zip(&self.coords[base..base + self.stride])
+            .all(|(c, &w)| c.to_bits() == w)
+    }
+
+    /// Find the live slot for a key, or `None`. Does not touch the LRU.
+    fn find(&self, h: u64, tag: u8, gen: u64, q: &[f64]) -> Option<usize> {
+        if self.stride != q.len() || self.live == 0 || gen < self.gen_lo || gen > self.gen_hi {
+            return None;
+        }
+        let meta = pack_meta(tag, q.len());
+        let mut slot = self.buckets[(h as usize) & (self.buckets.len() - 1)];
+        while slot != NIL {
+            let s = slot as usize;
+            if self.key_matches(s, h, meta, gen, q) {
+                return Some(s);
+            }
+            slot = self.slots[s].chain;
+        }
+        None
+    }
+
+    /// Move a live slot to the LRU front.
+    fn touch(&mut self, slot: usize) {
+        let s = slot as u32;
+        if self.head == s {
+            return;
+        }
+        let (p, n) = (self.pay[slot].lru_prev, self.pay[slot].lru_next);
+        if p != NIL {
+            self.pay[p as usize].lru_next = n;
+        }
+        if n != NIL {
+            self.pay[n as usize].lru_prev = p;
+        }
+        if self.tail == s {
+            self.tail = p;
+        }
+        self.pay[slot].lru_prev = NIL;
+        self.pay[slot].lru_next = self.head;
+        if self.head != NIL {
+            self.pay[self.head as usize].lru_prev = s;
+        }
+        self.head = s;
+        if self.tail == NIL {
+            self.tail = s;
+        }
+    }
+
+    /// Unlink and recycle the least-recently-used entry.
+    fn evict_tail(&mut self) {
+        let slot = self.tail as usize;
+        debug_assert!(self.tail != NIL);
+        // LRU unlink.
+        let p = self.pay[slot].lru_prev;
+        self.tail = p;
+        if p != NIL {
+            self.pay[p as usize].lru_next = NIL;
+        } else {
+            self.head = NIL;
+        }
+        // Bucket-chain unlink.
+        let b = (self.slots[slot].hash as usize) & (self.buckets.len() - 1);
+        let mut cur = self.buckets[b];
+        if cur == slot as u32 {
+            self.buckets[b] = self.slots[slot].chain;
+        } else {
+            while cur != NIL {
+                let c = cur as usize;
+                if self.slots[c].chain == slot as u32 {
+                    self.slots[c].chain = self.slots[slot].chain;
+                    break;
+                }
+                cur = self.slots[c].chain;
+            }
+        }
+        self.free.push(slot as u32);
+        self.live -= 1;
+        self.bytes -= entry_bytes(self.stride);
+    }
+
+    /// Insert (or refresh) a key. Returns entries evicted to fit, or
+    /// `None` if the entry can never fit this stripe's budget.
+    ///
+    /// `check_dup: false` skips the pre-insert lookup — sound only when
+    /// the caller just probed this key under this same lock cycle and
+    /// missed ([`serve_cached`]'s insert pass over deduped misses). A
+    /// racing batch may then insert the same key twice; both copies
+    /// hold bitwise-equal values (determinism contract), lookups return
+    /// the chain head, and the loser ages out of the LRU — correctness
+    /// is unaffected, only a few bytes of budget.
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &mut self,
+        h: u64,
+        tag: u8,
+        gen: u64,
+        q: &[f64],
+        v: f64,
+        budget: usize,
+        check_dup: bool,
+    ) -> Option<u64> {
+        if self.stride != 0 && self.stride != q.len() {
+            return None;
+        }
+        if check_dup {
+            if let Some(slot) = self.find(h, tag, gen, q) {
+                // A concurrent batch computed the same key first; the
+                // values are bitwise equal by the determinism contract,
+                // so refreshing recency is all that is left to do.
+                self.pay[slot].value = v;
+                self.touch(slot);
+                return Some(0);
+            }
+        }
+        let need = entry_bytes(q.len());
+        if need > budget {
+            return None;
+        }
+        // Commit the stripe to this width only once an entry actually
+        // fits — a rejected oversized first insert must not poison the
+        // stripe for every later (cacheable) width.
+        self.stride = q.len();
+        let mut evicted = 0u64;
+        while self.bytes + need > budget {
+            self.evict_tail();
+            evicted += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                let s = self.slots.len();
+                self.slots.push(ProbeSlot {
+                    hash: 0,
+                    chain: NIL,
+                    meta: 0,
+                });
+                self.pay.push(Payload {
+                    generation: 0,
+                    value: 0.0,
+                    lru_prev: NIL,
+                    lru_next: NIL,
+                });
+                self.coords.resize(self.coords.len() + self.stride, 0);
+                s
+            }
+        };
+        let base = slot * self.stride;
+        for (w, c) in self.coords[base..base + self.stride].iter_mut().zip(q) {
+            *w = c.to_bits();
+        }
+        self.live += 1;
+        self.bytes += need;
+        // Keep the load factor at or below 1/2: a miss walks its whole
+        // chain, so short chains are what the cold path pays for.
+        if self.live * 2 > self.buckets.len() {
+            self.grow_buckets();
+        }
+        let b = (h as usize) & (self.buckets.len() - 1);
+        self.slots[slot] = ProbeSlot {
+            hash: h,
+            chain: self.buckets[b],
+            meta: pack_meta(tag, q.len()),
+        };
+        self.pay[slot] = Payload {
+            generation: gen,
+            value: v,
+            // LRU push-front.
+            lru_prev: NIL,
+            lru_next: self.head,
+        };
+        self.buckets[b] = slot as u32;
+        if self.head != NIL {
+            self.pay[self.head as usize].lru_prev = slot as u32;
+        }
+        self.head = slot as u32;
+        if self.tail == NIL {
+            self.tail = slot as u32;
+        }
+        self.gen_lo = self.gen_lo.min(gen);
+        self.gen_hi = self.gen_hi.max(gen);
+        Some(evicted)
+    }
+
+    /// Double the bucket array and re-chain every live slot.
+    fn grow_buckets(&mut self) {
+        let cap = self.buckets.len() * 2;
+        self.buckets.clear();
+        self.buckets.resize(cap, NIL);
+        // Live slots are exactly the LRU list.
+        let mut slot = self.head;
+        while slot != NIL {
+            let s = slot as usize;
+            let next = self.pay[s].lru_next;
+            let b = (self.slots[s].hash as usize) & (cap - 1);
+            self.slots[s].chain = self.buckets[b];
+            self.buckets[b] = slot;
+            slot = next;
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = Stripe::new();
+    }
+}
+
+fn pack_meta(tag: u8, dims: usize) -> u32 {
+    // `dims` beyond 24 bits cannot collide anyway: a stripe only holds
+    // one width (`stride`), which `find` checks first.
+    tag as u32 | ((dims as u32) & 0x00FF_FFFF) << 8
+}
+
+/// Hash the canonical key `(tag, generation, coordinate bits)` — a
+/// multiply-xor mix, a few cycles per word, shared by the cache index
+/// and the in-batch dedup table.
+#[inline]
+pub(crate) fn key_hash(tag: u8, gen: u64, q: &[f64]) -> u64 {
+    #[inline]
+    fn mix(mut h: u64, w: u64) -> u64 {
+        h ^= w;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^ (h >> 33)
+    }
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (tag as u64 | (q.len() as u64) << 8);
+    h = mix(h, gen);
+    for c in q {
+        h = mix(h, c.to_bits());
+    }
+    mix(h, 0xD6E8_FEB8_6659_FD93)
+}
+
+/// Bitwise equality of two query vectors — the cache's notion of
+/// "identical query". Deliberately *not* float equality: `-0.0` and
+/// `0.0` are distinct, and a NaN pattern equals exactly itself.
+#[inline]
+fn same_bits(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// A bounded, sharded, generation-keyed LRU cache of finished answers.
+///
+/// Thread-safe: lookups and inserts take one stripe's mutex; batches
+/// lock each stripe at most twice (one probe pass, one insert pass)
+/// via [`serve_cached`]. Memory is bounded by the byte budget, split
+/// evenly across stripes, with per-stripe LRU eviction.
+pub struct AnswerCache {
+    stripes: Vec<Mutex<Stripe>>,
+    stripe_mask: usize,
+    stripe_budget: usize,
+    capacity: usize,
+    /// Doorkeeper admission gate, shared by all stripes and probed
+    /// lock-free (relaxed atomics; races only perturb one admission).
+    /// See [`AnswerCache::admit`].
+    door: Vec<AtomicU16>,
+    /// Per-stripe occupancy mirror for the admission gate's "still
+    /// filling" check, readable without the stripe lock; exact budget
+    /// enforcement stays in [`Stripe::insert`]. Per stripe, not a
+    /// cache-wide sum: stripes fill unevenly, so a global count sits
+    /// just under capacity forever and would admit (and churn) every
+    /// key on a full cache.
+    stripe_bytes: Vec<AtomicUsize>,
+    /// Cache-wide generation range (`lo > hi` = empty), read lock-free
+    /// by [`serve_cached`]: a batch whose generation falls outside it
+    /// cannot hit anything and skips the stripe machinery entirely —
+    /// the post-hot-swap batches land here until the new generation's
+    /// repeats earn their way back in through the doorkeeper.
+    gen_lo: AtomicU64,
+    gen_hi: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `capacity_bytes` of entries across
+    /// `stripes` lock stripes (rounded up to a power of two, min 1).
+    pub fn new(capacity_bytes: usize, stripes: usize) -> AnswerCache {
+        let stripes = stripes.max(1).next_power_of_two();
+        AnswerCache {
+            stripes: (0..stripes).map(|_| Mutex::new(Stripe::new())).collect(),
+            stripe_mask: stripes - 1,
+            stripe_budget: capacity_bytes / stripes,
+            capacity: capacity_bytes,
+            door: (0..DOOR_SLOTS).map(|_| AtomicU16::new(0)).collect(),
+            stripe_bytes: (0..stripes).map(|_| AtomicUsize::new(0)).collect(),
+            gen_lo: AtomicU64::new(u64::MAX),
+            gen_hi: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache sized by a [`CachePolicy`] (shared [`Arc`], the shape
+    /// every serving layer stores).
+    pub fn from_policy(policy: &CachePolicy) -> Arc<AnswerCache> {
+        Arc::new(AnswerCache::new(policy.capacity_bytes, policy.stripes))
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    fn stripe_of(&self, h: u64) -> usize {
+        ((h >> 32) as usize) & self.stripe_mask
+    }
+
+    /// Admission gate for the batch front ([`serve_cached`]'s insert
+    /// pass — explicit [`AnswerCache::insert`] always admits).
+    ///
+    /// While the cache has free budget, everything is admitted. Once it
+    /// is full, a first-time key only leaves a fingerprint in the
+    /// doorkeeper and is *not* inserted; it gets admitted (and may
+    /// evict a stripe's LRU entry) on its second miss. So a one-shot
+    /// scan of unique queries never pays insert/eviction cost and —
+    /// just as important — never flushes the resident working set,
+    /// while any key that repeats becomes resident from its second
+    /// occurrence. Lock-free: all accesses are relaxed atomics, and a
+    /// racing mark from another batch at worst delays or duplicates one
+    /// admission.
+    fn admit(&self, h: u64, dims: usize) -> bool {
+        let occupied = self.stripe_bytes[self.stripe_of(h)].load(Ordering::Relaxed);
+        if occupied + entry_bytes(dims) <= self.stripe_budget {
+            return true;
+        }
+        let fp = (h >> 48) as u16 | 1;
+        let d = &self.door[(h as usize) & (DOOR_SLOTS - 1)];
+        if d.load(Ordering::Relaxed) == fp {
+            // Second miss: free the slot and let the insert through.
+            d.store(0, Ordering::Relaxed);
+            true
+        } else {
+            d.store(fp, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Insert under an already-held stripe lock, keeping the
+    /// cache-level bookkeeping (occupancy estimate, generation range,
+    /// counters) in step with the stripe's.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_locked(
+        &self,
+        si: usize,
+        stripe: &mut Stripe,
+        h: u64,
+        tag: u8,
+        gen: u64,
+        q: &[f64],
+        v: f64,
+        check_dup: bool,
+    ) {
+        let before = stripe.bytes;
+        if let Some(evicted) = stripe.insert(h, tag, gen, q, v, self.stripe_budget, check_dup) {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            let after = stripe.bytes;
+            if after >= before {
+                self.stripe_bytes[si].fetch_add(after - before, Ordering::Relaxed);
+            } else {
+                self.stripe_bytes[si].fetch_sub(before - after, Ordering::Relaxed);
+            }
+            self.gen_lo.fetch_min(gen, Ordering::Relaxed);
+            self.gen_hi.fetch_max(gen, Ordering::Relaxed);
+        }
+    }
+
+    /// Look one key up, refreshing its recency on a hit.
+    pub fn get(&self, tag: u8, generation: u64, query: &[f64]) -> Option<f64> {
+        let h = key_hash(tag, generation, query);
+        let mut stripe = self.stripes[self.stripe_of(h)]
+            .lock()
+            .expect("cache stripe");
+        match stripe.find(h, tag, generation, query) {
+            Some(slot) => {
+                stripe.touch(slot);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stripe.pay[slot].value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert one answer, evicting least-recently-used entries as
+    /// needed. A no-op when the entry can never fit its stripe's
+    /// budget share. Explicit inserts bypass the batch front's
+    /// second-miss admission gate — the caller has decided this key is
+    /// worth caching.
+    pub fn insert(&self, tag: u8, generation: u64, query: &[f64], value: f64) {
+        let h = key_hash(tag, generation, query);
+        let si = self.stripe_of(h);
+        let mut stripe = self.stripes[si].lock().expect("cache stripe");
+        self.insert_locked(si, &mut stripe, h, tag, generation, query, value, true);
+    }
+
+    /// Drop every entry (counters are kept — they are cumulative).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("cache stripe").clear();
+        }
+        for d in &self.door {
+            d.store(0, Ordering::Relaxed);
+        }
+        for b in &self.stripe_bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.gen_lo.store(u64::MAX, Ordering::Relaxed);
+        self.gen_hi.store(0, Ordering::Relaxed);
+    }
+
+    /// Counters and occupancy. Occupancy sums over stripes under their
+    /// locks; counters are relaxed atomics.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0, 0);
+        for stripe in &self.stripes {
+            let s = stripe.lock().expect("cache stripe");
+            entries += s.live;
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity_bytes: self.capacity,
+        }
+    }
+}
+
+/// What one batch through the front did, for the layer's tally
+/// ([`crate::serve::ServeStats`], [`DeployStats`], …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontTally {
+    /// Queries answered from the cache.
+    pub cache_hits: usize,
+    /// Cache lookups that fell through to compute (0 with caching
+    /// off).
+    pub cache_misses: usize,
+    /// Queries collapsed onto an identical query in the same batch.
+    pub dedup_hits: usize,
+}
+
+/// Map each query to the index of the first bitwise-identical query in
+/// the batch (itself, for first occurrences). Returns the map and the
+/// number of distinct queries. Open-addressed over the precomputed
+/// hashes — one table allocation per batch, no per-query allocation.
+pub(crate) fn dedup_reps(queries: &[Vec<f64>], hashes: &[u64]) -> (Vec<u32>, usize) {
+    let n = queries.len();
+    let cap = (n * 2).next_power_of_two();
+    let mask = cap - 1;
+    let mut table = vec![0u32; cap]; // slot = input index + 1, 0 = empty
+    let mut rep = vec![0u32; n];
+    let mut distinct = 0usize;
+    for i in 0..n {
+        let h = hashes[i];
+        let mut j = (h as usize) & mask;
+        loop {
+            let slot = table[j];
+            if slot == 0 {
+                table[j] = (i + 1) as u32;
+                rep[i] = i as u32;
+                distinct += 1;
+                break;
+            }
+            let c = (slot - 1) as usize;
+            if hashes[c] == h && same_bits(&queries[c], &queries[i]) {
+                rep[i] = c as u32;
+                break;
+            }
+            j = (j + 1) & mask;
+        }
+    }
+    (rep, distinct)
+}
+
+/// The in-batch dedup table of one [`serve_cached`] call,
+/// open-addressed, probed once per query. The narrow form (batches
+/// under 65535 queries) packs `index + 1` (low 16 bits) with a 16-bit
+/// hash fingerprint (high bits), so a colliding slot is rejected *in
+/// place* — no dereference of the colliding key at all; a fingerprint
+/// false positive only costs one coordinate compare. Larger batches
+/// fall back to a plain index table plus a hash side array.
+struct DedupProbe {
+    table: Vec<u32>,
+    /// Wide form only: hash of each query seen so far, by position.
+    hashes: Vec<u64>,
+    mask: usize,
+    narrow: bool,
+    enabled: bool,
+}
+
+impl DedupProbe {
+    fn new(n: usize, enabled: bool) -> DedupProbe {
+        let cap = (n * 2).next_power_of_two();
+        let narrow = n < u16::MAX as usize;
+        DedupProbe {
+            table: if enabled { vec![0u32; cap] } else { Vec::new() },
+            hashes: Vec::with_capacity(if enabled && !narrow { n } else { 0 }),
+            mask: cap - 1,
+            narrow,
+            enabled,
+        }
+    }
+
+    /// Representative index for query `i` (itself, for a first
+    /// occurrence), recording it for later queries to collapse onto.
+    /// Must be called exactly once per index, in input order.
+    #[inline]
+    fn rep(&mut self, i: usize, h: u64, queries: &[Vec<f64>]) -> usize {
+        if !self.enabled {
+            return i;
+        }
+        let q = &queries[i];
+        let mut j = (h as usize) & self.mask;
+        if self.narrow {
+            let fp = ((h >> 32) as u32) & 0xFFFF_0000;
+            loop {
+                let e = self.table[j];
+                if e == 0 {
+                    self.table[j] = fp | (i as u32 + 1);
+                    return i;
+                }
+                if (e & 0xFFFF_0000) == fp {
+                    let cand = (e & 0xFFFF) as usize - 1;
+                    if same_bits(&queries[cand], q) {
+                        return cand;
+                    }
+                }
+                j = (j + 1) & self.mask;
+            }
+        } else {
+            self.hashes.push(h);
+            loop {
+                let e = self.table[j];
+                if e == 0 {
+                    self.table[j] = i as u32 + 1;
+                    return i;
+                }
+                let cand = e as usize - 1;
+                if self.hashes[cand] == h && same_bits(&queries[cand], q) {
+                    return cand;
+                }
+                j = (j + 1) & self.mask;
+            }
+        }
+    }
+}
+
+/// Serve one batch through the dedup + cache front.
+///
+/// `cache` is `(cache, aggregate tag, generation)` or `None`;
+/// `compute` receives the input indices (in input order) of the
+/// queries that must actually be computed and returns their answers in
+/// the same order. Answers come back in input order, bitwise identical
+/// to calling `compute` on the full batch — duplicates receive their
+/// representative's bits, hits receive the bits stored when the key
+/// was computed.
+///
+/// This is the one implementation of the front; `SketchServer`,
+/// `ShardedServer`, `Cluster` and [`CachedDeployment`] all call it
+/// with their own compute closure.
+pub fn serve_cached<F>(
+    cache: Option<(&AnswerCache, u8, u64)>,
+    dedup: bool,
+    queries: &[Vec<f64>],
+    compute: F,
+) -> (Vec<f64>, FrontTally)
+where
+    F: FnOnce(&[usize]) -> Vec<f64>,
+{
+    let n = queries.len();
+    let mut tally = FrontTally::default();
+    if n == 0 {
+        return (Vec::new(), tally);
+    }
+    let (tag, gen) = match cache {
+        Some((_, t, g)) => (t, g),
+        None => (0, 0),
+    };
+    let mut out: Vec<f64>;
+    match cache {
+        Some((c, tag, gen)) if c.capacity > 0 => {
+            // Allocated lazily: a batch of all-new queries (the cold
+            // path) never zeroes it — the computed values are moved in
+            // wholesale at the end.
+            out = Vec::new();
+            // Duplicates are recorded as `(index, representative)`
+            // pairs so a duplicate-free batch pays nothing for the
+            // fan-out bookkeeping.
+            let mut dups: Vec<(u32, u32)> = Vec::new();
+            let mut probe = DedupProbe::new(n, dedup);
+            let lo = c.gen_lo.load(Ordering::Relaxed);
+            let hi = c.gen_hi.load(Ordering::Relaxed);
+            if gen < lo || gen > hi {
+                // Generation fast path: no resident entry carries this
+                // batch's generation, so not one lookup can hit — which
+                // is every batch right after a hot swap (and, in a
+                // fresh cache, before the first insert). One lock-free
+                // sweep does it all: hash, in-batch dedup, doorkeeper
+                // admission marks; no stripe lock is taken unless a key
+                // actually earned admission.
+                let mut misses: Vec<usize> = Vec::with_capacity(n);
+                let mut admitted: Vec<(u32, u64)> = Vec::new();
+                for (i, q) in queries.iter().enumerate() {
+                    let h = key_hash(tag, gen, q);
+                    let r = probe.rep(i, h, queries);
+                    if r == i {
+                        misses.push(i);
+                        if c.admit(h, q.len()) {
+                            admitted.push((i as u32, h));
+                        }
+                    } else {
+                        dups.push((i as u32, r as u32));
+                    }
+                }
+                tally.dedup_hits = dups.len();
+                tally.cache_misses = misses.len();
+                c.misses.fetch_add(misses.len() as u64, Ordering::Relaxed);
+                let values = compute(&misses);
+                debug_assert_eq!(values.len(), misses.len());
+                if misses.len() == n {
+                    // Everything missed: `misses` is `0..n` in order,
+                    // so the computed values *are* the batch answer.
+                    out = values;
+                } else {
+                    out = vec![0.0; n];
+                    for (&i, &v) in misses.iter().zip(&values) {
+                        out[i] = v;
+                    }
+                }
+                // Steady state on uncacheable traffic admits nothing;
+                // right after a swap, the new generation's repeats land
+                // here and re-populate the cache.
+                for &(i, h) in &admitted {
+                    let i = i as usize;
+                    let si = c.stripe_of(h);
+                    let mut stripe = c.stripes[si].lock().expect("cache stripe");
+                    c.insert_locked(si, &mut stripe, h, tag, gen, &queries[i], out[i], !dedup);
+                }
+            } else {
+                // Pass 1, fused: hash each query, dedup-probe it, and
+                // stripe-group the representatives — one sweep over the
+                // batch instead of three. Each group entry carries
+                // `(index, hash)` so the later passes never index a
+                // side array of hashes — on a cold batch every such
+                // read is a cache miss the compute behind it ends up
+                // paying for.
+                let mut groups: Vec<Vec<(u32, u64)>> =
+                    vec![Vec::with_capacity(n / c.stripes.len() + 8); c.stripes.len()];
+                for (i, q) in queries.iter().enumerate() {
+                    let h = key_hash(tag, gen, q);
+                    let r = probe.rep(i, h, queries);
+                    if r == i {
+                        groups[c.stripe_of(h)].push((i as u32, h));
+                    } else {
+                        dups.push((i as u32, r as u32));
+                    }
+                }
+                tally.dedup_hits = dups.len();
+
+                // Pass 2: per stripe, under one lock hold: look every
+                // representative up, and decide *admission* for the
+                // misses right here — so the post-compute insert pass
+                // only revisits the keys actually being admitted, which
+                // on a stream of never-repeated queries is none at all.
+                const DUP: u8 = 0;
+                const HIT: u8 = 1;
+                const MISS_ADMIT: u8 = 2;
+                const MISS_SKIP: u8 = 3;
+                let mut state = vec![DUP; n];
+                for (si, group) in groups.iter().enumerate() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let mut stripe = c.stripes[si].lock().expect("cache stripe");
+                    for &(i, h) in group {
+                        let i = i as usize;
+                        match stripe.find(h, tag, gen, &queries[i]) {
+                            Some(slot) => {
+                                stripe.touch(slot);
+                                if out.is_empty() {
+                                    out = vec![0.0; n];
+                                }
+                                out[i] = stripe.pay[slot].value;
+                                state[i] = HIT;
+                            }
+                            None => {
+                                state[i] = if c.admit(h, queries[i].len()) {
+                                    MISS_ADMIT
+                                } else {
+                                    MISS_SKIP
+                                };
+                            }
+                        }
+                    }
+                }
+                let mut misses = Vec::new();
+                let mut any_admitted = false;
+                for (i, &s) in state.iter().enumerate() {
+                    if s >= MISS_ADMIT {
+                        misses.push(i);
+                        any_admitted |= s == MISS_ADMIT;
+                    }
+                }
+                tally.cache_hits = n - tally.dedup_hits - misses.len();
+                tally.cache_misses = misses.len();
+                c.hits.fetch_add(tally.cache_hits as u64, Ordering::Relaxed);
+                c.misses
+                    .fetch_add(tally.cache_misses as u64, Ordering::Relaxed);
+                if !misses.is_empty() {
+                    let values = compute(&misses);
+                    debug_assert_eq!(values.len(), misses.len());
+                    if misses.len() == n {
+                        // Everything missed: `misses` is `0..n` in
+                        // order, so the computed values *are* the batch
+                        // answer.
+                        out = values;
+                    } else {
+                        if out.is_empty() {
+                            out = vec![0.0; n];
+                        }
+                        for (&i, &v) in misses.iter().zip(&values) {
+                            out[i] = v;
+                        }
+                    }
+                } else if out.is_empty() {
+                    // n > 0 with no misses implies at least one hit
+                    // filled `out` — this arm is unreachable, but keep
+                    // `out` sized defensively rather than prove it at a
+                    // distance.
+                    out = vec![0.0; n];
+                }
+                if any_admitted {
+                    // Insert pass over the admitted keys only. The
+                    // pass-1 groups are already stripe-partitioned, so
+                    // walk them again, skipping everything pass 2 did
+                    // not admit, and only take a stripe's lock once an
+                    // admitted key of its group actually comes up. With
+                    // dedup on, the admitted keys are distinct
+                    // representatives that just probed absent — skip
+                    // the pre-insert lookup (see [`Stripe::insert`]);
+                    // with dedup off, a batch may carry the same key
+                    // twice, so the lookup stays.
+                    let check_dup = !dedup;
+                    for (si, group) in groups.iter().enumerate() {
+                        let mut stripe = None;
+                        for &(i, h) in group {
+                            let i = i as usize;
+                            if state[i] != MISS_ADMIT {
+                                continue;
+                            }
+                            let guard = stripe
+                                .get_or_insert_with(|| c.stripes[si].lock().expect("cache stripe"));
+                            c.insert_locked(si, guard, h, tag, gen, &queries[i], out[i], check_dup);
+                        }
+                    }
+                }
+            }
+            // Fan duplicates back out. A representative is always a
+            // key's first occurrence — never itself a duplicate — so
+            // `out[r]` is already settled by the hit/miss paths above.
+            for &(i, r) in &dups {
+                out[i as usize] = out[r as usize];
+            }
+        }
+        _ => {
+            out = vec![0.0; n];
+            let rep: Option<Vec<u32>> = if dedup {
+                let hashes: Vec<u64> = queries.iter().map(|q| key_hash(tag, gen, q)).collect();
+                let (rep, distinct) = dedup_reps(queries, &hashes);
+                tally.dedup_hits = n - distinct;
+                Some(rep)
+            } else {
+                None
+            };
+            let is_rep = |i: usize| rep.as_ref().is_none_or(|r| r[i] as usize == i);
+            let misses: Vec<usize> = (0..n).filter(|&i| is_rep(i)).collect();
+            if !misses.is_empty() {
+                let values = compute(&misses);
+                debug_assert_eq!(values.len(), misses.len());
+                for (&i, &v) in misses.iter().zip(&values) {
+                    out[i] = v;
+                }
+            }
+            if let Some(rep) = &rep {
+                for i in 0..n {
+                    let r = rep[i] as usize;
+                    if r != i {
+                        out[i] = out[r];
+                    }
+                }
+            }
+        }
+    }
+    (out, tally)
+}
+
+/// A [`Deployment`] served through a shared [`AnswerCache`] under an
+/// explicit generation stamp.
+///
+/// This is the composition live maintenance uses: the cache [`Arc`] is
+/// shared across swaps, each generation gets its own wrapper, and
+/// because the generation is part of every key a swap yields **zero
+/// stale hits by construction** — generation `G + 1` lookups cannot
+/// address generation `G` entries, which simply age out of the LRU.
+pub struct CachedDeployment {
+    inner: Box<dyn Deployment>,
+    cache: Arc<AnswerCache>,
+    generation: u64,
+    tag: u8,
+    dedup: bool,
+}
+
+impl CachedDeployment {
+    /// Wrap `inner`, keying every cache entry with `generation` and no
+    /// aggregate tag (the wrapped deployment answers one aggregate).
+    /// In-batch deduplication is on; [`CachedDeployment::without_dedup`]
+    /// turns it off.
+    pub fn new(
+        inner: impl Deployment + 'static,
+        cache: Arc<AnswerCache>,
+        generation: u64,
+    ) -> CachedDeployment {
+        CachedDeployment {
+            inner: Box::new(inner),
+            cache,
+            generation,
+            tag: 0,
+            dedup: true,
+        }
+    }
+
+    /// Fold `agg` into every key — required when one shared cache
+    /// fronts deployments serving *different* aggregates over the same
+    /// query vectors.
+    pub fn with_aggregate(
+        inner: impl Deployment + 'static,
+        cache: Arc<AnswerCache>,
+        generation: u64,
+        agg: Aggregate,
+    ) -> CachedDeployment {
+        CachedDeployment {
+            inner: Box::new(inner),
+            cache,
+            generation,
+            tag: aggregate_tag(agg),
+            dedup: true,
+        }
+    }
+
+    /// Disable in-batch deduplication (caching stays on).
+    pub fn without_dedup(mut self) -> CachedDeployment {
+        self.dedup = false;
+        self
+    }
+
+    /// The shared cache (hand the same [`Arc`] to the next
+    /// generation's wrapper).
+    pub fn cache(&self) -> &Arc<AnswerCache> {
+        &self.cache
+    }
+
+    /// The generation stamped into this wrapper's keys.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The wrapped deployment.
+    pub fn inner(&self) -> &dyn Deployment {
+        self.inner.as_ref()
+    }
+}
+
+impl Deployment for CachedDeployment {
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats) {
+        let mut inner_stats = DeployStats::default();
+        let (answers, tally) = serve_cached(
+            Some((&self.cache, self.tag, self.generation)),
+            self.dedup,
+            queries,
+            |misses| {
+                // All-miss batches (cold traffic) pass straight through
+                // without copying a single query.
+                if misses.len() == queries.len() {
+                    let (values, stats) = self.inner.answer_batch(queries);
+                    inner_stats = stats;
+                    return values;
+                }
+                let sub: Vec<Vec<f64>> = misses.iter().map(|&i| queries[i].clone()).collect();
+                let (values, stats) = self.inner.answer_batch(&sub);
+                inner_stats = stats;
+                values
+            },
+        );
+        let stats = DeployStats {
+            queries: queries.len(),
+            cache_hits: tally.cache_hits,
+            cache_misses: tally.cache_misses,
+            dedup_hits: tally.dedup_hits,
+            shard_count: 1.max(inner_stats.shard_count),
+            ..inner_stats
+        };
+        (answers, stats)
+    }
+
+    fn moments_batch(&self, queries: &[Vec<f64>]) -> Option<Vec<query::aggregate::Moments>> {
+        // Moments are not cached (the cache stores finished answers);
+        // the moment surface passes straight through.
+        self.inner.moments_batch(queries)
+    }
+
+    fn describe(&self) -> DeploymentInfo {
+        DeploymentInfo {
+            generation: Some(self.generation),
+            ..self.inner.describe()
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: &[f64]) -> Vec<f64> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn hit_returns_inserted_bits_and_counts() {
+        let cache = AnswerCache::new(1 << 16, 4);
+        let query = q(&[0.25, 0.75]);
+        assert_eq!(cache.get(1, 7, &query), None);
+        cache.insert(1, 7, &query, 42.125);
+        assert_eq!(cache.get(1, 7, &query), Some(42.125));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, entry_bytes(2));
+    }
+
+    #[test]
+    fn generations_and_aggregates_never_collide() {
+        let cache = AnswerCache::new(1 << 16, 1);
+        let query = q(&[0.5, 0.5]);
+        cache.insert(1, 1, &query, 10.0);
+        cache.insert(1, 2, &query, 20.0);
+        cache.insert(2, 1, &query, 30.0);
+        assert_eq!(cache.get(1, 1, &query), Some(10.0));
+        assert_eq!(cache.get(1, 2, &query), Some(20.0));
+        assert_eq!(cache.get(2, 1, &query), Some(30.0));
+        assert_eq!(cache.get(2, 2, &query), None);
+    }
+
+    #[test]
+    fn negative_zero_is_a_distinct_key() {
+        let cache = AnswerCache::new(1 << 16, 1);
+        cache.insert(0, 0, &[0.0, 1.0], 1.0);
+        assert_eq!(cache.get(0, 0, &[-0.0, 1.0]), None);
+        cache.insert(0, 0, &[-0.0, 1.0], 2.0);
+        assert_eq!(cache.get(0, 0, &[0.0, 1.0]), Some(1.0));
+        assert_eq!(cache.get(0, 0, &[-0.0, 1.0]), Some(2.0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_under_byte_budget() {
+        // Budget for exactly three 2-d entries in one stripe.
+        let cache = AnswerCache::new(3 * entry_bytes(2), 1);
+        let (a, b, c, d) = (
+            q(&[1.0, 0.0]),
+            q(&[2.0, 0.0]),
+            q(&[3.0, 0.0]),
+            q(&[4.0, 0.0]),
+        );
+        cache.insert(0, 0, &a, 1.0);
+        cache.insert(0, 0, &b, 2.0);
+        cache.insert(0, 0, &c, 3.0);
+        // Touch `a` so `b` is now the LRU victim.
+        assert_eq!(cache.get(0, 0, &a), Some(1.0));
+        cache.insert(0, 0, &d, 4.0);
+        assert_eq!(cache.get(0, 0, &b), None, "LRU entry must be evicted");
+        assert_eq!(cache.get(0, 0, &a), Some(1.0));
+        assert_eq!(cache.get(0, 0, &c), Some(3.0));
+        assert_eq!(cache.get(0, 0, &d), Some(4.0));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 3);
+        assert!(s.bytes <= s.capacity_bytes);
+    }
+
+    #[test]
+    fn oversized_entries_and_mismatched_dims_are_skipped_not_fatal() {
+        let cache = AnswerCache::new(entry_bytes(2), 1);
+        cache.insert(0, 0, &vec![0.5; 64], 1.0); // can never fit
+        assert_eq!(cache.stats().entries, 0);
+        cache.insert(0, 0, &[0.1, 0.2], 2.0);
+        assert_eq!(cache.stats().entries, 1);
+        // Different width than the stripe's stride: served uncached.
+        cache.insert(0, 0, &[0.1, 0.2, 0.3], 3.0);
+        assert_eq!(cache.get(0, 0, &[0.1, 0.2, 0.3]), None);
+        assert_eq!(cache.get(0, 0, &[0.1, 0.2]), Some(2.0));
+    }
+
+    #[test]
+    fn heavy_insert_load_stays_within_budget_and_keeps_newest() {
+        let cache = AnswerCache::new(64 * entry_bytes(3), 4);
+        for i in 0..10_000u32 {
+            cache.insert(1, 9, &[i as f64, 0.5, 0.25], i as f64);
+        }
+        let s = cache.stats();
+        assert!(
+            s.bytes <= s.capacity_bytes,
+            "{} > {}",
+            s.bytes,
+            s.capacity_bytes
+        );
+        assert!(s.evictions > 0);
+        // The most recent insert in each stripe must still be resident.
+        assert_eq!(cache.get(1, 9, &[9_999.0, 0.5, 0.25]), Some(9_999.0));
+    }
+
+    #[test]
+    fn dedup_collapses_bitwise_identical_queries_only() {
+        let queries = vec![
+            q(&[0.1, 0.2]),
+            q(&[0.3, 0.4]),
+            q(&[0.1, 0.2]),  // dup of 0
+            q(&[0.1, -0.2]), // sign differs: distinct
+            q(&[0.3, 0.4]),  // dup of 1
+        ];
+        let hashes: Vec<u64> = queries.iter().map(|x| key_hash(0, 0, x)).collect();
+        let (rep, distinct) = dedup_reps(&queries, &hashes);
+        assert_eq!(rep, vec![0, 1, 0, 3, 1]);
+        assert_eq!(distinct, 3);
+    }
+
+    #[test]
+    fn serve_cached_fans_out_in_input_order_and_computes_once() {
+        let queries = vec![
+            q(&[1.0]),
+            q(&[2.0]),
+            q(&[1.0]),
+            q(&[3.0]),
+            q(&[2.0]),
+            q(&[1.0]),
+        ];
+        let mut computed: Vec<usize> = Vec::new();
+        let (out, tally) = serve_cached(None, true, &queries, |misses| {
+            computed = misses.to_vec();
+            misses.iter().map(|&i| queries[i][0] * 10.0).collect()
+        });
+        assert_eq!(
+            computed,
+            vec![0, 1, 3],
+            "one computation per distinct query"
+        );
+        assert_eq!(out, vec![10.0, 20.0, 10.0, 30.0, 20.0, 10.0]);
+        assert_eq!(tally.dedup_hits, 3);
+        assert_eq!((tally.cache_hits, tally.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn serve_cached_second_batch_is_all_hits() {
+        let cache = AnswerCache::new(1 << 16, 2);
+        let queries: Vec<Vec<f64>> = (0..10).map(|i| q(&[i as f64, 0.5])).collect();
+        let front = Some((&cache, 3u8, 11u64));
+        let (first, t1) = serve_cached(front, true, &queries, |misses| {
+            misses.iter().map(|&i| queries[i][0] + 100.0).collect()
+        });
+        assert_eq!((t1.cache_hits, t1.cache_misses), (0, 10));
+        let (second, t2) = serve_cached(front, true, &queries, |_| {
+            panic!("a fully warm batch must not compute")
+        });
+        assert_eq!(second, first);
+        assert_eq!((t2.cache_hits, t2.cache_misses), (10, 0));
+        // A different generation sees none of those entries.
+        let (_, t3) = serve_cached(Some((&cache, 3, 12)), true, &queries, |misses| {
+            misses.iter().map(|&i| queries[i][0] + 200.0).collect()
+        });
+        assert_eq!((t3.cache_hits, t3.cache_misses), (0, 10));
+    }
+
+    #[test]
+    fn full_stripe_admits_batch_front_keys_on_second_miss_only() {
+        // Budget for exactly two 1-d entries; fill it through the front.
+        let cache = AnswerCache::new(2 * entry_bytes(1), 1);
+        let resident = vec![q(&[1.0]), q(&[2.0])];
+        let front = Some((&cache, 0u8, 0u64));
+        fn compute(qs: &[Vec<f64>]) -> impl FnOnce(&[usize]) -> Vec<f64> + '_ {
+            move |misses| misses.iter().map(|&i| qs[i][0] * 3.0).collect()
+        }
+        serve_cached(front, true, &resident, compute(&resident));
+        assert_eq!(cache.stats().entries, 2);
+
+        // A new key's first miss through the full stripe must not evict.
+        let newcomer = vec![q(&[9.0])];
+        serve_cached(front, true, &newcomer, compute(&newcomer));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 0), "first miss only marks");
+        assert_eq!(cache.get(0, 0, &[1.0]), Some(3.0), "working set intact");
+
+        // Its second miss is admitted and pays the one eviction.
+        serve_cached(front, true, &newcomer, compute(&newcomer));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        assert_eq!(cache.get(0, 0, &[9.0]), Some(27.0));
+    }
+
+    #[test]
+    fn serve_cached_empty_batch() {
+        let cache = AnswerCache::new(1 << 12, 1);
+        let (out, tally) = serve_cached(Some((&cache, 0, 0)), true, &[], |_| unreachable!());
+        assert!(out.is_empty());
+        assert_eq!(tally, FrontTally::default());
+    }
+
+    #[test]
+    fn eviction_pressure_never_changes_served_values() {
+        // Budget so small the batch itself cannot fully fit: answers
+        // must still be exactly the computed values.
+        let cache = AnswerCache::new(2 * entry_bytes(1), 1);
+        let queries: Vec<Vec<f64>> = (0..50).map(|i| q(&[(i % 7) as f64])).collect();
+        for round in 0..4 {
+            let (out, _) = serve_cached(Some((&cache, 0, round)), true, &queries, |misses| {
+                misses.iter().map(|&i| queries[i][0] * 3.0).collect()
+            });
+            for (o, query) in out.iter().zip(&queries) {
+                assert_eq!(*o, query[0] * 3.0);
+            }
+        }
+        assert!(cache.stats().bytes <= cache.capacity_bytes());
+    }
+}

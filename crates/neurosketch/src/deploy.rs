@@ -64,6 +64,15 @@ pub struct DeployStats {
     pub shard_count: usize,
     /// Batched GEMM model evaluations performed, where tallied.
     pub model_batches: usize,
+    /// Queries answered from the generation-keyed answer cache
+    /// ([`crate::cache`]); 0 when the serving path has no cache.
+    pub cache_hits: usize,
+    /// Cache lookups that fell through to compute; 0 when the serving
+    /// path has no cache.
+    pub cache_misses: usize,
+    /// Queries collapsed onto a bitwise-identical query in the same
+    /// batch (in-batch deduplication).
+    pub dedup_hits: usize,
 }
 
 impl DeployStats {
@@ -87,6 +96,9 @@ impl From<ServeStats> for DeployStats {
             exact_hard_leaf: s.exact_hard_leaf,
             shard_count: 1,
             model_batches: 0,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            dedup_hits: s.dedup_hits,
         }
     }
 }
@@ -95,11 +107,14 @@ impl From<ShardedServeStats> for DeployStats {
     fn from(s: ShardedServeStats) -> DeployStats {
         DeployStats {
             queries: s.queries,
-            sketch: s.queries,
+            sketch: s.queries - s.cache_hits - s.dedup_hits,
             exact_small_range: 0,
             exact_hard_leaf: 0,
             shard_count: s.shard_count,
             model_batches: s.model_batches,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            dedup_hits: s.dedup_hits,
         }
     }
 }
@@ -188,6 +203,28 @@ pub trait Deployment: Send + Sync {
     /// implementation: artifact bytes where the deployment is
     /// artifact-backed).
     fn storage_bytes(&self) -> usize;
+}
+
+/// A shared handle serves exactly like the deployment it points to —
+/// lets one server sit behind several wrappers at once (e.g. a
+/// [`crate::cache::CachedDeployment`] per generation over one compute
+/// engine).
+impl<T: Deployment + ?Sized> Deployment for Arc<T> {
+    fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, DeployStats) {
+        (**self).answer_batch(queries)
+    }
+
+    fn moments_batch(&self, queries: &[Vec<f64>]) -> Option<Vec<Moments>> {
+        (**self).moments_batch(queries)
+    }
+
+    fn describe(&self) -> DeploymentInfo {
+        (**self).describe()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        (**self).storage_bytes()
+    }
 }
 
 impl Deployment for NeuroSketch {

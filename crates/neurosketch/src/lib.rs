@@ -47,6 +47,7 @@
 
 pub mod aqc;
 pub mod arch_search;
+pub mod cache;
 pub mod cluster;
 pub mod deploy;
 pub mod dqd;
@@ -60,6 +61,7 @@ pub mod shard;
 pub mod sketch;
 
 pub use aqc::{aqc, normalized_aqc_std};
+pub use cache::{AnswerCache, CachePolicy, CacheStats, CachedDeployment};
 pub use cluster::{
     Cluster, ClusterBatchReport, ClusterError, ClusterEvent, ClusterOptions, ClusterReplicaView,
     Fault, FaultPlan, RoutePolicy, UpgradeStep,

@@ -665,11 +665,16 @@ pub struct NetOptions {
     /// How long [`NetServer::serve`] sleeps when a poll makes no
     /// progress (no new bytes, nothing pending).
     pub idle: Duration,
+    /// Collapse bitwise-identical queries within one micro-batch onto a
+    /// single deployment computation (the whole batch still carries one
+    /// generation stamp, and fan-out preserves drain order — observably
+    /// identical either way, per the serving determinism contract).
+    pub dedup: bool,
 }
 
 impl Default for NetOptions {
     /// 256-query micro-batches, 1024-deep per-connection queues, 64 KiB
-    /// frames, 1024 connections, 100 µs idle backoff.
+    /// frames, 1024 connections, 100 µs idle backoff, in-batch dedup on.
     fn default() -> NetOptions {
         NetOptions {
             max_batch: 256,
@@ -677,6 +682,7 @@ impl Default for NetOptions {
             max_payload: 64 * 1024,
             max_clients: 1024,
             idle: Duration::from_micros(100),
+            dedup: true,
         }
     }
 }
@@ -702,6 +708,18 @@ pub struct NetStats {
     pub largest_batch: usize,
     /// Info requests answered.
     pub info_requests: u64,
+    /// Queries answered by collapsing onto a bitwise-identical query in
+    /// the same micro-batch ([`NetOptions::dedup`]) instead of a
+    /// deployment computation of their own.
+    pub deduped: u64,
+    /// Queries the served deployment answered from its answer cache
+    /// (zero unless the deployment runs a [`crate::cache::CachePolicy`]
+    /// with caching on).
+    pub cache_hits: u64,
+    /// Queries that fell through the deployment's answer cache to
+    /// compute (zero when caching is off — an uncached deployment
+    /// reports no cache traffic at all, not all-misses).
+    pub cache_misses: u64,
 }
 
 /// What one serving step coalesced — the observable the fairness and
@@ -710,6 +728,9 @@ pub struct NetStats {
 pub struct NetBatch {
     /// Queries in the micro-batch.
     pub size: usize,
+    /// Distinct queries the deployment actually computed (`size` minus
+    /// in-batch duplicates; equals `size` with dedup off).
+    pub unique: usize,
     /// Generation the whole batch was answered by.
     pub generation: u64,
     /// `(connection id, queries taken)` per contributing connection,
@@ -791,6 +812,12 @@ impl NetServer {
         self.stats
     }
 
+    /// Fold one micro-batch's deployment stats into the server tallies.
+    fn tally_cache(&mut self, stats: &crate::deploy::DeployStats) {
+        self.stats.cache_hits += stats.cache_hits as u64;
+        self.stats.cache_misses += stats.cache_misses as u64;
+    }
+
     /// Live connections.
     pub fn connections(&self) -> usize {
         self.conns.len()
@@ -865,7 +892,44 @@ impl NetServer {
         // Start the next batch's rotation one connection later, so the
         // head-of-line slot itself rotates across batches.
         self.cursor = self.cursor.wrapping_add(1);
-        let (answers, _, generation) = self.live.answer_batch_tagged(&queries);
+        // Collapse in-batch duplicates onto their first occurrence: the
+        // deployment sees only the distinct queries (one snapshot, one
+        // generation stamp for the whole micro-batch), and the fan-out
+        // below hands every duplicate its representative's answer —
+        // bitwise the answer it would have computed itself.
+        let (answers, generation, unique) = if self.opts.dedup {
+            let hashes: Vec<u64> = queries
+                .iter()
+                .map(|q| crate::cache::key_hash(0, 0, q))
+                .collect();
+            let (rep, distinct) = crate::cache::dedup_reps(&queries, &hashes);
+            if distinct == queries.len() {
+                let (answers, stats, generation) = self.live.answer_batch_tagged(&queries);
+                self.tally_cache(&stats);
+                (answers, generation, distinct)
+            } else {
+                let mut uniq: Vec<Vec<f64>> = Vec::with_capacity(distinct);
+                let mut fan: Vec<u32> = vec![0; queries.len()];
+                for (i, q) in queries.into_iter().enumerate() {
+                    if rep[i] as usize == i {
+                        fan[i] = uniq.len() as u32;
+                        uniq.push(q);
+                    } else {
+                        fan[i] = fan[rep[i] as usize];
+                    }
+                }
+                let (unique_answers, stats, generation) = self.live.answer_batch_tagged(&uniq);
+                self.tally_cache(&stats);
+                let answers: Vec<f64> = fan.iter().map(|&u| unique_answers[u as usize]).collect();
+                self.stats.deduped += (answers.len() - distinct) as u64;
+                (answers, generation, distinct)
+            }
+        } else {
+            let (answers, stats, generation) = self.live.answer_batch_tagged(&queries);
+            self.tally_cache(&stats);
+            let n = answers.len();
+            (answers, generation, n)
+        };
         let mut per_client: Vec<(u64, usize)> = Vec::new();
         for (&(ci, id), &value) in jobs.iter().zip(answers.iter()) {
             let conn = &mut self.conns[ci];
@@ -884,6 +948,7 @@ impl NetServer {
         self.stats.largest_batch = self.stats.largest_batch.max(jobs.len());
         Some(NetBatch {
             size: jobs.len(),
+            unique,
             generation,
             per_client,
         })

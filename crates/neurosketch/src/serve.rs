@@ -52,6 +52,7 @@
 //! assert_eq!(stats.sketch, queries.len());
 //! ```
 
+use crate::cache::{aggregate_tag, serve_cached, AnswerCache, CachePolicy, CacheStats};
 use crate::router::{range_volume, DqdRouter, Route};
 use crate::sketch::{BatchScratch, NeuroSketch, SketchLayout};
 use query::aggregate::Aggregate;
@@ -77,16 +78,26 @@ pub struct ServeOptions {
     /// either way; turning this off only trades serving throughput for
     /// the layout's extra resident copy of the weights.
     pub layout: bool,
+    /// Answer cache + in-batch deduplication front ([`crate::cache`]).
+    /// With caching on, the server owns a private [`AnswerCache`]
+    /// (keyed at generation 0 — a rebuilt server starts cold, so stale
+    /// hits are impossible); share one cache across generations with
+    /// [`crate::cache::CachedDeployment`] instead. Cached and deduped
+    /// answers are bitwise identical to the uncached path. Off by
+    /// default.
+    pub cache: CachePolicy,
 }
 
 impl Default for ServeOptions {
-    /// Four workers, 1024-query shards, range rule off, padded layout on.
+    /// Four workers, 1024-query shards, range rule off, padded layout
+    /// on, cache front off.
     fn default() -> Self {
         ServeOptions {
             threads: 4,
             max_shard: 1024,
             active_attrs: None,
             layout: true,
+            cache: CachePolicy::OFF,
         }
     }
 }
@@ -112,18 +123,36 @@ pub struct ServeStats {
     pub exact_small_range: usize,
     /// Queries sent to the exact engine by the complexity rule.
     pub exact_hard_leaf: usize,
+    /// Queries answered from the server's answer cache
+    /// ([`ServeOptions::cache`]); they were neither routed nor
+    /// computed.
+    pub cache_hits: usize,
+    /// Cache lookups that fell through to the compute path (0 with
+    /// caching off). These queries are also tallied under `sketch` /
+    /// `exact_*` by where they were then computed.
+    pub cache_misses: usize,
+    /// Queries collapsed onto a bitwise-identical query in the same
+    /// batch; they inherit their representative's answer bits.
+    pub dedup_hits: usize,
 }
 
 impl ServeStats {
-    /// Total queries answered.
+    /// Total queries answered (computed, cached, or deduplicated).
     pub fn total(&self) -> usize {
-        self.sketch + self.exact_small_range + self.exact_hard_leaf
+        self.sketch
+            + self.exact_small_range
+            + self.exact_hard_leaf
+            + self.cache_hits
+            + self.dedup_hits
     }
 
     fn absorb(&mut self, other: ServeStats) {
         self.sketch += other.sketch;
         self.exact_small_range += other.exact_small_range;
         self.exact_hard_leaf += other.exact_hard_leaf;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.dedup_hits += other.dedup_hits;
     }
 }
 
@@ -135,6 +164,9 @@ pub struct SketchServer<'a> {
     /// Built once at construction when `opts.layout` is on; workers
     /// share it read-only.
     layout: Option<SketchLayout>,
+    /// Built once at construction when `opts.cache` retains answers;
+    /// private to this server instance, keyed at generation 0.
+    cache: Option<AnswerCache>,
 }
 
 impl<'a> SketchServer<'a> {
@@ -148,6 +180,7 @@ impl<'a> SketchServer<'a> {
             fallback: None,
             opts,
             layout,
+            cache: Self::build_cache(&opts),
         }
     }
 
@@ -164,7 +197,28 @@ impl<'a> SketchServer<'a> {
             fallback: Some(fallback),
             opts,
             layout,
+            cache: Self::build_cache(&opts),
         }
+    }
+
+    fn build_cache(opts: &ServeOptions) -> Option<AnswerCache> {
+        opts.cache
+            .caching()
+            .then(|| AnswerCache::new(opts.cache.capacity_bytes, opts.cache.stripes))
+    }
+
+    /// Counters and occupancy of the embedded answer cache, when
+    /// [`ServeOptions::cache`] retains answers.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(AnswerCache::stats)
+    }
+
+    /// The aggregate byte folded into cache keys: the fallback's
+    /// aggregate when routing is live, else the untyped tag.
+    fn cache_tag(&self) -> u8 {
+        self.fallback
+            .as_ref()
+            .map_or(0, |fb| aggregate_tag(fb.aggregate))
     }
 
     /// The served sketch.
@@ -198,6 +252,14 @@ impl<'a> SketchServer<'a> {
         if queries.is_empty() {
             return (Vec::new(), ServeStats::default());
         }
+        if self.opts.cache.enabled() {
+            return self.answer_batch_fronted(queries);
+        }
+        self.answer_batch_direct(queries)
+    }
+
+    /// The plain path: shard the batch across workers, no cache front.
+    fn answer_batch_direct(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ServeStats) {
         let threads = self.opts.threads.max(1);
         let shard = queries
             .len()
@@ -217,6 +279,104 @@ impl<'a> SketchServer<'a> {
             stats.absorb(part_stats);
         }
         (answers, stats)
+    }
+
+    /// The cache/dedup path: the shared front collapses duplicates and
+    /// answers warm keys, and only the remaining distinct queries reach
+    /// the parallel compute fan-out — by index into the original batch,
+    /// so nothing is copied on the way in.
+    fn answer_batch_fronted(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ServeStats) {
+        let front = self.cache.as_ref().map(|c| (c, self.cache_tag(), 0u64));
+        let mut computed = ServeStats::default();
+        let (answers, tally) = serve_cached(front, self.opts.cache.dedup, queries, |misses| {
+            let (values, stats) = self.serve_subset(queries, misses);
+            computed = stats;
+            values
+        });
+        computed.cache_hits = tally.cache_hits;
+        computed.cache_misses = tally.cache_misses;
+        computed.dedup_hits = tally.dedup_hits;
+        (answers, computed)
+    }
+
+    /// Answer the subset of `queries` selected by `idxs` (sorted input
+    /// indices), returning values aligned with `idxs`. Same worker
+    /// fan-out as the direct path, over index chunks instead of query
+    /// chunks.
+    fn serve_subset(&self, queries: &[Vec<f64>], idxs: &[usize]) -> (Vec<f64>, ServeStats) {
+        let threads = self.opts.threads.max(1);
+        let shard = idxs
+            .len()
+            .div_ceil(threads)
+            .clamp(1, self.opts.max_shard.max(1));
+        let chunks: Vec<&[usize]> = idxs.chunks(shard).collect();
+        let parts = par::par_map_init(
+            &chunks,
+            threads,
+            || (BatchScratch::default(), Vec::new()),
+            |(scratch, exact_scratch), _, chunk| {
+                self.serve_idx_chunk(scratch, exact_scratch, queries, chunk)
+            },
+        );
+        let mut values = Vec::with_capacity(idxs.len());
+        let mut stats = ServeStats::default();
+        for (part, part_stats) in parts {
+            values.extend(part);
+            stats.absorb(part_stats);
+        }
+        (values, stats)
+    }
+
+    /// Route and answer one index chunk with this worker's scratch
+    /// state, compacting the answers back into chunk order.
+    fn serve_idx_chunk(
+        &self,
+        scratch: &mut BatchScratch,
+        exact_scratch: &mut Vec<f64>,
+        queries: &[Vec<f64>],
+        idxs: &[usize],
+    ) -> (Vec<f64>, ServeStats) {
+        let mut out = vec![0.0; queries.len()];
+        let mut stats = ServeStats::default();
+        let mut to_sketch = Vec::with_capacity(idxs.len());
+        let mut to_exact = Vec::new();
+        match &self.fallback {
+            None => to_sketch.extend(idxs.iter().copied()),
+            Some(_) => {
+                for &i in idxs {
+                    let q = &queries[i];
+                    let volume = self.opts.active_attrs.map(|k| range_volume(q, k));
+                    match self.router.route(q, volume) {
+                        Route::Sketch => to_sketch.push(i),
+                        Route::ExactSmallRange => {
+                            stats.exact_small_range += 1;
+                            to_exact.push(i);
+                        }
+                        Route::ExactHardLeaf => {
+                            stats.exact_hard_leaf += 1;
+                            to_exact.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        stats.sketch += to_sketch.len();
+        match &self.layout {
+            Some(l) => self
+                .sketch()
+                .answer_subset_with_layout(l, scratch, queries, &to_sketch, &mut out),
+            None => self
+                .sketch()
+                .answer_subset_with(scratch, queries, &to_sketch, &mut out),
+        }
+        if let Some(fb) = &self.fallback {
+            for &i in &to_exact {
+                out[i] =
+                    fb.engine
+                        .answer_with(exact_scratch, fb.predicate, fb.aggregate, &queries[i]);
+            }
+        }
+        (idxs.iter().map(|&i| out[i]).collect(), stats)
     }
 
     /// Route and answer one shard with this worker's scratch state.
@@ -324,6 +484,7 @@ mod tests {
                         max_shard: 64,
                         active_attrs: None,
                         layout,
+                        cache: CachePolicy::OFF,
                     },
                 );
                 let (answers, stats) = server.answer_batch(&wl.queries);
@@ -357,6 +518,7 @@ mod tests {
                 max_shard: 128,
                 active_attrs: Some(1),
                 layout: true,
+                cache: CachePolicy::OFF,
             },
         );
         let (answers, stats) = server.answer_batch(&wl.queries);

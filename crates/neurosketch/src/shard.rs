@@ -79,6 +79,7 @@
 //! assert!((answers[0] - exact).abs() < 0.25 * data.rows() as f64);
 //! ```
 
+use crate::cache::{aggregate_tag, serve_cached, AnswerCache, CacheStats};
 use crate::serve::ServeOptions;
 use crate::sketch::{BatchScratch, NeuroSketch, NeuroSketchConfig, SketchLayout};
 use crate::SketchError;
@@ -663,9 +664,20 @@ pub struct ShardedServeStats {
     /// Data shards each query was scattered to.
     pub shard_count: usize,
     /// Batched GEMM model evaluations actually performed:
-    /// `shards × required components × ⌈queries / max_shard⌉`
-    /// (0 for an empty batch) — the capacity-accounting tally.
+    /// `shards × required components × ⌈computed queries / max_shard⌉`
+    /// (0 for an empty batch) — the capacity-accounting tally. With the
+    /// cache front on, only queries that missed both the dedup map and
+    /// the cache are computed.
     pub model_batches: usize,
+    /// Queries answered from the server's answer cache
+    /// ([`ServeOptions::cache`]) instead of being scattered.
+    pub cache_hits: usize,
+    /// Cache lookups that fell through to the scatter (0 with caching
+    /// off).
+    pub cache_misses: usize,
+    /// Queries collapsed onto a bitwise-identical query in the same
+    /// batch.
+    pub dedup_hits: usize,
 }
 
 /// A sharded deployment behind a concurrent scatter/gather serving
@@ -686,6 +698,12 @@ pub struct ShardedServer {
     /// One prebuilt layout per shard when `opts.layout` is on; empty
     /// otherwise. Workers share them read-only.
     layouts: Vec<ShardLayout>,
+    /// Built once at construction when `opts.cache` retains answers;
+    /// private to this server instance, keyed at generation 0 (a
+    /// reloaded server — e.g. [`crate::deploy::LiveDeployment`]'s
+    /// manifest reload path — starts cold, so stale hits are
+    /// impossible).
+    cache: Option<AnswerCache>,
 }
 
 impl ShardedServer {
@@ -705,11 +723,22 @@ impl ShardedServer {
         } else {
             Vec::new()
         };
+        let cache = opts
+            .cache
+            .caching()
+            .then(|| AnswerCache::new(opts.cache.capacity_bytes, opts.cache.stripes));
         ShardedServer {
             sketch,
             opts,
             layouts,
+            cache,
         }
+    }
+
+    /// Counters and occupancy of the embedded answer cache, when
+    /// [`ServeOptions::cache`] retains answers.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(AnswerCache::stats)
     }
 
     /// The served deployment.
@@ -729,7 +758,36 @@ impl ShardedServer {
 
     /// Answer a batch: scatter to all shards, gather exact moment
     /// compositions. Returns answers in input order plus the tally.
+    /// With [`ServeOptions::cache`] on, the cache/dedup front runs
+    /// first and only distinct, cold queries are scattered — answers
+    /// are bitwise identical either way.
     pub fn answer_batch(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ShardedServeStats) {
+        if !self.opts.cache.enabled() || queries.is_empty() {
+            return self.answer_batch_direct(queries);
+        }
+        let front = self
+            .cache
+            .as_ref()
+            .map(|c| (c, aggregate_tag(self.sketch.aggregate()), 0u64));
+        let mut computed = ShardedServeStats::default();
+        let (answers, tally) = serve_cached(front, self.opts.cache.dedup, queries, |misses| {
+            let sub: Vec<Vec<f64>> = misses.iter().map(|&i| queries[i].clone()).collect();
+            let (values, stats) = self.answer_batch_direct(&sub);
+            computed = stats;
+            values
+        });
+        let stats = ShardedServeStats {
+            queries: queries.len(),
+            shard_count: self.sketch.shard_count(),
+            model_batches: computed.model_batches,
+            cache_hits: tally.cache_hits,
+            cache_misses: tally.cache_misses,
+            dedup_hits: tally.dedup_hits,
+        };
+        (answers, stats)
+    }
+
+    fn answer_batch_direct(&self, queries: &[Vec<f64>]) -> (Vec<f64>, ShardedServeStats) {
         let (per_shard, stats) = self.scatter(queries);
         let answers = (0..queries.len())
             .map(|i| self.sketch.gather(per_shard.iter().map(|s| s[i])))
@@ -743,7 +801,47 @@ impl ShardedServer {
     /// the moment-level serving surface the [`crate::deploy::Deployment`]
     /// trait exposes; `finish_guarded` of each entry is exactly the
     /// corresponding `answer_batch` answer.
+    /// With [`ServeOptions::cache`] deduplication on, identical
+    /// queries are predicted once and their merged moments fanned back
+    /// out (moments are never *cached* — the cache stores finished
+    /// answers only).
     pub fn moments_batch(&self, queries: &[Vec<f64>]) -> (Vec<Moments>, ShardedServeStats) {
+        if !self.opts.cache.dedup || queries.is_empty() {
+            return self.moments_batch_direct(queries);
+        }
+        let hashes: Vec<u64> = queries
+            .iter()
+            .map(|q| crate::cache::key_hash(0, 0, q))
+            .collect();
+        let (rep, distinct) = crate::cache::dedup_reps(queries, &hashes);
+        if distinct == queries.len() {
+            return self.moments_batch_direct(queries);
+        }
+        let uniques: Vec<usize> = (0..queries.len())
+            .filter(|&i| rep[i] as usize == i)
+            .collect();
+        let sub: Vec<Vec<f64>> = uniques.iter().map(|&i| queries[i].clone()).collect();
+        let (values, computed) = self.moments_batch_direct(&sub);
+        // Position of each representative's moments in `values`.
+        let mut pos = vec![0u32; queries.len()];
+        for (k, &i) in uniques.iter().enumerate() {
+            pos[i] = k as u32;
+        }
+        let merged = (0..queries.len())
+            .map(|i| values[pos[rep[i] as usize] as usize])
+            .collect();
+        let stats = ShardedServeStats {
+            queries: queries.len(),
+            shard_count: self.sketch.shard_count(),
+            model_batches: computed.model_batches,
+            cache_hits: 0,
+            cache_misses: 0,
+            dedup_hits: queries.len() - distinct,
+        };
+        (merged, stats)
+    }
+
+    fn moments_batch_direct(&self, queries: &[Vec<f64>]) -> (Vec<Moments>, ShardedServeStats) {
         let (per_shard, stats) = self.scatter(queries);
         let merged = (0..queries.len())
             .map(|i| {
@@ -765,6 +863,9 @@ impl ShardedServer {
             queries: queries.len(),
             shard_count: self.sketch.shard_count(),
             model_batches: total_kinds * queries.len().div_ceil(max_chunk),
+            cache_hits: 0,
+            cache_misses: 0,
+            dedup_hits: 0,
         };
         if queries.is_empty() {
             return (Vec::new(), stats);
@@ -791,6 +892,7 @@ impl ShardedServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CachePolicy;
     use datagen::simple::uniform;
     use query::error::normalized_mae;
     use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
@@ -1024,6 +1126,7 @@ mod tests {
                         max_shard: 64,
                         active_attrs: None,
                         layout,
+                        cache: CachePolicy::OFF,
                     },
                 );
                 let (answers, stats) = server.answer_batch(&wl.queries);

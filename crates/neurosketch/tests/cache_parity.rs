@@ -1,0 +1,258 @@
+//! The answer-cache contract, property-tested: a cached or deduplicated
+//! serving path returns **bitwise identical** answers to the uncached
+//! one, at any thread count, for every aggregate, through evictions,
+//! and across hot swaps — where generation keying must also mean **zero
+//! cross-generation hits** by construction.
+//!
+//! Every case serves the same duplicated stream twice (a cold pass that
+//! fills the cache, a warm pass that hits it) and compares both passes
+//! against the uncached baseline, so the hit path — not just the
+//! fill path — is what the bitwise assertions pin down.
+
+use neurosketch::cache::{entry_bytes, AnswerCache, CachePolicy, CachedDeployment};
+use neurosketch::deploy::{Deployment, LiveDeployment};
+use neurosketch::router::{DqdRouter, RoutingPolicy};
+use neurosketch::serve::{ServeOptions, SketchServer};
+use neurosketch::shard::{build_sharded, ShardPlan, ShardedServer, ShardedSketch};
+use neurosketch::{NeuroSketch, NeuroSketchConfig};
+use proptest::prelude::*;
+use query::aggregate::Aggregate;
+use query::exec::QueryEngine;
+use query::workload::{ActiveMode, RangeMode, Workload, WorkloadConfig};
+use std::sync::{Arc, OnceLock};
+
+const AGGREGATES: [Aggregate; 4] = [
+    Aggregate::Count,
+    Aggregate::Sum,
+    Aggregate::Avg,
+    Aggregate::Std,
+];
+
+fn cfg() -> NeuroSketchConfig {
+    let mut cfg = NeuroSketchConfig::small();
+    cfg.train.epochs = 6;
+    cfg
+}
+
+/// One small sketch per aggregate (trained on that aggregate's labels)
+/// plus a 2-shard COUNT deployment — built once, shared by every test
+/// and property case.
+struct Base {
+    wl: Workload,
+    /// `(sketch, leaf AQCs)` per entry of [`AGGREGATES`].
+    by_agg: Vec<(NeuroSketch, Vec<f64>)>,
+    sharded: ShardedSketch,
+}
+
+fn base() -> &'static Base {
+    static BASE: OnceLock<Base> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let data = datagen::simple::uniform(400, 2, 11);
+        let wl = Workload::generate(&WorkloadConfig {
+            dims: 2,
+            active: ActiveMode::Fixed(vec![0]),
+            range: RangeMode::Uniform,
+            count: 60,
+            seed: 7,
+        })
+        .unwrap();
+        let engine = QueryEngine::new(&data, 1);
+        let by_agg = AGGREGATES
+            .iter()
+            .map(|&agg| {
+                let labels = engine.label_batch(&wl.predicate, agg, &wl.queries, 2);
+                let (sketch, report) =
+                    NeuroSketch::build_from_labeled(&wl.queries, &labels, &cfg()).unwrap();
+                (sketch, report.leaf_aqcs)
+            })
+            .collect();
+        let (sharded, _) = build_sharded(
+            &data,
+            1,
+            &ShardPlan::RoundRobin { shards: 2 },
+            &wl.predicate,
+            Aggregate::Count,
+            &wl.queries,
+            &cfg(),
+        )
+        .unwrap();
+        Base {
+            wl,
+            by_agg,
+            sharded,
+        }
+    })
+}
+
+fn opts(threads: usize, cache: CachePolicy) -> ServeOptions {
+    ServeOptions {
+        threads,
+        cache,
+        ..ServeOptions::default()
+    }
+}
+
+fn server(agg_idx: usize, threads: usize, cache: CachePolicy) -> SketchServer<'static> {
+    let (sketch, aqcs) = &base().by_agg[agg_idx];
+    SketchServer::new(
+        DqdRouter::new(sketch.clone(), aqcs.clone(), RoutingPolicy::default()),
+        opts(threads, cache),
+    )
+}
+
+/// A repeat-heavy stream: the workload queries selected by `picks`,
+/// so arbitrary duplication patterns (including within-batch runs of
+/// the same query) come straight from the proptest strategy.
+fn stream_of(picks: &[usize]) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let wl = &base().wl;
+    let stream = picks
+        .iter()
+        .map(|&p| wl.queries[p % wl.queries.len()].clone())
+        .collect();
+    let idx = picks.iter().map(|&p| p % wl.queries.len()).collect();
+    (stream, idx)
+}
+
+fn assert_bitwise(label: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{label}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{label}: answer {i} drifted ({g} vs {w})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached + deduplicated serving is bitwise identical to the
+    /// uncached path for every aggregate, at 1 and 4 threads, over
+    /// arbitrary duplication patterns — cold pass and warm (hitting)
+    /// pass alike.
+    #[test]
+    fn cached_serving_is_bitwise_identical(
+        picks in prop::collection::vec(0usize..60, 1..70),
+        agg_idx in 0usize..AGGREGATES.len(),
+        threads in (0usize..2).prop_map(|b| if b == 0 { 1 } else { 4 }),
+    ) {
+        let (stream, idx) = stream_of(&picks);
+        let baseline = server(agg_idx, 1, CachePolicy::OFF);
+        let (direct, _) = baseline.answer_batch(&base().wl.queries);
+        let want: Vec<f64> = idx.iter().map(|&i| direct[i]).collect();
+
+        let cached = server(agg_idx, threads, CachePolicy::cached(64 << 10));
+        let (cold, _) = cached.answer_batch(&stream);
+        assert_bitwise("cold pass", &cold, &want);
+        let (warm, warm_stats) = cached.answer_batch(&stream);
+        assert_bitwise("warm pass", &warm, &want);
+        prop_assert_eq!(
+            warm_stats.cache_hits + warm_stats.dedup_hits,
+            stream.len(),
+            "second pass of an identical stream must be all hits"
+        );
+    }
+
+    /// A cache so small it is evicting constantly still never changes
+    /// an answer — the budget bounds memory, not correctness.
+    #[test]
+    fn tiny_budget_eviction_never_changes_answers(
+        picks in prop::collection::vec(0usize..60, 20..70),
+        threads in (0usize..2).prop_map(|b| if b == 0 { 1 } else { 4 }),
+    ) {
+        let (stream, idx) = stream_of(&picks);
+        let baseline = server(0, 1, CachePolicy::OFF);
+        let (direct, _) = baseline.answer_batch(&base().wl.queries);
+        let want: Vec<f64> = idx.iter().map(|&i| direct[i]).collect();
+
+        // Room for ~3 entries across 2 stripes: almost every insert
+        // evicts, and the doorkeeper gates almost every admission.
+        let tiny = CachePolicy {
+            capacity_bytes: 3 * entry_bytes(base().wl.queries[0].len()),
+            stripes: 2,
+            dedup: true,
+        };
+        let cached = server(0, threads, tiny);
+        for pass in 0..3 {
+            let (got, _) = cached.answer_batch(&stream);
+            assert_bitwise(&format!("tiny-budget pass {pass}"), &got, &want);
+        }
+    }
+}
+
+/// The sharded scatter/gather layer under its embedded cache: bitwise
+/// parity against the uncached sharded path, cold and warm, at 1 and 4
+/// threads.
+#[test]
+fn sharded_cached_serving_is_bitwise_identical() {
+    let b = base();
+    let baseline = ShardedServer::new(b.sharded.clone(), opts(1, CachePolicy::OFF));
+    let (want, _) = baseline.answer_batch(&b.wl.queries);
+    for threads in [1usize, 4] {
+        let cached = ShardedServer::new(
+            b.sharded.clone(),
+            opts(threads, CachePolicy::cached(64 << 10)),
+        );
+        let (cold, _) = cached.answer_batch(&b.wl.queries);
+        assert_bitwise("sharded cold", &cold, &want);
+        let (warm, stats) = cached.answer_batch(&b.wl.queries);
+        assert_bitwise("sharded warm", &warm, &want);
+        assert_eq!(
+            stats.cache_hits,
+            b.wl.queries.len(),
+            "second identical batch must be all cache hits"
+        );
+    }
+}
+
+/// Hot swap mid-stream over one shared cache: after the generation
+/// bump, not a single answer may come from the old generation's
+/// entries — zero stale hits, by construction of the key, verified
+/// bitwise and on the counters.
+#[test]
+fn hot_swap_has_zero_cross_generation_hits() {
+    let b = base();
+    // Two genuinely different deployments (different aggregates), so a
+    // stale hit would be visible in the bits, not just the counters.
+    let inner0 = Arc::new(server(0, 2, CachePolicy::OFF));
+    let inner1 = Arc::new(server(1, 2, CachePolicy::OFF));
+    let (want0, _) = inner0.answer_batch(&b.wl.queries);
+    let (want1, _) = inner1.answer_batch(&b.wl.queries);
+    assert_ne!(
+        want0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "test must distinguish generations"
+    );
+
+    let cache = AnswerCache::from_policy(&CachePolicy::cached(256 << 10));
+    let live = LiveDeployment::new(CachedDeployment::new(inner0.clone(), cache.clone(), 0), 0);
+    // Warm generation 0: second pass is all hits.
+    live.answer_batch(&b.wl.queries);
+    let (got0, stats0) = live.answer_batch(&b.wl.queries);
+    assert_bitwise("generation 0 warm", &got0, &want0);
+    assert_eq!(stats0.cache_hits, b.wl.queries.len());
+
+    // Swap generations mid-stream; the same shared cache still holds
+    // every generation-0 entry, and none of them may answer.
+    live.swap(CachedDeployment::new(inner1.clone(), cache.clone(), 1), 1);
+    let before = cache.stats();
+    let (got1, stats1) = live.answer_batch(&b.wl.queries);
+    assert_bitwise("first post-swap batch", &got1, &want1);
+    assert_eq!(
+        stats1.cache_hits, 0,
+        "a hit across the swap would be a stale answer"
+    );
+    assert_eq!(
+        cache.stats().hits,
+        before.hits,
+        "the shared cache recorded a cross-generation hit"
+    );
+
+    // The new generation earns its way in: repeats become hits while
+    // staying bitwise generation 1.
+    live.answer_batch(&b.wl.queries);
+    let (got1b, stats1b) = live.answer_batch(&b.wl.queries);
+    assert_bitwise("generation 1 warm", &got1b, &want1);
+    assert_eq!(stats1b.cache_hits, b.wl.queries.len());
+}

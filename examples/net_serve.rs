@@ -17,13 +17,15 @@
 //!    carries the generation that answered it, each one is exactly
 //!    that generation's bitwise answer, never a blend,
 //! 4. shut down and read the server's tallies (batches coalesced,
-//!    largest micro-batch, zero protocol errors).
+//!    largest micro-batch, answer-cache hits/misses and in-batch
+//!    dedup collapses, zero protocol errors).
 //!
 //! ```text
 //! cargo run --release --example net_serve            # full scale
 //! cargo run --release --example net_serve -- --fast  # CI smoke
 //! ```
 
+use neurosketch::cache::CachePolicy;
 use neurosketch::deploy::LiveDeployment;
 use neurosketch::net::{NetClient, NetOptions, NetResponse, NetServer};
 use neurosketch::router::{DqdRouter, RoutingPolicy};
@@ -67,16 +69,23 @@ fn main() {
         let (sketch, report) =
             NeuroSketch::build_from_labeled(&wl.queries, &labels, &c).expect("sketch build");
         let router = DqdRouter::new(sketch, report.leaf_aqcs, RoutingPolicy::default());
+        // The production cache setting: the flooder below replays the
+        // workload, so the tallies at the end show real hits — and the
+        // bitwise parity asserts double as a cache-parity check over
+        // the wire.
         SketchServer::new(
             router,
             ServeOptions {
                 threads: 2,
+                cache: CachePolicy::cached(256 << 10),
                 ..ServeOptions::default()
             },
         )
     };
     let gen0 = build(cfg.train.epochs);
     let gen1 = build(cfg.train.epochs + 7);
+    // These direct calls also warm each server's embedded answer cache,
+    // so the tallies at the end show the network traffic hitting it.
     let (expect0, _) = gen0.answer_batch(&wl.queries);
     let (expect1, _) = gen1.answer_batch(&wl.queries);
 
@@ -172,6 +181,10 @@ fn main() {
     println!(
         "server: {} queries in {} micro-batches (largest {}), {} rejected, {} protocol errors",
         stats.answered, stats.batches, stats.largest_batch, stats.rejected, stats.protocol_errors
+    );
+    println!(
+        "answer front: {} cache hits, {} cache misses, {} collapsed onto an in-batch duplicate",
+        stats.cache_hits, stats.cache_misses, stats.deduped
     );
     assert_eq!(stats.protocol_errors, 0);
     assert_eq!(stats.answered as usize, served + flood_len);
