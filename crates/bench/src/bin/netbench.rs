@@ -162,6 +162,17 @@ fn remote(addr: &str, clients: usize, window: usize, queries: usize, ranges: &[(
         "target {addr}: dims {}, generation {}, queue_cap {}, max_batch {}",
         info.dims, info.generation, info.queue_cap, info.max_batch
     );
+    // Validate the flag count eagerly, the moment the target's
+    // dimensionality is known — a lazy check inside the span lookup
+    // would silently ignore extra --range flags (span never indexes
+    // past dims), letting a typo go unnoticed.
+    if ranges.len() > 1 && ranges.len() != info.dims {
+        die(&format!(
+            "{} --range flags for {} target dimensions (give one, or one per dimension)",
+            ranges.len(),
+            info.dims
+        ));
+    }
     // Deterministic uniform queries, scaled per dimension by --range
     // (default: the unit cube) — the target's accuracy is not under
     // test here, only its serving path.
@@ -169,13 +180,7 @@ fn remote(addr: &str, clients: usize, window: usize, queries: usize, ranges: &[(
         match ranges {
             [] => (0.0, 1.0),
             [one] => *one,
-            many => *many.get(d).unwrap_or_else(|| {
-                die(&format!(
-                    "{} --range flags for {} target dimensions (give one, or one per dimension)",
-                    many.len(),
-                    info.dims
-                ))
-            }),
+            many => many[d],
         }
     };
     let stream: Vec<Vec<f64>> = (0..queries)

@@ -335,8 +335,10 @@ impl Stripe {
         self.bytes -= entry_bytes(self.stride);
     }
 
-    /// Insert (or refresh) a key. Returns entries evicted to fit, or
-    /// `None` if the entry can never fit this stripe's budget.
+    /// Insert (or refresh) a key. Returns `(entries evicted to fit,
+    /// whether a new entry was written — `false` means a resident key
+    /// was merely refreshed)`, or `None` if the entry can never fit
+    /// this stripe's budget.
     ///
     /// `check_dup: false` skips the pre-insert lookup — sound only when
     /// the caller just probed this key under this same lock cycle and
@@ -355,7 +357,7 @@ impl Stripe {
         v: f64,
         budget: usize,
         check_dup: bool,
-    ) -> Option<u64> {
+    ) -> Option<(u64, bool)> {
         if self.stride != 0 && self.stride != q.len() {
             return None;
         }
@@ -366,7 +368,7 @@ impl Stripe {
                 // so refreshing recency is all that is left to do.
                 self.pay[slot].value = v;
                 self.touch(slot);
-                return Some(0);
+                return Some((0, false));
             }
         }
         let need = entry_bytes(q.len());
@@ -435,7 +437,7 @@ impl Stripe {
         }
         self.gen_lo = self.gen_lo.min(gen);
         self.gen_hi = self.gen_hi.max(gen);
-        Some(evicted)
+        Some((evicted, true))
     }
 
     /// Double the bucket array and re-chain every live slot.
@@ -610,8 +612,14 @@ impl AnswerCache {
         check_dup: bool,
     ) {
         let before = stripe.bytes;
-        if let Some(evicted) = stripe.insert(h, tag, gen, q, v, self.stripe_budget, check_dup) {
-            self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some((evicted, inserted)) =
+            stripe.insert(h, tag, gen, q, v, self.stripe_budget, check_dup)
+        {
+            // A refresh of a resident key is not an insertion — only a
+            // genuinely new entry bumps the counter.
+            if inserted {
+                self.insertions.fetch_add(1, Ordering::Relaxed);
+            }
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
             let after = stripe.bytes;
             if after >= before {
@@ -1217,6 +1225,18 @@ mod tests {
         assert_eq!(cache.get(1, 2, &query), Some(20.0));
         assert_eq!(cache.get(2, 1, &query), Some(30.0));
         assert_eq!(cache.get(2, 2, &query), None);
+    }
+
+    #[test]
+    fn refreshing_a_resident_key_is_not_an_insertion() {
+        let cache = AnswerCache::new(1 << 16, 1);
+        let query = q(&[0.5, 0.25]);
+        cache.insert(1, 3, &query, 7.0);
+        cache.insert(1, 3, &query, 7.0);
+        let s = cache.stats();
+        assert_eq!(s.insertions, 1, "a refresh must not count as an insertion");
+        assert_eq!((s.entries, s.evictions), (1, 0));
+        assert_eq!(cache.get(1, 3, &query), Some(7.0));
     }
 
     #[test]

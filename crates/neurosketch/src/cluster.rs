@@ -1142,6 +1142,16 @@ impl Cluster {
     /// generation this batch actually routed to — a stale batch can
     /// only hit entries served at that same stale generation, so hits
     /// are bitwise the answers the scatter would have computed.
+    ///
+    /// The cache only engages on a **fully covered** batch. A degraded
+    /// batch (quorum met with uncovered groups) folds [`Moments::ZERO`]
+    /// into every answer — bits no fully-covered batch at the same
+    /// generation would compute — so it must neither store its partial
+    /// answers (a later healthy batch would serve them as hits) nor be
+    /// served full answers from the cache (contradicting its report's
+    /// `covered` count). In-batch dedup stays on either way: every
+    /// query in a batch shares one route, so collapsing duplicates is
+    /// bitwise safe even when degraded.
     pub fn answer_batch(
         &mut self,
         queries: &[Vec<f64>],
@@ -1158,9 +1168,13 @@ impl Cluster {
         }
         let route = self.route_batch()?;
         let cache = self.cache.clone();
-        let front = cache
-            .as_deref()
-            .map(|c| (c, aggregate_tag(self.aggregate), route.target));
+        let front = if route.covered == self.groups.len() {
+            cache
+                .as_deref()
+                .map(|c| (c, aggregate_tag(self.aggregate), route.target))
+        } else {
+            None
+        };
         let agg = self.aggregate;
         let (answers, tally) = serve_cached(front, policy.dedup, queries, |miss_idxs| {
             let sub: Vec<Vec<f64>> = miss_idxs.iter().map(|&i| queries[i].clone()).collect();

@@ -313,9 +313,9 @@ impl<'a> SketchServer<'a> {
         let parts = par::par_map_init(
             &chunks,
             threads,
-            || (BatchScratch::default(), Vec::new()),
-            |(scratch, exact_scratch), _, chunk| {
-                self.serve_idx_chunk(scratch, exact_scratch, queries, chunk)
+            || (BatchScratch::default(), Vec::new(), Vec::new()),
+            |(scratch, exact_scratch, out), _, chunk| {
+                self.serve_idx_chunk(scratch, exact_scratch, out, queries, chunk)
             },
         );
         let mut values = Vec::with_capacity(idxs.len());
@@ -329,14 +329,25 @@ impl<'a> SketchServer<'a> {
 
     /// Route and answer one index chunk with this worker's scratch
     /// state, compacting the answers back into chunk order.
+    ///
+    /// `out` is a worker-reused batch-length answer buffer: grown (and
+    /// zeroed) at most once per worker rather than allocated per chunk,
+    /// so a fronted all-miss batch does not pay O(batch × chunks)
+    /// zeroing the direct path avoids. Stale values from a previous
+    /// chunk are never observed — every index in `idxs` lands in
+    /// `to_sketch` or `to_exact` and is written before the final
+    /// compaction reads it.
     fn serve_idx_chunk(
         &self,
         scratch: &mut BatchScratch,
         exact_scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
         queries: &[Vec<f64>],
         idxs: &[usize],
     ) -> (Vec<f64>, ServeStats) {
-        let mut out = vec![0.0; queries.len()];
+        if out.len() < queries.len() {
+            out.resize(queries.len(), 0.0);
+        }
         let mut stats = ServeStats::default();
         let mut to_sketch = Vec::with_capacity(idxs.len());
         let mut to_exact = Vec::new();
@@ -364,10 +375,10 @@ impl<'a> SketchServer<'a> {
         match &self.layout {
             Some(l) => self
                 .sketch()
-                .answer_subset_with_layout(l, scratch, queries, &to_sketch, &mut out),
+                .answer_subset_with_layout(l, scratch, queries, &to_sketch, out),
             None => self
                 .sketch()
-                .answer_subset_with(scratch, queries, &to_sketch, &mut out),
+                .answer_subset_with(scratch, queries, &to_sketch, out),
         }
         if let Some(fb) = &self.fallback {
             for &i in &to_exact {
